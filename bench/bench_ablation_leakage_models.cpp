@@ -1,0 +1,84 @@
+// Ablation (ours): which silicon leakage shape explains the paper's
+// model hierarchy? DESIGN.md's calibration claims the observable channel
+// carries value (HW) leakage dominated by the round-0 state and no
+// register-overwrite (HD) leakage. This bench flips those knobs:
+//
+//  A. default profile        -> Rd0-HW best, Rd10-HW slower, Rd10-HD flat
+//  B. HD leakage added       -> Rd10-HD starts converging
+//  C. round-0 weight removed -> Rd0-HW collapses to random guessing
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/campaigns.h"
+#include "core/guessing_entropy.h"
+#include "util/table.h"
+
+namespace {
+
+std::array<double, 3> final_ge(const psc::soc::DeviceProfile& profile,
+                               std::size_t traces, std::uint64_t seed) {
+  using namespace psc;
+  core::CpaCampaignConfig config{
+      .profile = profile,
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = traces,
+      .models = {power::PowerModel::rd0_hw, power::PowerModel::rd10_hw,
+                 power::PowerModel::rd10_hd},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {},
+      .seed = seed,
+  };
+  const auto result = run_cpa_campaign(config);
+  return {result.keys[0].final_results[0].ge_bits,
+          result.keys[0].final_results[1].ge_bits,
+          result.keys[0].final_results[2].ge_bits};
+}
+
+}  // namespace
+
+int main() {
+  using namespace psc;
+  bench::banner("Ablation A2", "leakage-shape knobs vs attack models");
+
+  const std::size_t traces = bench::scaled(400'000);
+  std::cout << traces << " traces per configuration; random GE = "
+            << util::fixed(core::random_guess_ge_bits(), 1) << " bits\n\n";
+
+  util::TextTable table;
+  table.header({"chip leakage configuration", "Rd0-HW GE", "Rd10-HW GE",
+                "Rd10-HD GE"});
+  table.set_align(0, util::Align::left);
+
+  {
+    const auto profile = soc::DeviceProfile::macbook_air_m2();
+    const auto ge = final_ge(profile, traces, bench::bench_seed());
+    table.add_row({"A. calibrated default (value leakage, w0 > w9, no HD)",
+                   util::fixed(ge[0], 1), util::fixed(ge[1], 1),
+                   util::fixed(ge[2], 1)});
+  }
+  {
+    auto profile = soc::DeviceProfile::macbook_air_m2();
+    profile.leakage.last_round_hd_weight = 1.0;
+    const auto ge = final_ge(profile, traces, bench::bench_seed());
+    table.add_row({"B. + register-overwrite HD leakage (weight 1.0)",
+                   util::fixed(ge[0], 1), util::fixed(ge[1], 1),
+                   util::fixed(ge[2], 1)});
+  }
+  {
+    auto profile = soc::DeviceProfile::macbook_air_m2();
+    profile.leakage.ark_hw_weight[0] = 0.0;
+    profile.leakage.plaintext_load_weight = 0.0;
+    const auto ge = final_ge(profile, traces, bench::bench_seed());
+    table.add_row({"C. - round-0 value leakage (w0 = 0, no pt load)",
+                   util::fixed(ge[0], 1), util::fixed(ge[1], 1),
+                   util::fixed(ge[2], 1)});
+  }
+  table.render(std::cout);
+
+  std::cout <<
+      "\nreading: configuration A reproduces the paper's Fig. 1 hierarchy; "
+      "B shows the Rd10-HD model is sound and would converge if the "
+      "silicon leaked transitions (it evidently does not); C shows Rd0-HW "
+      "owes its performance entirely to the round-0 value leakage.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the experiment-reproduction binaries. Each binary
+// regenerates one table or figure of the paper and prints the measured
+// result next to the published reference.
+//
+// Scale control:
+//   PSC_FULL=1      run the paper-scale trace counts (default: already
+//                   paper scale for CPA/TVLA; kept for symmetry)
+//   PSC_QUICK=1     cut trace counts ~10x for smoke runs
+//   PSC_TRACES=N    override the CPA trace count explicitly
+//   PSC_SEED=N      change the campaign seed
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/env.h"
+
+namespace psc::bench {
+
+inline std::size_t scaled(std::size_t paper_scale) {
+  const std::size_t traces =
+      util::env_size("PSC_TRACES", util::env_flag("PSC_QUICK")
+                                       ? paper_scale / 10
+                                       : paper_scale);
+  return traces == 0 ? 1 : traces;
+}
+
+inline std::uint64_t bench_seed() {
+  return util::env_size("PSC_SEED", 42);
+}
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& description) {
+  std::cout << "================================================================\n"
+            << experiment_id << ": " << description << "\n"
+            << "================================================================\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "note: " << text << "\n";
+}
+
+}  // namespace psc::bench

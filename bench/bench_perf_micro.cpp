@@ -1,0 +1,177 @@
+// Micro-performance of the framework's hot paths (google-benchmark):
+// the AES kernel, leakage evaluation, trace synthesis, CPA updates and
+// analysis, TVLA accumulation, and the full-chip step rate. These bound
+// how fast paper-scale campaigns run (1M traces in seconds).
+#include <benchmark/benchmark.h>
+
+#include "aes/aes128.h"
+#include "aes/aes_armv8.h"
+#include "core/cpa.h"
+#include "core/tvla.h"
+#include "power/leakage_model.h"
+#include "sched/scheduler.h"
+#include "soc/chip.h"
+#include "util/rng.h"
+#include "victim/fast_trace.h"
+
+namespace {
+
+using namespace psc;
+
+aes::Block random_block(util::Xoshiro256& rng) {
+  aes::Block b;
+  rng.fill_bytes(b);
+  return b;
+}
+
+void BM_AesEncrypt(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  aes::Aes128 cipher(random_block(rng));
+  aes::Block pt = random_block(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.encrypt(pt));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_AesEncryptTrace(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  aes::Aes128 cipher(random_block(rng));
+  aes::Block pt = random_block(rng);
+  aes::RoundTrace trace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.encrypt_trace(pt, trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AesEncryptTrace);
+
+void BM_AesArmv8Encrypt(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  aes::Aes128Armv8 cipher(random_block(rng));
+  aes::Block pt = random_block(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.encrypt(pt));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AesArmv8Encrypt);
+
+void BM_LeakageEvaluation(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  aes::Aes128 cipher(random_block(rng));
+  power::LeakageEvaluator evaluator(
+      power::LeakageConfig::apple_silicon_default());
+  aes::Block pt = random_block(rng);
+  aes::RoundTrace trace;
+  cipher.encrypt_trace(pt, trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.encryption_energy(pt, trace));
+  }
+}
+BENCHMARK(BM_LeakageEvaluation);
+
+void BM_FastTraceCollect(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  victim::FastTraceSource source(soc::DeviceProfile::macbook_air_m2(),
+                                 random_block(rng),
+                                 victim::VictimModel::user_space(), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.collect(random_block(rng)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastTraceCollect);
+
+void BM_CpaAddTrace(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  core::CpaEngine engine({power::PowerModel::rd0_hw});
+  aes::Block pt = random_block(rng);
+  aes::Block ct = random_block(rng);
+  for (auto _ : state) {
+    engine.add_trace(pt, ct, 1.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CpaAddTrace);
+
+void BM_CpaAddTraceWithPairHistogram(benchmark::State& state) {
+  util::Xoshiro256 rng(8);
+  core::CpaEngine engine({power::PowerModel::rd10_hd});
+  aes::Block pt = random_block(rng);
+  aes::Block ct = random_block(rng);
+  for (auto _ : state) {
+    engine.add_trace(pt, ct, 1.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CpaAddTraceWithPairHistogram);
+
+void BM_CpaAnalyzeByte(benchmark::State& state) {
+  util::Xoshiro256 rng(9);
+  core::CpaEngine engine({power::PowerModel::rd0_hw});
+  for (int i = 0; i < 10000; ++i) {
+    engine.add_trace(random_block(rng), random_block(rng),
+                     rng.gaussian(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.analyze_byte(power::PowerModel::rd0_hw, 0));
+  }
+}
+BENCHMARK(BM_CpaAnalyzeByte);
+
+void BM_CpaAnalyzeByteHd(benchmark::State& state) {
+  util::Xoshiro256 rng(10);
+  core::CpaEngine engine({power::PowerModel::rd10_hd});
+  for (int i = 0; i < 10000; ++i) {
+    engine.add_trace(random_block(rng), random_block(rng),
+                     rng.gaussian(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.analyze_byte(power::PowerModel::rd10_hd, 0));
+  }
+}
+BENCHMARK(BM_CpaAnalyzeByteHd);
+
+void BM_TvlaAccumulate(benchmark::State& state) {
+  util::Xoshiro256 rng(11);
+  core::TvlaAccumulator acc;
+  for (auto _ : state) {
+    acc.add(core::PlaintextClass::all_zeros, false, rng.gaussian());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TvlaAccumulate);
+
+void BM_ChipAdvance(benchmark::State& state) {
+  soc::Chip chip(soc::DeviceProfile::macbook_air_m2(), 12);
+  soc::FmulStressor fmul;
+  chip.p_core(0).assign(&fmul);
+  for (auto _ : state) {
+    chip.advance(1e-3);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChipAdvance);
+
+void BM_SchedulerQuantum(benchmark::State& state) {
+  soc::Chip chip(soc::DeviceProfile::macbook_air_m2(), 13);
+  sched::Scheduler scheduler(chip);
+  std::vector<sched::ThreadId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(scheduler.spawn(std::string("t") + std::to_string(i),
+                                  std::make_unique<soc::FmulStressor>()));
+  }
+  for (auto _ : state) {
+    scheduler.step();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerQuantum);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Section 4 narrative: finding the reactive power limit and triggering
+// frequency throttling on the M2 in lowpowermode.
+//  * AES threads added one by one stay under the 4 W budget (2.8 W at 4
+//    threads) with the P-cores pinned at 1.968 GHz.
+//  * Adding constant-operand fmul stressors on the E-cores exceeds the
+//    budget: the P-cluster throttles, the E-cores hold 2.424 GHz.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/throttle.h"
+#include "util/table.h"
+
+int main() {
+  using namespace psc;
+  bench::banner("Section 4", "lowpowermode power limit and throttling, M2");
+
+  const auto profile = soc::DeviceProfile::macbook_air_m2();
+
+  std::cout << "AES thread sweep (lowpowermode, no stressors):\n";
+  util::TextTable sweep_table;
+  sweep_table.header({"AES threads", "package power (W)", "P-core freq (GHz)",
+                      "throttled"});
+  for (const auto& point :
+       core::lowpower_aes_sweep(profile, 4, bench::bench_seed())) {
+    sweep_table.add_row({std::to_string(point.aes_threads),
+                         util::fixed(point.package_power_w, 2),
+                         util::fixed(point.p_freq_hz / 1e9, 3),
+                         point.throttled ? "yes" : "no"});
+  }
+  sweep_table.render(std::cout);
+  std::cout << "paper reference: 4 AES threads draw only 2.8 W — "
+               "insufficient to throttle; P-cores hold 1.968 GHz\n\n";
+
+  core::ThrottleExperimentConfig config{
+      .profile = profile,
+      .aes_threads = 4,
+      .stressor_threads = 4,
+      .traces_per_set = bench::scaled(400) / 10,
+      .window_s = 1.0,
+      .seed = bench::bench_seed(),
+  };
+  const auto result = run_throttle_campaign(config);
+  core::throttle_observation_table(result.observation).render(std::cout);
+
+  std::cout << "\nmean execution time per 1000 blocks under throttling: "
+            << util::fixed(result.mean_time_per_kblock_s * 1e6, 3)
+            << " us\n";
+  std::cout << "timing TVLA shows data dependence: "
+            << (result.timing_matrix.no_data_dependence() ? "no (as in the "
+                                                            "paper)"
+                                                          : "YES (mismatch)")
+            << "\n";
+
+  std::cout <<
+      "\npaper reference: power cap 4 W in lowpowermode; AES+fmul exceeds "
+      "it and throttles the P-cores while E-cores stay at 2.424 GHz; the "
+      "CPU stays cool, ruling out thermal effects; timing traces show no "
+      "data dependence (Table 6, right column).\n";
+  return 0;
+}

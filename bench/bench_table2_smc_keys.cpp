@@ -1,0 +1,69 @@
+// Table 2: workload-dependent SMC keys, found by the smc-fuzzer-style
+// idle-vs-stress triage of section 3.2 run against the full platform
+// simulation (scheduler + chip + SMC client).
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "smc/fuzzer.h"
+#include "soc/workload.h"
+#include "util/table.h"
+#include "victim/platform.h"
+
+namespace {
+
+std::vector<psc::smc::FourCc> triage(const psc::soc::DeviceProfile& profile,
+                                     std::uint64_t seed) {
+  using namespace psc;
+  victim::Platform platform(profile, seed);
+  auto conn = platform.open_smc();
+
+  platform.run_for(1.2);
+  const auto idle = smc::snapshot_keys(conn, 'P');
+  std::cout << profile.name << ": scanned " << idle.size()
+            << " readable 'P' keys\n";
+
+  for (std::size_t c = 0; c < platform.chip().core_count(); ++c) {
+    platform.scheduler().spawn("stress-" + std::to_string(c),
+                               std::make_unique<soc::MatrixStressor>());
+  }
+  platform.run_for(2.0);
+  const auto busy = smc::snapshot_keys(conn, 'P');
+
+  return smc::workload_dependent_keys(smc::diff_snapshots(idle, busy));
+}
+
+std::string join(const std::vector<psc::smc::FourCc>& keys) {
+  std::string out;
+  for (const auto& key : keys) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += key.str();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace psc;
+  bench::banner("Table 2", "workload-dependent SMC keys (idle vs stress-ng "
+                           "matrix triage)");
+
+  util::TextTable table;
+  table.header({"Device", "workload-dependent SMC keys (measured)"});
+  table.set_align(1, util::Align::left);
+  for (const auto& profile : {soc::DeviceProfile::mac_mini_m1(),
+                              soc::DeviceProfile::macbook_air_m2()}) {
+    table.add_row({profile.name, join(triage(profile, bench::bench_seed()))});
+  }
+  std::cout << "\n";
+  table.render(std::cout);
+
+  std::cout << "\npaper reference:\n"
+               "  Mac Mini M1    : PDTR, PHPC, PHPS, PMVR, PPMR, PSTR\n"
+               "  MacBook Air M2 : PDTR, PHPC, PHPS, PMVC, PSTR\n";
+  return 0;
+}

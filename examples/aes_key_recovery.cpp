@@ -1,0 +1,79 @@
+// aes_key_recovery: the paper's headline attack (section 3.4) end to end.
+// An unprivileged attacker submits known plaintexts to a victim crypto
+// service, reads the PHPC SMC key after each measurement window, and runs
+// CPA with the Rd0-HW model until key bytes surface.
+//
+//   ./aes_key_recovery [traces]         (default 300000)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/campaigns.h"
+#include "core/guessing_entropy.h"
+#include "core/key_rank.h"
+#include "core/report.h"
+#include "util/hex.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psc;
+
+  const std::size_t traces =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+
+  std::cout << "victim : user-space AES-128 service, 3 P-core threads, M2\n"
+            << "channel: PHPC (P-cluster power, read as unprivileged user)\n"
+            << "attack : known-plaintext CPA, Rd0-HW model, " << traces
+            << " traces\n\n";
+
+  core::CpaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = traces,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = core::log_spaced_checkpoints(traces / 32, traces, 6),
+      .seed = 2024,
+  };
+  const auto result = run_cpa_campaign(config);
+  const auto& key_result = *result.find(smc::FourCc("PHPC"));
+  const auto& final = key_result.final_results[0];
+
+  std::cout << "GE trajectory (bits of remaining key search space):\n";
+  for (const auto& point : key_result.curves[0]) {
+    std::cout << "  " << point.traces << " traces -> GE "
+              << util::fixed(point.ge_bits, 1) << " bits, "
+              << point.recovered_bytes << "/16 bytes at rank 1\n";
+  }
+
+  std::cout << "\nper-byte outcome:\n";
+  util::TextTable table;
+  table.header({"byte", "true key", "best guess", "rank"});
+  for (std::size_t i = 0; i < 16; ++i) {
+    char truth[8];
+    char guess[8];
+    std::snprintf(truth, sizeof truth, "0x%02x", result.victim_key[i]);
+    std::snprintf(guess, sizeof guess, "0x%02x",
+                  final.best_round_key[i]);
+    table.add_row({std::to_string(i), truth, guess,
+                   std::to_string(final.true_ranks[i]) +
+                       (final.true_ranks[i] == 1 ? " *" : "")});
+  }
+  table.render(std::cout);
+
+  const auto key_rank = core::estimate_key_rank(final);
+  std::cout << "\nvictim key : " << util::to_hex(result.victim_key)
+            << "\nbest guess : " << util::to_hex(final.best_round_key)
+            << "\nGE " << util::fixed(final.ge_bits, 1) << " bits (random: "
+            << util::fixed(core::random_guess_ge_bits(), 1)
+            << ")\noptimal key-enumeration rank: 2^"
+            << util::fixed(key_rank.log2_rank, 1) << " (bounds 2^"
+            << util::fixed(key_rank.log2_rank_lower, 1) << " .. 2^"
+            << util::fixed(key_rank.log2_rank_upper, 1)
+            << ") — the actual work for a score-ordered full-key search; "
+               "GE is its per-byte independence approximation\n";
+  if (final.recovered_bytes < 16) {
+    std::cout << "collect more traces to push the remaining bytes to rank "
+                 "1 (the paper used 1M).\n";
+  }
+  return 0;
+}

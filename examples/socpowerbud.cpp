@@ -1,0 +1,76 @@
+// socpowerbud: an IOReport "Energy Model" sampler in the style of the
+// socpowerbud tool the paper examined (section 3.6). Samples the PCPU /
+// ECPU cumulative energy counters once per second while the workload mix
+// changes, and shows why this interface does not leak data: mJ
+// resolution and utilization-based estimation.
+//
+//   ./socpowerbud
+#include <iostream>
+#include <memory>
+
+#include "soc/workload.h"
+#include "util/table.h"
+#include "victim/platform.h"
+
+int main() {
+  using namespace psc;
+  victim::Platform platform(soc::DeviceProfile::macbook_air_m2(), 11);
+  auto& report = platform.ioreport();
+
+  std::cout << "channels:\n";
+  for (const auto& channel : report.channels()) {
+    std::cout << "  " << channel.group << " / " << channel.name << "\n";
+  }
+  std::cout << "\n";
+
+  util::TextTable table;
+  table.header({"t (s)", "phase", "PCPU mW", "ECPU mW"});
+  table.set_align(1, util::Align::left);
+
+  auto sample_phase = [&](const std::string& phase, int seconds) {
+    auto prev = report.sample();
+    for (int s = 0; s < seconds; ++s) {
+      platform.run_for(1.0);
+      const auto cur = report.sample();
+      table.add_row(
+          {util::fixed(platform.time_s(), 0), phase,
+           std::to_string(ioreport::IoReport::pcpu_delta_mj(prev, cur)),
+           std::to_string(cur.ecpu_energy_mj - prev.ecpu_energy_mj)});
+      prev = cur;
+    }
+  };
+
+  sample_phase("idle", 2);
+
+  const sched::ThreadId aes_id = platform.scheduler().spawn(
+      "aes",
+      std::make_unique<soc::AesWorkload>(
+          aes::Block{}, platform.chip().profile().leakage,
+          platform.chip().profile().aes_cycles_per_block),
+      {.policy = sched::SchedPolicy::round_robin,
+       .priority = 47,
+       .cluster_hint = std::nullopt});
+  sample_phase("1x AES on P-core", 3);
+
+  std::vector<sched::ThreadId> stressors;
+  for (int i = 0; i < 4; ++i) {
+    stressors.push_back(platform.scheduler().spawn(
+        "fmul-" + std::to_string(i), std::make_unique<soc::FmulStressor>(),
+        {.cluster_hint = soc::CoreType::efficiency}));
+  }
+  sample_phase("+ 4x fmul on E-cores", 3);
+
+  for (const auto id : stressors) {
+    platform.scheduler().kill(id);
+  }
+  platform.scheduler().kill(aes_id);
+  sample_phase("back to idle", 2);
+
+  table.render(std::cout);
+
+  std::cout << "\nnote: PCPU/ECPU report whole millijoules derived from "
+               "core utilization — workload-dependent (good telemetry) but "
+               "blind to the data being processed (paper Table 6: no "
+               "data dependence), unlike the uW-class SMC rail meters.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// throttling_demo: exploring the frequency-throttling channel (paper
+// section 4). Walks the full investigation: finding the lowpowermode
+// power cap, steering victim threads to P-cores and stressors to E-cores
+// via scheduler policy, triggering throttling, and testing the resulting
+// timing channel for data dependence.
+//
+//   ./throttling_demo
+#include <iostream>
+
+#include "core/report.h"
+#include "core/throttle.h"
+#include "util/table.h"
+#include "victim/platform.h"
+
+int main() {
+  using namespace psc;
+  const auto profile = soc::DeviceProfile::macbook_air_m2();
+
+  std::cout << "step 1: enable lowpowermode (pmset analogue) and sweep AES "
+               "threads\n";
+  util::TextTable sweep;
+  sweep.header({"AES threads", "package W", "P freq GHz", "throttled"});
+  for (const auto& point : core::lowpower_aes_sweep(profile, 4, 5)) {
+    sweep.add_row({std::to_string(point.aes_threads),
+                   util::fixed(point.package_power_w, 2),
+                   util::fixed(point.p_freq_hz / 1e9, 3),
+                   point.throttled ? "yes" : "no"});
+  }
+  sweep.render(std::cout);
+  std::cout << "AES alone stays under the 4 W budget -> no throttling.\n\n";
+
+  std::cout << "step 2: add constant fmul stressors on the E-cores and "
+               "collect timing traces\n";
+  core::ThrottleExperimentConfig config{
+      .profile = profile,
+      .aes_threads = 4,
+      .stressor_threads = 4,
+      .traces_per_set = 40,
+      .window_s = 1.0,
+      .seed = 6,
+  };
+  const auto result = run_throttle_campaign(config);
+  core::throttle_observation_table(result.observation).render(std::cout);
+
+  std::cout << "\nstep 3: TVLA on execution-time traces under throttling\n";
+  std::vector<core::TvlaChannelResult> channels = {
+      {"Time", result.timing_matrix}};
+  core::tvla_table("timing t-scores", channels).render(std::cout);
+
+  std::cout << "\nconclusion: throttling engages (P-cluster below 1.968 "
+               "GHz, E-cores untouched at 2.424 GHz), but timing carries "
+               "no data dependence — the governor follows the PHPS "
+               "estimate, which Table 3 already showed is not "
+               "data-dependent. The frequency channel is a dead end on "
+               "this platform; the SMC keys are the exploitable one.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "aes/aes_armv8.h"
+
+namespace psc::aes {
+
+Block aese(const Block& state, const Block& round_key) noexcept {
+  Block s = state;
+  add_round_key(s, round_key);
+  sub_bytes(s);
+  shift_rows(s);
+  return s;
+}
+
+Block aesmc(const Block& state) noexcept {
+  Block s = state;
+  mix_columns(s);
+  return s;
+}
+
+Aes128Armv8::Aes128Armv8(const Block& key) noexcept
+    : round_keys_(Aes128::expand_key(key)) {}
+
+Block Aes128Armv8::encrypt(const Block& plaintext) const noexcept {
+  Block s = plaintext;
+  for (std::size_t r = 0; r + 1 < num_rounds; ++r) {
+    s = aesmc(aese(s, round_keys_[r]));
+  }
+  s = aese(s, round_keys_[num_rounds - 1]);
+  add_round_key(s, round_keys_[num_rounds]);
+  return s;
+}
+
+Block Aes128Armv8::encrypt_trace(const Block& plaintext,
+                                 Armv8InstructionTrace& trace) const noexcept {
+  Block s = plaintext;
+  std::size_t slot = 0;
+  for (std::size_t r = 0; r + 1 < num_rounds; ++r) {
+    s = aese(s, round_keys_[r]);
+    trace.values[slot++] = s;
+    s = aesmc(s);
+    trace.values[slot++] = s;
+  }
+  s = aese(s, round_keys_[num_rounds - 1]);
+  trace.values[slot++] = s;
+  add_round_key(s, round_keys_[num_rounds]);
+  trace.values[slot++] = s;
+  return s;
+}
+
+}  // namespace psc::aes

@@ -1,0 +1,58 @@
+// Software model of the ARMv8 Cryptographic Extension AES instructions.
+//
+// The paper's victim workload is the AES-Intrinsics implementation, which
+// encrypts with the AESE/AESMC instruction pair. Modelling the instruction
+// semantics (rather than only the abstract cipher) lets the leakage model
+// attach energy to the architecturally visible values each instruction
+// produces, mirroring what the silicon datapath toggles.
+//
+//   AESE  (state, key): ShiftRows(SubBytes(state XOR key))
+//   AESMC (state)     : MixColumns(state)
+#pragma once
+
+#include <array>
+
+#include "aes/aes128.h"
+
+namespace psc::aes {
+
+// Single-round AESE instruction semantics.
+Block aese(const Block& state, const Block& round_key) noexcept;
+
+// AESMC instruction semantics.
+Block aesmc(const Block& state) noexcept;
+
+// Values produced by each instruction of one ARMv8 AES-128 encryption, in
+// program order: AESE/AESMC alternating for rounds 1..9 (18 entries), then
+// the final AESE and the closing EOR (2 entries). 20 values total.
+struct Armv8InstructionTrace {
+  static constexpr std::size_t instruction_count = 20;
+  std::array<Block, instruction_count> values{};
+};
+
+// AES-128 encryption composed exactly like the AES-Intrinsics kernel:
+//
+//   for r in 0..8:  s = AESMC(AESE(s, rk[r]))
+//   s = AESE(s, rk[9])
+//   s = s XOR rk[10]
+//
+// Produces ciphertext identical to Aes128::encrypt (tested property).
+class Aes128Armv8 {
+ public:
+  explicit Aes128Armv8(const Block& key) noexcept;
+
+  Block encrypt(const Block& plaintext) const noexcept;
+
+  // Encrypts while recording the output of every AESE/AESMC/EOR.
+  Block encrypt_trace(const Block& plaintext,
+                      Armv8InstructionTrace& trace) const noexcept;
+
+  const std::array<Block, num_rounds + 1>& round_keys() const noexcept {
+    return round_keys_;
+  }
+
+ private:
+  std::array<Block, num_rounds + 1> round_keys_{};
+};
+
+}  // namespace psc::aes

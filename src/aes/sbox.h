@@ -1,0 +1,84 @@
+// AES S-box and GF(2^8) arithmetic, generated at compile time from first
+// principles (multiplicative inverse in GF(2^8) with the AES reduction
+// polynomial x^8+x^4+x^3+x+1, followed by the affine transform). Generating
+// rather than transcribing the tables lets a unit test cross-check them
+// against the FIPS-197 definition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace psc::aes {
+
+// Multiplication by x in GF(2^8) modulo the AES polynomial 0x11b.
+constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+// Full GF(2^8) multiplication (Russian-peasant).
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) {
+      acc ^= a;
+    }
+    a = xtime(a);
+    b = static_cast<std::uint8_t>(b >> 1);
+  }
+  return acc;
+}
+
+// Multiplicative inverse in GF(2^8); maps 0 to 0 (as AES requires).
+// Computed as a^254 via square-and-multiply.
+constexpr std::uint8_t gf_inv(std::uint8_t a) noexcept {
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  // 254 = 0b11111110
+  for (int bit = 7; bit >= 0; --bit) {
+    result = gf_mul(result, result);
+    if (254 & (1 << bit)) {
+      result = gf_mul(result, base);
+    }
+  }
+  return a == 0 ? std::uint8_t{0} : result;
+}
+
+// The AES affine transformation over GF(2).
+constexpr std::uint8_t aes_affine(std::uint8_t x) noexcept {
+  auto rotl8 = [](std::uint8_t v, int k) {
+    return static_cast<std::uint8_t>((v << k) | (v >> (8 - k)));
+  };
+  return static_cast<std::uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^
+                                   rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63);
+}
+
+namespace detail {
+
+constexpr std::array<std::uint8_t, 256> make_sbox() noexcept {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    table[static_cast<std::size_t>(i)] =
+        aes_affine(gf_inv(static_cast<std::uint8_t>(i)));
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox(
+    const std::array<std::uint8_t, 256>& fwd) noexcept {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    table[fwd[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  return table;
+}
+
+}  // namespace detail
+
+// Forward S-box: sbox[0x00] == 0x63, sbox[0x53] == 0xed, ...
+inline constexpr std::array<std::uint8_t, 256> sbox = detail::make_sbox();
+
+// Inverse S-box: inv_sbox[sbox[x]] == x for all x.
+inline constexpr std::array<std::uint8_t, 256> inv_sbox =
+    detail::make_inv_sbox(sbox);
+
+}  // namespace psc::aes

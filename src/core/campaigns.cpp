@@ -1,0 +1,177 @@
+#include "core/campaigns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::core {
+
+const TvlaChannelResult* TvlaCampaignResult::find(
+    const std::string& channel) const noexcept {
+  for (const auto& c : channels) {
+    if (c.channel == channel) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  aes::Block victim_key;
+  rng.fill_bytes(victim_key);
+
+  victim::FastTraceSource source(config.profile, victim_key, config.victim,
+                                 rng(), config.mitigation);
+
+  const auto& keys = source.keys();
+  std::vector<TvlaAccumulator> accumulators(keys.size() +
+                                            (config.include_pcpu ? 1 : 0));
+
+  for (const bool primed : {false, true}) {
+    for (const PlaintextClass cls : all_plaintext_classes) {
+      for (std::size_t t = 0; t < config.traces_per_set; ++t) {
+        const aes::Block pt = class_plaintext(cls, rng);
+        const auto sample = source.collect(pt);
+        for (std::size_t k = 0; k < keys.size(); ++k) {
+          accumulators[k].add(cls, primed, sample.smc_values[k]);
+        }
+        if (config.include_pcpu) {
+          accumulators.back().add(cls, primed,
+                                  static_cast<double>(sample.pcpu_mj));
+        }
+      }
+    }
+  }
+
+  TvlaCampaignResult result;
+  result.victim_key = victim_key;
+  result.traces_per_set = config.traces_per_set;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    result.channels.push_back({keys[k].str(), accumulators[k].matrix()});
+  }
+  if (config.include_pcpu) {
+    result.channels.push_back({"PCPU", accumulators.back().matrix()});
+  }
+  return result;
+}
+
+const CpaKeyResult* CpaCampaignResult::find(smc::FourCc key) const noexcept {
+  for (const auto& k : keys) {
+    if (k.key == key) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  aes::Block victim_key;
+  rng.fill_bytes(victim_key);
+
+  victim::FastTraceSource source(config.profile, victim_key, config.victim,
+                                 rng(), config.mitigation);
+
+  // Resolve the key set: all data-dependent keys except the PHPS estimate.
+  std::vector<smc::FourCc> attack_keys = config.keys;
+  if (attack_keys.empty()) {
+    for (const smc::FourCc key : source.keys()) {
+      if (key != smc::FourCc("PHPS")) {
+        attack_keys.push_back(key);
+      }
+    }
+  }
+  std::vector<std::size_t> key_columns;
+  for (const smc::FourCc key : attack_keys) {
+    const auto& all = source.keys();
+    const auto it = std::find(all.begin(), all.end(), key);
+    if (it == all.end()) {
+      throw std::invalid_argument("run_cpa_campaign: key not provided by "
+                                  "this device: " +
+                                  key.str());
+    }
+    key_columns.push_back(static_cast<std::size_t>(it - all.begin()));
+  }
+
+  std::vector<CpaEngine> engines;
+  engines.reserve(attack_keys.size());
+  for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+    engines.emplace_back(config.models);
+  }
+
+  CpaCampaignResult result;
+  result.victim_key = victim_key;
+  result.round_keys = aes::Aes128::expand_key(victim_key);
+  result.trace_count = config.trace_count;
+  result.keys.resize(attack_keys.size());
+  for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+    result.keys[k].key = attack_keys[k];
+    result.keys[k].curves.resize(config.models.size());
+  }
+
+  std::vector<std::size_t> checkpoints = config.checkpoints;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
+                    checkpoints.end());
+  std::size_t next_checkpoint = 0;
+
+  auto snapshot = [&](std::size_t traces) {
+    for (std::size_t k = 0; k < engines.size(); ++k) {
+      for (std::size_t m = 0; m < config.models.size(); ++m) {
+        const ModelResult res =
+            engines[k].analyze(config.models[m], result.round_keys);
+        result.keys[k].curves[m].push_back(
+            {traces, res.ge_bits, res.mean_rank, res.recovered_bytes});
+      }
+    }
+  };
+
+  aes::Block pt;
+  for (std::size_t t = 1; t <= config.trace_count; ++t) {
+    rng.fill_bytes(pt);
+    const auto sample = source.collect(pt);
+    for (std::size_t k = 0; k < engines.size(); ++k) {
+      engines[k].add_trace(sample.plaintext, sample.ciphertext,
+                           sample.smc_values[key_columns[k]]);
+    }
+    while (next_checkpoint < checkpoints.size() &&
+           t == checkpoints[next_checkpoint]) {
+      snapshot(t);
+      ++next_checkpoint;
+    }
+  }
+  if (checkpoints.empty() || checkpoints.back() != config.trace_count) {
+    snapshot(config.trace_count);
+  }
+
+  for (std::size_t k = 0; k < engines.size(); ++k) {
+    for (const power::PowerModel model : config.models) {
+      result.keys[k].final_results.push_back(
+          engines[k].analyze(model, result.round_keys));
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> log_spaced_checkpoints(std::size_t first,
+                                                std::size_t last,
+                                                std::size_t count) {
+  std::vector<std::size_t> out;
+  if (count == 0 || first == 0 || last < first) {
+    return out;
+  }
+  const double lo = std::log(static_cast<double>(first));
+  const double hi = std::log(static_cast<double>(last));
+  for (std::size_t i = 0; i < count; ++i) {
+    const double f = count == 1 ? 1.0
+                                : static_cast<double>(i) /
+                                      static_cast<double>(count - 1);
+    out.push_back(static_cast<std::size_t>(
+        std::llround(std::exp(lo + f * (hi - lo)))));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace psc::core

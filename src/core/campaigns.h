@@ -1,0 +1,98 @@
+// End-to-end experiment runners. Each campaign reproduces one of the
+// paper's measurement pipelines against the simulated platform and
+// returns the data its table/figure reports. The bench binaries are thin
+// wrappers over these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cpa.h"
+#include "core/tvla.h"
+#include "smc/key_database.h"
+#include "soc/device_profile.h"
+#include "victim/fast_trace.h"
+
+namespace psc::core {
+
+// ---------- TVLA campaigns (Tables 3 and 5; Table 6 first column) ----------
+
+struct TvlaCampaignConfig {
+  soc::DeviceProfile profile;
+  victim::VictimModel victim = victim::VictimModel::user_space();
+  // Traces per (class, collection): two collections per class, so the
+  // paper's 10k per class corresponds to 5000 here.
+  std::size_t traces_per_set = 5000;
+  // Also assess the IOReport "PCPU" channel (Table 6, first column).
+  bool include_pcpu = false;
+  // Firmware countermeasure applied to the SMC channel (section 5).
+  smc::MitigationPolicy mitigation = smc::MitigationPolicy::none();
+  std::uint64_t seed = 1;
+};
+
+struct TvlaChannelResult {
+  std::string channel;  // SMC key name or "PCPU"
+  TvlaMatrix matrix;
+};
+
+struct TvlaCampaignResult {
+  aes::Block victim_key{};
+  std::size_t traces_per_set = 0;
+  std::vector<TvlaChannelResult> channels;
+
+  const TvlaChannelResult* find(const std::string& channel) const noexcept;
+};
+
+TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config);
+
+// ---------- CPA campaigns (Table 4; Figures 1a and 1b) ----------
+
+struct CpaCampaignConfig {
+  soc::DeviceProfile profile;
+  victim::VictimModel victim = victim::VictimModel::user_space();
+  std::size_t trace_count = 1'000'000;
+  std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
+  // SMC keys to attack; empty = every workload-dependent key except PHPS
+  // (the estimate channel carries no signal, as Table 3 establishes).
+  std::vector<smc::FourCc> keys;
+  // Trace counts at which to snapshot GE (ascending; the final count is
+  // always evaluated).
+  std::vector<std::size_t> checkpoints;
+  // Firmware countermeasure applied to the SMC channel (section 5).
+  smc::MitigationPolicy mitigation = smc::MitigationPolicy::none();
+  std::uint64_t seed = 1;
+};
+
+struct GeCurvePoint {
+  std::size_t traces = 0;
+  double ge_bits = 0.0;
+  double mean_rank = 0.0;
+  int recovered_bytes = 0;
+};
+
+struct CpaKeyResult {
+  smc::FourCc key;
+  // Final analysis per model, aligned with CpaCampaignConfig::models.
+  std::vector<ModelResult> final_results;
+  // GE trajectory per model, aligned the same way.
+  std::vector<std::vector<GeCurvePoint>> curves;
+};
+
+struct CpaCampaignResult {
+  aes::Block victim_key{};
+  std::array<aes::Block, aes::num_rounds + 1> round_keys{};
+  std::size_t trace_count = 0;
+  std::vector<CpaKeyResult> keys;
+
+  const CpaKeyResult* find(smc::FourCc key) const noexcept;
+};
+
+CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config);
+
+// Log-spaced checkpoint schedule from `first` to `last` (inclusive).
+std::vector<std::size_t> log_spaced_checkpoints(std::size_t first,
+                                                std::size_t last,
+                                                std::size_t count);
+
+}  // namespace psc::core

@@ -1,0 +1,210 @@
+#include "core/cpa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/guessing_entropy.h"
+
+namespace psc::core {
+
+namespace {
+
+// Pearson correlation from accumulated sums.
+double correlation_from_sums(double n, double sum_m, double sum_mm,
+                             double sum_mt, double sum_t,
+                             double sum_tt) noexcept {
+  const double cov = n * sum_mt - sum_m * sum_t;
+  const double var_m = n * sum_mm - sum_m * sum_m;
+  const double var_t = n * sum_tt - sum_t * sum_t;
+  if (var_m <= 0.0 || var_t <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_m * var_t);
+}
+
+}  // namespace
+
+int ByteRanking::rank_of(std::uint8_t candidate) const noexcept {
+  const double own = correlation[candidate];
+  int rank = 1;
+  for (int g = 0; g < 256; ++g) {
+    if (g != candidate && correlation[static_cast<std::size_t>(g)] > own) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+std::uint8_t ByteRanking::best_guess() const noexcept {
+  return static_cast<std::uint8_t>(
+      std::max_element(correlation.begin(), correlation.end()) -
+      correlation.begin());
+}
+
+CpaEngine::CpaEngine(std::vector<power::PowerModel> models)
+    : models_(std::move(models)) {
+  if (models_.empty()) {
+    throw std::invalid_argument("CpaEngine: need at least one model");
+  }
+  for (const power::PowerModel model : models_) {
+    const auto inputs = power::power_model_inputs(model);
+    if (inputs.uses_plaintext) {
+      need_pt_hist_ = true;
+    } else if (inputs.uses_ciphertext_pair) {
+      need_pair_hist_ = true;
+    } else {
+      need_ct_hist_ = true;
+    }
+  }
+  if (need_pair_hist_) {
+    pair_count_.assign(16 * 65536, 0);
+    pair_sum_.assign(16 * 65536, 0.0);
+  }
+}
+
+bool CpaEngine::has_model(power::PowerModel model) const noexcept {
+  return std::find(models_.begin(), models_.end(), model) != models_.end();
+}
+
+void CpaEngine::add_trace(const aes::Block& plaintext,
+                          const aes::Block& ciphertext,
+                          double value) noexcept {
+  ++n_;
+  sum_t_ += value;
+  sum_tt_ += value * value;
+  if (need_pt_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      ByteHist& h = pt_hist_[i];
+      ++h.count[plaintext[i]];
+      h.sum[plaintext[i]] += value;
+    }
+  }
+  if (need_ct_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      ByteHist& h = ct_hist_[i];
+      ++h.count[ciphertext[i]];
+      h.sum[ciphertext[i]] += value;
+    }
+  }
+  if (need_pair_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      const std::size_t bin =
+          i * 65536 +
+          static_cast<std::size_t>(ciphertext[i]) * 256 +
+          ciphertext[aes::shift_rows_source(i)];
+      ++pair_count_[bin];
+      pair_sum_[bin] += value;
+    }
+  }
+}
+
+ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
+                                    std::size_t byte_index) const {
+  if (!has_model(model)) {
+    throw std::invalid_argument("CpaEngine: model not configured");
+  }
+  ByteRanking out;
+  if (n_ < 2) {
+    return out;
+  }
+  const double n = static_cast<double>(n_);
+
+  const auto inputs = power::power_model_inputs(model);
+  if (inputs.uses_ciphertext_pair) {
+    const std::uint32_t* counts = &pair_count_[byte_index * 65536];
+    const double* sums = &pair_sum_[byte_index * 65536];
+    for (int g = 0; g < 256; ++g) {
+      double sum_m = 0.0;
+      double sum_mm = 0.0;
+      double sum_mt = 0.0;
+      for (int ct_i = 0; ct_i < 256; ++ct_i) {
+        const std::size_t row = static_cast<std::size_t>(ct_i) * 256;
+        for (int ct_src = 0; ct_src < 256; ++ct_src) {
+          const std::uint32_t c = counts[row + static_cast<std::size_t>(
+                                                   ct_src)];
+          if (c == 0) {
+            continue;
+          }
+          const double m = power::predict_rd10_hd(
+              static_cast<std::uint8_t>(ct_i),
+              static_cast<std::uint8_t>(ct_src),
+              static_cast<std::uint8_t>(g));
+          sum_m += m * c;
+          sum_mm += m * m * c;
+          sum_mt += m * sums[row + static_cast<std::size_t>(ct_src)];
+        }
+      }
+      out.correlation[static_cast<std::size_t>(g)] =
+          correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t_, sum_tt_);
+    }
+    return out;
+  }
+
+  const ByteHist& hist = inputs.uses_plaintext ? pt_hist_[byte_index]
+                                               : ct_hist_[byte_index];
+  int (*predictor)(std::uint8_t, std::uint8_t) = nullptr;
+  switch (model) {
+    case power::PowerModel::rd0_hw:
+      predictor = power::predict_rd0_hw;
+      break;
+    case power::PowerModel::rd1_sbox_hw:
+      predictor = power::predict_rd1_sbox_hw;
+      break;
+    case power::PowerModel::rd10_hw:
+      predictor = power::predict_rd10_hw;
+      break;
+    case power::PowerModel::rd10_hd:
+      break;  // handled above
+  }
+  for (int g = 0; g < 256; ++g) {
+    double sum_m = 0.0;
+    double sum_mm = 0.0;
+    double sum_mt = 0.0;
+    for (int v = 0; v < 256; ++v) {
+      const std::uint32_t c = hist.count[static_cast<std::size_t>(v)];
+      if (c == 0) {
+        continue;
+      }
+      const double m = predictor(static_cast<std::uint8_t>(v),
+                                 static_cast<std::uint8_t>(g));
+      sum_m += m * c;
+      sum_mm += m * m * c;
+      sum_mt += m * hist.sum[static_cast<std::size_t>(v)];
+    }
+    out.correlation[static_cast<std::size_t>(g)] =
+        correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t_, sum_tt_);
+  }
+  return out;
+}
+
+ModelResult CpaEngine::analyze(
+    power::PowerModel model,
+    const std::array<aes::Block, aes::num_rounds + 1>& true_round_keys)
+    const {
+  ModelResult result;
+  result.model = model;
+  for (std::size_t i = 0; i < 16; ++i) {
+    result.bytes[i] = analyze_byte(model, i);
+    const std::uint8_t truth =
+        power::true_key_byte(model, true_round_keys, i);
+    result.scored_key[i] = truth;
+    result.true_ranks[i] = result.bytes[i].rank_of(truth);
+    result.best_round_key[i] = result.bytes[i].best_guess();
+    if (result.true_ranks[i] == 1) {
+      ++result.recovered_bytes;
+    }
+    if (result.true_ranks[i] <= 10) {
+      ++result.near_recovered_bytes;
+    }
+  }
+  result.ge_bits = guessing_entropy_bits(result.true_ranks);
+  result.mean_rank = mean_rank(result.true_ranks);
+  result.implied_master_key =
+      power::recovered_round(model) == 0
+          ? result.best_round_key
+          : aes::Aes128::master_key_from_round10(result.best_round_key);
+  return result;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,39 @@
+#include "core/guessing_entropy.h"
+
+#include <cmath>
+
+namespace psc::core {
+
+double guessing_entropy_bits(std::span<const int> ranks) noexcept {
+  double bits = 0.0;
+  for (const int rank : ranks) {
+    if (rank >= 1) {
+      bits += std::log2(static_cast<double>(rank));
+    }
+  }
+  return bits;
+}
+
+double mean_rank(std::span<const int> ranks) noexcept {
+  if (ranks.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const int rank : ranks) {
+    sum += rank;
+  }
+  return sum / static_cast<double>(ranks.size());
+}
+
+double random_guess_ge_bits(std::size_t byte_count) noexcept {
+  // Expected log2(rank) for a uniform rank in 1..256:
+  // (1/256) * sum_{r=1}^{256} log2(r) = log2(256!) / 256.
+  double expected = 0.0;
+  for (int r = 1; r <= 256; ++r) {
+    expected += std::log2(static_cast<double>(r));
+  }
+  expected /= 256.0;
+  return expected * static_cast<double>(byte_count);
+}
+
+}  // namespace psc::core

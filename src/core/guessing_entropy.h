@@ -1,0 +1,25 @@
+// The paper's Guessing Entropy metric.
+//
+// Table 4's "GE" row equals the sum over the 16 key bytes of log2(rank):
+// the remaining brute-force search space in bits (e.g. PHPC's ranks sum to
+// 31.01 bits — the printed 31.0). GE = 0 means every byte ranks first
+// (full recovery); a uniformly random ranking gives ~16 * log2(128.5) ~
+// 112 bits. We also report the plain mean rank.
+#pragma once
+
+#include <span>
+
+namespace psc::core {
+
+// Sum of log2(rank) over the byte ranks (ranks are 1-based; rank 1
+// contributes 0 bits).
+double guessing_entropy_bits(std::span<const int> ranks) noexcept;
+
+// Arithmetic mean of the ranks.
+double mean_rank(std::span<const int> ranks) noexcept;
+
+// GE of a uniformly random ranking over `byte_count` bytes with 256
+// candidates each (the no-information reference line in Fig. 1).
+double random_guess_ge_bits(std::size_t byte_count = 16) noexcept;
+
+}  // namespace psc::core

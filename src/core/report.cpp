@@ -1,0 +1,193 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.h"
+
+namespace psc::core {
+
+namespace {
+
+std::vector<std::string> tvla_header(
+    const std::vector<TvlaChannelResult>& channels) {
+  std::vector<std::string> header = {"Plaintext"};
+  for (const auto& channel : channels) {
+    for (const PlaintextClass cls : all_plaintext_classes) {
+      header.push_back(channel.channel + " " +
+                       std::string(plaintext_class_name(cls)));
+    }
+  }
+  return header;
+}
+
+}  // namespace
+
+util::TextTable tvla_table(const std::string& title,
+                           const std::vector<TvlaChannelResult>& channels) {
+  util::TextTable table;
+  table.set_title(title);
+  table.header(tvla_header(channels));
+  for (const PlaintextClass row : all_plaintext_classes) {
+    std::vector<std::string> cells = {
+        std::string(plaintext_class_name(row)) + "'"};
+    for (const auto& channel : channels) {
+      for (const PlaintextClass col : all_plaintext_classes) {
+        cells.push_back(util::fixed(channel.matrix.score(row, col), 2));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+util::TextTable tvla_classification_table(
+    const std::string& title,
+    const std::vector<TvlaChannelResult>& channels) {
+  util::TextTable table;
+  table.set_title(title);
+  table.header(tvla_header(channels));
+  for (const PlaintextClass row : all_plaintext_classes) {
+    std::vector<std::string> cells = {
+        std::string(plaintext_class_name(row)) + "'"};
+    for (const auto& channel : channels) {
+      for (const PlaintextClass col : all_plaintext_classes) {
+        cells.push_back(
+            std::string(tvla_cell_name(channel.matrix.classify(row, col))));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  std::vector<std::string> summary = {"summary"};
+  for (const auto& channel : channels) {
+    const auto counts = channel.matrix.counts();
+    summary.push_back("TP=" + std::to_string(counts.true_positive));
+    summary.push_back("FP=" + std::to_string(counts.false_positive));
+    summary.push_back("FN=" + std::to_string(counts.false_negative));
+  }
+  table.add_row(std::move(summary));
+  return table;
+}
+
+util::TextTable cpa_rank_table(const std::string& title,
+                               const std::vector<RankColumn>& columns) {
+  util::TextTable table;
+  table.set_title(title);
+  std::vector<std::string> header = {"#key byte"};
+  for (const auto& column : columns) {
+    header.push_back(column.label);
+  }
+  table.header(std::move(header));
+
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    std::vector<std::string> cells = {std::to_string(byte)};
+    for (const auto& column : columns) {
+      const int rank = column.result->true_ranks[byte];
+      std::string cell = std::to_string(rank);
+      if (rank == 1) {
+        cell += " *";  // recovered (red in the paper)
+      } else if (rank < 10) {
+        cell += " +";  // nearly recovered (yellow in the paper)
+      }
+      cells.push_back(std::move(cell));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::vector<std::string> ge_row = {"GE"};
+  std::vector<std::string> mean_row = {"mean rank"};
+  std::vector<std::string> rec_row = {"recovered"};
+  for (const auto& column : columns) {
+    ge_row.push_back(util::fixed(column.result->ge_bits, 1));
+    mean_row.push_back(util::fixed(column.result->mean_rank, 1));
+    rec_row.push_back(std::to_string(column.result->recovered_bytes) + "/16");
+  }
+  table.add_row(std::move(ge_row));
+  table.add_row(std::move(mean_row));
+  table.add_row(std::move(rec_row));
+  return table;
+}
+
+void write_ge_curves_csv(std::ostream& out,
+                         const std::vector<GeCurveSeries>& series) {
+  util::CsvWriter csv(out);
+  csv.row({"series", "traces", "ge_bits", "mean_rank", "recovered_bytes"});
+  for (const auto& s : series) {
+    for (const auto& point : *s.points) {
+      csv.start_row()
+          .cell(s.label)
+          .cell(point.traces)
+          .cell(point.ge_bits)
+          .cell(point.mean_rank)
+          .cell(static_cast<std::size_t>(point.recovered_bytes))
+          .done();
+    }
+  }
+}
+
+void render_ge_curves(std::ostream& out,
+                      const std::vector<GeCurveSeries>& series) {
+  // Text plot: x = checkpoint index (log-spaced trace counts), y = GE bits.
+  constexpr int height = 18;
+  double max_ge = 0.0;
+  std::size_t max_points = 0;
+  for (const auto& s : series) {
+    for (const auto& p : *s.points) {
+      max_ge = std::max(max_ge, p.ge_bits);
+    }
+    max_points = std::max(max_points, s.points->size());
+  }
+  if (max_ge <= 0.0 || max_points == 0) {
+    out << "(no curve data)\n";
+    return;
+  }
+  const int width = static_cast<int>(max_points);
+  std::vector<std::string> canvas(height, std::string(
+      static_cast<std::size_t>(width) * 3, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = static_cast<char>('A' + (si % 26));
+    const auto& points = *series[si].points;
+    for (std::size_t x = 0; x < points.size(); ++x) {
+      const double fraction = points[x].ge_bits / max_ge;
+      int y = static_cast<int>(std::round(
+          (1.0 - fraction) * (height - 1)));
+      y = std::clamp(y, 0, height - 1);
+      canvas[static_cast<std::size_t>(y)][x * 3 + 1] = mark;
+    }
+  }
+  out << "GE (bits), max=" << util::fixed(max_ge, 1)
+      << "; columns are log-spaced trace-count checkpoints\n";
+  for (const auto& line : canvas) {
+    out << "|" << line << "\n";
+  }
+  out << "+" << std::string(static_cast<std::size_t>(width) * 3, '-')
+      << "\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << static_cast<char>('A' + (si % 26)) << " = "
+        << series[si].label << "\n";
+  }
+}
+
+util::TextTable throttle_observation_table(const ThrottleObservation& obs) {
+  util::TextTable table;
+  table.set_title("Section 4 operating points (lowpowermode)");
+  table.header({"quantity", "value"});
+  table.set_align(1, util::Align::right);
+  table.add_row({"AES-only package power (W)",
+                 util::fixed(obs.aes_only_power_w, 2)});
+  table.add_row({"AES-only P-core freq (GHz)",
+                 util::fixed(obs.aes_only_p_freq_hz / 1e9, 3)});
+  table.add_row({"AES-only throttled",
+                 obs.aes_only_throttled ? "yes" : "no"});
+  table.add_row({"AES+stressor est. power (W)",
+                 util::fixed(obs.stressed_estimated_power_w, 2)});
+  table.add_row({"AES+stressor P-core freq (GHz)",
+                 util::fixed(obs.stressed_p_freq_hz / 1e9, 3)});
+  table.add_row({"AES+stressor E-core freq (GHz)",
+                 util::fixed(obs.stressed_e_freq_hz / 1e9, 3)});
+  table.add_row({"power throttling", obs.power_throttled ? "yes" : "no"});
+  table.add_row({"thermal throttling", obs.thermal_throttled ? "yes" : "no"});
+  return table;
+}
+
+}  // namespace psc::core

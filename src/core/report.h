@@ -1,0 +1,48 @@
+// Renderers that print campaign results in the layout of the paper's
+// tables and figures (text tables and plot-ready CSV).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/campaigns.h"
+#include "core/throttle.h"
+#include "util/table.h"
+
+namespace psc::core {
+
+// Tables 3/5/6 layout: rows All 0s'/All 1s'/Random', one column group of
+// three (All 0s / All 1s / Random) per channel, cells are t-scores.
+util::TextTable tvla_table(const std::string& title,
+                           const std::vector<TvlaChannelResult>& channels);
+
+// Companion classification grid: TP/TN/FP/FN per cell plus a summary row.
+util::TextTable tvla_classification_table(
+    const std::string& title, const std::vector<TvlaChannelResult>& channels);
+
+// Table 4 layout: one row per key byte, one column per (key, campaign)
+// column; ranks of the correct byte; trailing GE/mean-rank/recovered rows.
+struct RankColumn {
+  std::string label;          // e.g. "PHPC" or "PHPC (M1)"
+  const ModelResult* result;  // points into a campaign result
+};
+util::TextTable cpa_rank_table(const std::string& title,
+                               const std::vector<RankColumn>& columns);
+
+// Fig 1 series: CSV with one row per checkpoint per (device, model) curve.
+struct GeCurveSeries {
+  std::string label;  // e.g. "M2 Rd0-HW"
+  const std::vector<GeCurvePoint>* points;
+};
+void write_ge_curves_csv(std::ostream& out,
+                         const std::vector<GeCurveSeries>& series);
+
+// Fixed-width text rendering of GE curves (a terminal-friendly Fig. 1).
+void render_ge_curves(std::ostream& out,
+                      const std::vector<GeCurveSeries>& series);
+
+// Section 4 observations in table form.
+util::TextTable throttle_observation_table(const ThrottleObservation& obs);
+
+}  // namespace psc::core

@@ -1,0 +1,136 @@
+#include "core/throttle.h"
+
+#include <memory>
+
+#include "sched/scheduler.h"
+#include "victim/platform.h"
+
+namespace psc::core {
+
+namespace {
+
+sched::ThreadAttributes realtime_attrs() {
+  // The paper's placement recipe: SCHED_RR at the highest priority keeps
+  // the AES threads on the P-cores.
+  return {.policy = sched::SchedPolicy::round_robin,
+          .priority = 47,
+          .cluster_hint = std::nullopt};
+}
+
+soc::AesWorkload& aes_workload(victim::Platform& platform,
+                               sched::ThreadId id) {
+  return dynamic_cast<soc::AesWorkload&>(
+      platform.scheduler().thread(id).workload());
+}
+
+}  // namespace
+
+ThrottleCampaignResult run_throttle_campaign(
+    const ThrottleExperimentConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  aes::Block victim_key;
+  rng.fill_bytes(victim_key);
+
+  victim::Platform platform(config.profile, rng());
+  platform.set_lowpowermode(true);
+  const auto& profile = platform.chip().profile();
+
+  std::vector<sched::ThreadId> aes_ids;
+  for (std::size_t i = 0; i < config.aes_threads; ++i) {
+    aes_ids.push_back(platform.scheduler().spawn(
+        "aes-" + std::to_string(i),
+        std::make_unique<soc::AesWorkload>(victim_key, profile.leakage,
+                                           profile.aes_cycles_per_block),
+        realtime_attrs()));
+  }
+
+  ThrottleCampaignResult result;
+
+  // Phase 1: AES only.
+  platform.run_for(1.5);
+  result.observation.aes_only_power_w =
+      platform.chip().rail_powers().at(soc::RailId::total_soc);
+  result.observation.aes_only_p_freq_hz =
+      platform.chip().p_core(0).frequency_hz();
+  result.observation.aes_only_throttled =
+      platform.chip().governor().throttling();
+
+  // Phase 2: constant-operand fmul stressors on the E-cores.
+  for (std::size_t i = 0; i < config.stressor_threads; ++i) {
+    platform.scheduler().spawn(
+        "fmul-" + std::to_string(i), std::make_unique<soc::FmulStressor>(),
+        {.policy = sched::SchedPolicy::other,
+         .priority = 31,
+         .cluster_hint = soc::CoreType::efficiency});
+  }
+  platform.run_for(2.0);
+  result.observation.stressed_estimated_power_w =
+      platform.chip().estimated_package_power_w();
+  result.observation.stressed_p_freq_hz =
+      platform.chip().p_core(0).frequency_hz();
+  result.observation.stressed_e_freq_hz =
+      platform.chip().e_core(0).frequency_hz();
+  result.observation.power_throttled =
+      platform.chip().governor().power_throttling();
+  result.observation.thermal_throttled =
+      platform.chip().governor().thermal_throttling();
+
+  // Phase 3: execution-time traces under throttling, TVLA per class.
+  TvlaAccumulator timing;
+  util::RunningStats all_times;
+  for (const bool primed : {false, true}) {
+    for (const PlaintextClass cls : all_plaintext_classes) {
+      for (std::size_t t = 0; t < config.traces_per_set; ++t) {
+        const aes::Block pt = class_plaintext(cls, rng);
+        std::uint64_t before = 0;
+        for (const sched::ThreadId id : aes_ids) {
+          aes_workload(platform, id).set_plaintext(pt);
+          before += aes_workload(platform, id).blocks_encrypted();
+        }
+        platform.run_for(config.window_s);
+        std::uint64_t after = 0;
+        for (const sched::ThreadId id : aes_ids) {
+          after += aes_workload(platform, id).blocks_encrypted();
+        }
+        const double blocks = static_cast<double>(after - before);
+        const double time_per_kblock =
+            blocks > 0.0 ? config.window_s / blocks * 1000.0 : 0.0;
+        timing.add(cls, primed, time_per_kblock);
+        all_times.add(time_per_kblock);
+      }
+    }
+  }
+  result.timing_matrix = timing.matrix();
+  result.mean_time_per_kblock_s = all_times.mean();
+  return result;
+}
+
+std::vector<SweepPoint> lowpower_aes_sweep(const soc::DeviceProfile& profile,
+                                           std::size_t max_threads,
+                                           std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  util::Xoshiro256 rng(seed);
+  aes::Block key;
+  rng.fill_bytes(key);
+
+  for (std::size_t threads = 1; threads <= max_threads; ++threads) {
+    victim::Platform platform(profile, seed + threads);
+    platform.set_lowpowermode(true);
+    for (std::size_t i = 0; i < threads; ++i) {
+      platform.scheduler().spawn(
+          "aes-" + std::to_string(i),
+          std::make_unique<soc::AesWorkload>(
+              key, profile.leakage, profile.aes_cycles_per_block),
+          realtime_attrs());
+    }
+    platform.run_for(1.5);
+    points.push_back({threads,
+                      platform.chip().rail_powers().at(
+                          soc::RailId::total_soc),
+                      platform.chip().p_core(0).frequency_hz(),
+                      platform.chip().governor().throttling()});
+  }
+  return points;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,70 @@
+// Section 4: frequency-throttling side-channel analysis on the M2.
+//
+// Reproduces the full experimental sequence on the chip simulator:
+//  1. lowpowermode on; AES threads on the P-cores draw ~2.8 W — under the
+//     4 W budget, no throttling, P-cores hold 1.968 GHz.
+//  2. fmul stressors added on the E-cores push the package past 4 W —
+//     the governor throttles the P-cluster; E-cores stay at 2.424 GHz.
+//  3. With throttling active, execution-time traces of the AES threads
+//     are collected per plaintext class and TVLA-tested. Because the
+//     governor acts on the utilization-based PHPS estimate, timing is not
+//     data-dependent (Table 6, second column).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tvla.h"
+#include "soc/device_profile.h"
+
+namespace psc::core {
+
+struct ThrottleExperimentConfig {
+  soc::DeviceProfile profile;  // the paper runs this on the M2 Air
+  std::size_t aes_threads = 4;
+  std::size_t stressor_threads = 4;
+  std::size_t traces_per_set = 60;
+  double window_s = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Operating points measured during the experiment phases.
+struct ThrottleObservation {
+  // Phase 1: AES only, lowpowermode.
+  double aes_only_power_w = 0.0;
+  double aes_only_p_freq_hz = 0.0;
+  bool aes_only_throttled = false;
+  // Phase 2: AES + E-core stressors.
+  double stressed_estimated_power_w = 0.0;
+  double stressed_p_freq_hz = 0.0;
+  double stressed_e_freq_hz = 0.0;
+  bool power_throttled = false;
+  bool thermal_throttled = false;
+};
+
+struct ThrottleCampaignResult {
+  ThrottleObservation observation;
+  // TVLA over execution-time traces (seconds per 1000 blocks) collected
+  // under active throttling.
+  TvlaMatrix timing_matrix;
+  double mean_time_per_kblock_s = 0.0;
+};
+
+ThrottleCampaignResult run_throttle_campaign(
+    const ThrottleExperimentConfig& config);
+
+// The section-4 scoping sweep: package power and P-core frequency as AES
+// threads are added one by one in lowpowermode (no stressors). Shows the
+// 2.8 W ceiling staying under the 4 W budget.
+struct SweepPoint {
+  std::size_t aes_threads = 0;
+  double package_power_w = 0.0;
+  double p_freq_hz = 0.0;
+  bool throttled = false;
+};
+
+std::vector<SweepPoint> lowpower_aes_sweep(const soc::DeviceProfile& profile,
+                                           std::size_t max_threads,
+                                           std::uint64_t seed);
+
+}  // namespace psc::core

@@ -1,0 +1,111 @@
+#include "core/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/hex.h"
+
+namespace psc::core {
+
+void TraceSet::add(TraceRecord record) {
+  if (record.values.size() != keys_.size()) {
+    throw std::invalid_argument("TraceSet::add: value count mismatch");
+  }
+  records_.push_back(std::move(record));
+}
+
+std::optional<std::size_t> TraceSet::key_index(
+    util::FourCc key) const noexcept {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> TraceSet::column(std::size_t key_idx) const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back(r.values.at(key_idx));
+  }
+  return out;
+}
+
+void TraceSet::save_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header = {"plaintext", "ciphertext"};
+  for (const auto& key : keys_) {
+    header.push_back(key.str());
+  }
+  csv.row(header);
+  for (const auto& r : records_) {
+    auto row = csv.start_row();
+    row.cell(util::to_hex(r.plaintext));
+    row.cell(util::to_hex(r.ciphertext));
+    for (const double v : r.values) {
+      row.cell(v);
+    }
+    row.done();
+  }
+}
+
+TraceSet TraceSet::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("TraceSet::load_csv: empty input");
+  }
+  std::vector<std::string> cells;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      cells.push_back(cell);
+    }
+  }
+  if (cells.size() < 2 || cells[0] != "plaintext" || cells[1] != "ciphertext") {
+    throw std::runtime_error("TraceSet::load_csv: bad header");
+  }
+  std::vector<util::FourCc> keys;
+  for (std::size_t i = 2; i < cells.size(); ++i) {
+    const auto key = util::FourCc::parse(cells[i]);
+    if (!key) {
+      throw std::runtime_error("TraceSet::load_csv: bad key name " +
+                               cells[i]);
+    }
+    keys.push_back(*key);
+  }
+
+  TraceSet set(keys);
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string cell;
+    TraceRecord record;
+    std::size_t col = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (col == 0) {
+        if (!util::from_hex_exact(cell, record.plaintext)) {
+          throw std::runtime_error("TraceSet::load_csv: bad plaintext hex");
+        }
+      } else if (col == 1) {
+        if (!util::from_hex_exact(cell, record.ciphertext)) {
+          throw std::runtime_error("TraceSet::load_csv: bad ciphertext hex");
+        }
+      } else {
+        record.values.push_back(std::stod(cell));
+      }
+      ++col;
+    }
+    set.add(std::move(record));
+  }
+  return set;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,54 @@
+// Trace records: what the attacker logs per measurement window — the
+// chosen plaintext, the observed ciphertext and the SMC key values read
+// right after the window (paper section 3.4). TraceSet supports CSV
+// round-tripping so campaigns can be captured and re-analyzed offline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.h"
+#include "util/fourcc.h"
+
+namespace psc::core {
+
+struct TraceRecord {
+  aes::Block plaintext{};
+  aes::Block ciphertext{};
+  std::vector<double> values;  // aligned with TraceSet::keys()
+};
+
+class TraceSet {
+ public:
+  TraceSet() = default;
+  explicit TraceSet(std::vector<util::FourCc> keys) : keys_(std::move(keys)) {}
+
+  const std::vector<util::FourCc>& keys() const noexcept { return keys_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  // Appends a record; its value count must match keys().size().
+  void add(TraceRecord record);
+
+  const TraceRecord& operator[](std::size_t i) const { return records_[i]; }
+
+  // Index of a key's value column; nullopt if absent.
+  std::optional<std::size_t> key_index(util::FourCc key) const noexcept;
+
+  // All values of one key column.
+  std::vector<double> column(std::size_t key_idx) const;
+
+  // CSV persistence: header "plaintext,ciphertext,<KEY>..." with hex
+  // blocks and decimal values.
+  void save_csv(std::ostream& out) const;
+  static TraceSet load_csv(std::istream& in);
+
+ private:
+  std::vector<util::FourCc> keys_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace psc::core

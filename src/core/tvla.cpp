@@ -1,0 +1,117 @@
+#include "core/tvla.h"
+
+#include <cmath>
+
+namespace psc::core {
+
+std::string_view plaintext_class_name(PlaintextClass cls) noexcept {
+  switch (cls) {
+    case PlaintextClass::all_zeros:
+      return "All 0s";
+    case PlaintextClass::all_ones:
+      return "All 1s";
+    case PlaintextClass::random_pt:
+      return "Random";
+  }
+  return "?";
+}
+
+aes::Block class_plaintext(PlaintextClass cls, util::Xoshiro256& rng) {
+  aes::Block pt{};
+  switch (cls) {
+    case PlaintextClass::all_zeros:
+      break;
+    case PlaintextClass::all_ones:
+      pt.fill(0xff);
+      break;
+    case PlaintextClass::random_pt:
+      rng.fill_bytes(pt);
+      break;
+  }
+  return pt;
+}
+
+std::string_view tvla_cell_name(TvlaCell cell) noexcept {
+  switch (cell) {
+    case TvlaCell::true_positive:
+      return "TP";
+    case TvlaCell::true_negative:
+      return "TN";
+    case TvlaCell::false_positive:
+      return "FP";
+    case TvlaCell::false_negative:
+      return "FN";
+  }
+  return "?";
+}
+
+TvlaCell TvlaMatrix::classify(PlaintextClass primed,
+                              PlaintextClass unprimed) const {
+  const bool same_class = primed == unprimed;
+  const bool distinguishable =
+      std::abs(score(primed, unprimed)) >= util::tvla_threshold;
+  if (same_class) {
+    return distinguishable ? TvlaCell::false_positive
+                           : TvlaCell::true_negative;
+  }
+  return distinguishable ? TvlaCell::true_positive
+                         : TvlaCell::false_negative;
+}
+
+TvlaMatrix::Counts TvlaMatrix::counts() const {
+  Counts c;
+  for (const PlaintextClass row : all_plaintext_classes) {
+    for (const PlaintextClass col : all_plaintext_classes) {
+      switch (classify(row, col)) {
+        case TvlaCell::true_positive:
+          ++c.true_positive;
+          break;
+        case TvlaCell::true_negative:
+          ++c.true_negative;
+          break;
+        case TvlaCell::false_positive:
+          ++c.false_positive;
+          break;
+        case TvlaCell::false_negative:
+          ++c.false_negative;
+          break;
+      }
+    }
+  }
+  return c;
+}
+
+bool TvlaMatrix::perfectly_data_dependent() const {
+  const Counts c = counts();
+  return c.false_positive == 0 && c.false_negative == 0 &&
+         c.true_positive == 6 && c.true_negative == 3;
+}
+
+bool TvlaMatrix::no_data_dependence() const {
+  return counts().true_positive == 0;
+}
+
+void TvlaAccumulator::add(PlaintextClass cls, bool primed,
+                          double value) noexcept {
+  sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].add(value);
+}
+
+std::size_t TvlaAccumulator::count(PlaintextClass cls,
+                                   bool primed) const noexcept {
+  return sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].count();
+}
+
+TvlaMatrix TvlaAccumulator::matrix() const noexcept {
+  TvlaMatrix m;
+  for (const PlaintextClass row : all_plaintext_classes) {
+    for (const PlaintextClass col : all_plaintext_classes) {
+      const auto& primed = sets_[static_cast<std::size_t>(row)][1];
+      const auto& unprimed = sets_[static_cast<std::size_t>(col)][0];
+      m.t[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          util::welch_t_test(primed, unprimed).t;
+    }
+  }
+  return m;
+}
+
+}  // namespace psc::core

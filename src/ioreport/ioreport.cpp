@@ -1,0 +1,44 @@
+#include "ioreport/ioreport.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::ioreport {
+
+IoReport::IoReport(const soc::Chip& chip, std::uint64_t seed)
+    : chip_(&chip), rng_(seed) {}
+
+std::vector<Channel> IoReport::channels() const {
+  return {
+      {"Energy Model", "PCPU"},
+      {"Energy Model", "ECPU"},
+  };
+}
+
+Sample IoReport::sample() {
+  Sample s;
+  s.time_s = chip_->time_s();
+  // Utilization-model energy plus a small jitter representing OS activity
+  // the model attributes to the cluster (daemons, the sampling process
+  // itself); then truncated to whole millijoules.
+  const double p_j =
+      chip_->estimated_cluster_energy_j(soc::CoreType::performance) +
+      rng_.gaussian(0.0, 2e-3);
+  const double e_j =
+      chip_->estimated_cluster_energy_j(soc::CoreType::efficiency) +
+      rng_.gaussian(0.0, 1e-3);
+  s.pcpu_energy_mj =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(p_j * 1e3)));
+  s.ecpu_energy_mj =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(e_j * 1e3)));
+  return s;
+}
+
+std::uint64_t IoReport::pcpu_delta_mj(const Sample& before,
+                                      const Sample& after) noexcept {
+  return after.pcpu_energy_mj >= before.pcpu_energy_mj
+             ? after.pcpu_energy_mj - before.pcpu_energy_mj
+             : 0;
+}
+
+}  // namespace psc::ioreport

@@ -1,0 +1,56 @@
+// IOReport "Energy Model" channel simulation (paper section 3.6).
+//
+// socpowerbud-style readers subscribe to channel groups and sample
+// cumulative energy counters. The "Energy Model" group's PCPU/ECPU
+// channels report energy in *millijoules*, computed from core utilization
+// and the DVFS operating point — an estimate, not a sensor reading. Both
+// properties the paper blames for the channel's lack of data dependence
+// are modelled: mJ resolution (vs the uW-class SMC keys) and
+// utilization-derived values that cannot see data-dependent draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "soc/chip.h"
+#include "util/rng.h"
+
+namespace psc::ioreport {
+
+struct Channel {
+  std::string group;
+  std::string name;
+};
+
+// A subscription samples cumulative counters; deltas between samples give
+// per-interval energy, as socpowerbud computes.
+struct Sample {
+  double time_s = 0.0;
+  std::uint64_t pcpu_energy_mj = 0;
+  std::uint64_t ecpu_energy_mj = 0;
+};
+
+class IoReport {
+ public:
+  // `seed` drives the unmodelled-OS-activity jitter on the estimates.
+  IoReport(const soc::Chip& chip, std::uint64_t seed);
+
+  // Available channels (Energy Model group).
+  std::vector<Channel> channels() const;
+
+  // Samples the cumulative counters at the chip's current time.
+  Sample sample();
+
+  // Convenience: energy delta of the PCPU channel between two samples, in
+  // millijoules.
+  static std::uint64_t pcpu_delta_mj(const Sample& before,
+                                     const Sample& after) noexcept;
+
+ private:
+  const soc::Chip* chip_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace psc::ioreport

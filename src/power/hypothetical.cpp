@@ -1,0 +1,99 @@
+#include "power/hypothetical.h"
+
+#include <bit>
+
+#include "aes/sbox.h"
+
+namespace psc::power {
+
+std::string_view power_model_name(PowerModel model) noexcept {
+  switch (model) {
+    case PowerModel::rd0_hw:
+      return "Rd0-HW";
+    case PowerModel::rd10_hw:
+      return "Rd10-HW";
+    case PowerModel::rd10_hd:
+      return "Rd10-HD";
+    case PowerModel::rd1_sbox_hw:
+      return "Rd1-SBox-HW";
+  }
+  return "?";
+}
+
+int recovered_round(PowerModel model) noexcept {
+  switch (model) {
+    case PowerModel::rd0_hw:
+    case PowerModel::rd1_sbox_hw:
+      return 0;
+    case PowerModel::rd10_hw:
+    case PowerModel::rd10_hd:
+      return 10;
+  }
+  return 0;
+}
+
+ModelInputBytes power_model_inputs(PowerModel model) noexcept {
+  ModelInputBytes in;
+  switch (model) {
+    case PowerModel::rd0_hw:
+    case PowerModel::rd1_sbox_hw:
+      in.uses_plaintext = true;
+      break;
+    case PowerModel::rd10_hw:
+      break;
+    case PowerModel::rd10_hd:
+      in.uses_ciphertext_pair = true;
+      break;
+  }
+  return in;
+}
+
+int predict_rd0_hw(std::uint8_t pt_byte, std::uint8_t g) noexcept {
+  return std::popcount(static_cast<std::uint8_t>(pt_byte ^ g));
+}
+
+int predict_rd10_hw(std::uint8_t ct_byte, std::uint8_t g) noexcept {
+  return std::popcount(aes::inv_sbox[static_cast<std::uint8_t>(ct_byte ^ g)]);
+}
+
+int predict_rd10_hd(std::uint8_t ct_byte, std::uint8_t ct_shifted_byte,
+                    std::uint8_t g) noexcept {
+  const std::uint8_t last_round_input =
+      aes::inv_sbox[static_cast<std::uint8_t>(ct_byte ^ g)];
+  return std::popcount(
+      static_cast<std::uint8_t>(last_round_input ^ ct_shifted_byte));
+}
+
+int predict_rd1_sbox_hw(std::uint8_t pt_byte, std::uint8_t g) noexcept {
+  return std::popcount(aes::sbox[static_cast<std::uint8_t>(pt_byte ^ g)]);
+}
+
+int predict(PowerModel model, const aes::Block& plaintext,
+            const aes::Block& ciphertext, std::size_t i,
+            std::uint8_t g) noexcept {
+  switch (model) {
+    case PowerModel::rd0_hw:
+      return predict_rd0_hw(plaintext[i], g);
+    case PowerModel::rd10_hw:
+      return predict_rd10_hw(ciphertext[i], g);
+    case PowerModel::rd10_hd:
+      // The last-round input byte recovered from ct[i] lives at state
+      // position shift_rows_source(i) and is overwritten by the ciphertext
+      // byte written there.
+      return predict_rd10_hd(ciphertext[i],
+                             ciphertext[aes::shift_rows_source(i)], g);
+    case PowerModel::rd1_sbox_hw:
+      return predict_rd1_sbox_hw(plaintext[i], g);
+  }
+  return 0;
+}
+
+std::uint8_t true_key_byte(
+    PowerModel model,
+    const std::array<aes::Block, aes::num_rounds + 1>& round_keys,
+    std::size_t i) noexcept {
+  return recovered_round(model) == 0 ? round_keys[0][i]
+                                     : round_keys[aes::num_rounds][i];
+}
+
+}  // namespace psc::power

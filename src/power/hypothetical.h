@@ -1,0 +1,87 @@
+// Attacker-side hypothetical power models for CPA (paper section 3.4).
+//
+// The attacker knows plaintext and ciphertext of every trace and, for each
+// 16-way key-byte position and each of the 256 guesses, predicts a leakage
+// value. CPA ranks guesses by the Pearson correlation between prediction
+// and measured SMC values. The three models evaluated by the paper:
+//
+//   Rd0-HW : HW of the state byte after the initial AddRoundKey
+//            (pt[i] ^ g) — recovers the initial round key (= AES-128 key).
+//   Rd10-HW: HW of the last-round input byte reconstructed from the
+//            ciphertext, InvSBox(ct[i] ^ g) — recovers the round-10 key.
+//   Rd10-HD: HD between the last-round input byte and the ciphertext byte
+//            it is overwritten by — recovers the round-10 key.
+//
+// Note on Rd0-HW ghost guesses: HW(pt ^ g) correlates with HW(pt ^ k) by
+// (8 - 2*HD(g,k))/8, so single-bit neighbours of the true key correlate at
+// 0.75 of the true peak. This is why the paper's Table 4 shows many ranks
+// in 2..9 ("nearly recovered"): those are Hamming neighbours.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "aes/aes128.h"
+
+namespace psc::power {
+
+enum class PowerModel {
+  rd0_hw,
+  rd10_hw,
+  rd10_hd,
+  // Extension beyond the paper: HW after the first SubBytes,
+  // HW(SBox(pt[i] ^ g)). The S-box nonlinearity removes the linear ghost
+  // guesses that plague Rd0-HW, at the cost of targeting a state the SMC
+  // channel exposes only weakly.
+  rd1_sbox_hw,
+};
+
+// The models the paper evaluates, in paper order.
+inline constexpr std::array<PowerModel, 3> paper_power_models = {
+    PowerModel::rd0_hw, PowerModel::rd10_hw, PowerModel::rd10_hd};
+
+// All implemented models, including extensions.
+inline constexpr std::array<PowerModel, 4> all_power_models = {
+    PowerModel::rd0_hw, PowerModel::rd10_hw, PowerModel::rd10_hd,
+    PowerModel::rd1_sbox_hw};
+
+// Display name ("Rd0-HW", ...).
+std::string_view power_model_name(PowerModel model) noexcept;
+
+// Which round key a model recovers: 0 (master) or 10.
+int recovered_round(PowerModel model) noexcept;
+
+// Known-data byte(s) the model consumes for byte position i.
+//   rd0_hw  -> pt[i]
+//   rd10_hw -> ct[i]
+//   rd10_hd -> (ct[i], ct[shift_rows_source(i)])
+// Exposed so the CPA engine can bin traces by exactly these bytes.
+struct ModelInputBytes {
+  bool uses_plaintext = false;
+  bool uses_ciphertext_pair = false;  // true only for rd10_hd
+};
+ModelInputBytes power_model_inputs(PowerModel model) noexcept;
+
+// Predicted leakage (0..8) for byte position `i`, key guess `g`, given the
+// known data of one trace.
+int predict(PowerModel model, const aes::Block& plaintext,
+            const aes::Block& ciphertext, std::size_t i,
+            std::uint8_t g) noexcept;
+
+// Single-byte predictors used by the histogram CPA engine (the known byte
+// values are the bin indices, so no Block is needed).
+int predict_rd0_hw(std::uint8_t pt_byte, std::uint8_t g) noexcept;
+int predict_rd10_hw(std::uint8_t ct_byte, std::uint8_t g) noexcept;
+int predict_rd10_hd(std::uint8_t ct_byte, std::uint8_t ct_shifted_byte,
+                    std::uint8_t g) noexcept;
+int predict_rd1_sbox_hw(std::uint8_t pt_byte, std::uint8_t g) noexcept;
+
+// Ground-truth key byte the model should rank first, for scoring: the
+// master key byte for rd0_hw, the round-10 key byte otherwise.
+std::uint8_t true_key_byte(PowerModel model,
+                           const std::array<aes::Block, aes::num_rounds + 1>&
+                               round_keys,
+                           std::size_t i) noexcept;
+
+}  // namespace psc::power

@@ -1,0 +1,14 @@
+#include "power/noise.h"
+
+#include <cmath>
+
+namespace psc::power {
+
+double Quantizer::apply(double value) const noexcept {
+  if (step_ <= 0.0) {
+    return value;
+  }
+  return std::round(value / step_) * step_;
+}
+
+}  // namespace psc::power

@@ -1,0 +1,167 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::sched {
+
+namespace {
+
+// Effective placement weight: real-time (round-robin) policy outranks any
+// timesharing priority, mirroring how SCHED_RR threads preempt default
+// ones.
+int placement_weight(const ThreadAttributes& attrs) noexcept {
+  return attrs.priority + (attrs.policy == SchedPolicy::round_robin ? 64 : 0);
+}
+
+}  // namespace
+
+SimThread::SimThread(ThreadId id, std::string name,
+                     std::unique_ptr<soc::Workload> workload,
+                     ThreadAttributes attrs)
+    : id_(id),
+      name_(std::move(name)),
+      workload_(std::move(workload)),
+      attrs_(attrs) {
+  if (workload_ == nullptr) {
+    throw std::invalid_argument("SimThread: null workload");
+  }
+}
+
+Scheduler::Scheduler(soc::Chip& chip, double quantum_s)
+    : chip_(&chip), quantum_s_(quantum_s) {
+  if (quantum_s_ <= 0.0) {
+    throw std::invalid_argument("Scheduler: quantum must be positive");
+  }
+}
+
+ThreadId Scheduler::spawn(std::string name,
+                          std::unique_ptr<soc::Workload> workload,
+                          ThreadAttributes attrs) {
+  const ThreadId id = next_id_++;
+  threads_.push_back(std::make_unique<SimThread>(id, std::move(name),
+                                                 std::move(workload), attrs));
+  return id;
+}
+
+void Scheduler::kill(ThreadId id) {
+  const auto it = std::find_if(
+      threads_.begin(), threads_.end(),
+      [id](const auto& t) { return t->id() == id; });
+  if (it == threads_.end()) {
+    throw std::out_of_range("Scheduler::kill: unknown thread id");
+  }
+  // Detach from any core still pointing at the workload.
+  for (std::size_t c = 0; c < chip_->core_count(); ++c) {
+    if (chip_->core(c).workload() == &(*it)->workload()) {
+      chip_->core(c).assign(nullptr);
+    }
+  }
+  threads_.erase(it);
+}
+
+SimThread& Scheduler::thread(ThreadId id) {
+  for (const auto& t : threads_) {
+    if (t->id() == id) {
+      return *t;
+    }
+  }
+  throw std::out_of_range("Scheduler::thread: unknown thread id");
+}
+
+const SimThread& Scheduler::thread(ThreadId id) const {
+  for (const auto& t : threads_) {
+    if (t->id() == id) {
+      return *t;
+    }
+  }
+  throw std::out_of_range("Scheduler::thread: unknown thread id");
+}
+
+void Scheduler::place_threads() {
+  for (std::size_t c = 0; c < chip_->core_count(); ++c) {
+    chip_->core(c).assign(nullptr);
+  }
+
+  // Pick order: strongest weight first; equal weights rotate by least
+  // virtual runtime (giving RR time slicing when threads exceed cores).
+  std::vector<SimThread*> order;
+  order.reserve(threads_.size());
+  for (const auto& t : threads_) {
+    order.push_back(t.get());
+  }
+  std::sort(order.begin(), order.end(), [](const SimThread* a,
+                                           const SimThread* b) {
+    const int wa = placement_weight(a->attributes());
+    const int wb = placement_weight(b->attributes());
+    if (wa != wb) {
+      return wa > wb;
+    }
+    if (a->virtual_runtime_ticks_ != b->virtual_runtime_ticks_) {
+      return a->virtual_runtime_ticks_ < b->virtual_runtime_ticks_;
+    }
+    return a->id() < b->id();
+  });
+
+  const std::size_t p_count = chip_->p_core_count();
+  const std::size_t total = chip_->core_count();
+  std::vector<bool> taken(total, false);
+
+  auto take_first_free = [&](std::size_t begin,
+                             std::size_t end) -> std::optional<std::size_t> {
+    for (std::size_t c = begin; c < end; ++c) {
+      if (!taken[c]) {
+        return c;
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (SimThread* t : order) {
+    std::optional<std::size_t> slot;
+    const auto& attrs = t->attributes();
+    const bool wants_efficiency =
+        attrs.cluster_hint == soc::CoreType::efficiency;
+    if (wants_efficiency) {
+      slot = take_first_free(p_count, total);
+      if (!slot) {
+        slot = take_first_free(0, p_count);
+      }
+    } else {
+      // Performance-first placement; demand sorted by weight means
+      // real-time threads grab the P-cores and default threads overflow
+      // onto the E-cores.
+      slot = take_first_free(0, p_count);
+      if (!slot) {
+        slot = take_first_free(p_count, total);
+      }
+    }
+    if (!slot) {
+      t->last_core_ = std::nullopt;  // time sliced out this quantum
+      continue;
+    }
+    taken[*slot] = true;
+    chip_->core(*slot).assign(&t->workload());
+    t->last_core_ = *slot;
+  }
+}
+
+void Scheduler::step() {
+  place_threads();
+  chip_->advance(quantum_s_);
+  for (const auto& t : threads_) {
+    if (t->last_core_.has_value()) {
+      t->cpu_time_s_ += quantum_s_;
+      ++t->virtual_runtime_ticks_;
+    }
+  }
+}
+
+void Scheduler::run_for(double seconds) {
+  const auto quanta = static_cast<std::size_t>(seconds / quantum_s_);
+  for (std::size_t q = 0; q < quanta; ++q) {
+    step();
+  }
+}
+
+}  // namespace psc::sched

@@ -1,0 +1,172 @@
+#include "smc/client.h"
+
+#include <cmath>
+
+namespace psc::smc {
+
+namespace {
+
+std::uint8_t attribute_bits(const SmcKeyInfo& info) noexcept {
+  std::uint8_t bits = 0;
+  if (info.readable) {
+    bits |= 0x01;
+  }
+  if (info.writable) {
+    bits |= 0x02;
+  }
+  if (info.privileged_read) {
+    bits |= 0x04;
+  }
+  return bits;
+}
+
+}  // namespace
+
+SmcConnection::SmcConnection(SmcController& controller, Privilege privilege)
+    : controller_(&controller), privilege_(privilege) {}
+
+SmcStatus SmcConnection::call_struct_method(std::uint32_t selector,
+                                            const SmcKeyData& in,
+                                            SmcKeyData& out) {
+  out = SmcKeyData{};
+  if (selector != selector_handle_ypc_event) {
+    out.result = static_cast<std::uint8_t>(SmcStatus::bad_argument);
+    return SmcStatus::bad_argument;
+  }
+
+  const auto finish = [&out](SmcStatus status) {
+    out.result = static_cast<std::uint8_t>(status);
+    return status;
+  };
+
+  switch (static_cast<SmcCommand>(in.command)) {
+    case SmcCommand::read_key: {
+      SmcValue value;
+      const SmcStatus status =
+          controller_->read(FourCc(in.key), privilege_, value);
+      if (status != SmcStatus::ok) {
+        return finish(status);
+      }
+      out.key = in.key;
+      out.key_info.data_size = value.size();
+      out.key_info.data_type = data_type_code(value.type()).code();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        out.bytes[i] = value.bytes()[i];
+      }
+      return finish(SmcStatus::ok);
+    }
+    case SmcCommand::write_key: {
+      const KeyEntry* entry = controller_->database().find(FourCc(in.key));
+      if (entry == nullptr) {
+        return finish(SmcStatus::key_not_found);
+      }
+      const SmcValue value =
+          SmcValue::from_raw(entry->info.type, in.bytes.data());
+      return finish(controller_->write(FourCc(in.key), privilege_, value));
+    }
+    case SmcCommand::key_info: {
+      const KeyEntry* entry = controller_->database().find(FourCc(in.key));
+      if (entry == nullptr) {
+        return finish(SmcStatus::key_not_found);
+      }
+      out.key = in.key;
+      out.key_info.data_size = data_type_size(entry->info.type);
+      out.key_info.data_type = data_type_code(entry->info.type).code();
+      out.key_info.attributes = attribute_bits(entry->info);
+      return finish(SmcStatus::ok);
+    }
+    case SmcCommand::key_by_index: {
+      const auto& entries = controller_->database().entries();
+      if (in.index >= entries.size()) {
+        return finish(SmcStatus::bad_index);
+      }
+      out.key = entries[in.index].info.key.code();
+      return finish(SmcStatus::ok);
+    }
+  }
+  return finish(SmcStatus::bad_argument);
+}
+
+SmcStatus SmcConnection::read_key(FourCc key, SmcValue& out) {
+  SmcKeyData in;
+  in.key = key.code();
+  in.command = static_cast<std::uint8_t>(SmcCommand::read_key);
+  SmcKeyData reply;
+  const SmcStatus status =
+      call_struct_method(selector_handle_ypc_event, in, reply);
+  if (status != SmcStatus::ok) {
+    return status;
+  }
+  const KeyEntry* entry = controller_->database().find(key);
+  out = SmcValue::from_raw(entry->info.type, reply.bytes.data());
+  return SmcStatus::ok;
+}
+
+SmcStatus SmcConnection::write_key(FourCc key, const SmcValue& value) {
+  SmcKeyData in;
+  in.key = key.code();
+  in.command = static_cast<std::uint8_t>(SmcCommand::write_key);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    in.bytes[i] = value.bytes()[i];
+  }
+  SmcKeyData reply;
+  return call_struct_method(selector_handle_ypc_event, in, reply);
+}
+
+SmcStatus SmcConnection::key_info(FourCc key, SmcKeyInfo& out) {
+  SmcKeyData in;
+  in.key = key.code();
+  in.command = static_cast<std::uint8_t>(SmcCommand::key_info);
+  SmcKeyData reply;
+  const SmcStatus status =
+      call_struct_method(selector_handle_ypc_event, in, reply);
+  if (status != SmcStatus::ok) {
+    return status;
+  }
+  // The wire call returns sizes/attributes; the catalog holds the full
+  // description for convenience.
+  const KeyEntry* entry = controller_->database().find(key);
+  out = entry->info;
+  return SmcStatus::ok;
+}
+
+SmcStatus SmcConnection::key_at_index(std::uint32_t index, FourCc& out) {
+  SmcKeyData in;
+  in.index = index;
+  in.command = static_cast<std::uint8_t>(SmcCommand::key_by_index);
+  SmcKeyData reply;
+  const SmcStatus status =
+      call_struct_method(selector_handle_ypc_event, in, reply);
+  if (status != SmcStatus::ok) {
+    return status;
+  }
+  out = FourCc(reply.key);
+  return SmcStatus::ok;
+}
+
+std::uint32_t SmcConnection::key_count() {
+  return static_cast<std::uint32_t>(controller_->database().size());
+}
+
+std::vector<FourCc> SmcConnection::list_keys() {
+  std::vector<FourCc> keys;
+  const std::uint32_t count = key_count();
+  keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FourCc key;
+    if (key_at_index(i, key) == SmcStatus::ok) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+double SmcConnection::read_numeric(FourCc key) {
+  SmcValue value;
+  if (read_key(key, value) != SmcStatus::ok) {
+    return std::nan("");
+  }
+  return value.as_double();
+}
+
+}  // namespace psc::smc

@@ -1,0 +1,77 @@
+// User-space SMC access, shaped like the real macOS path: an AppleSMC
+// user client reached through IOConnectCallStructMethod with the
+// kSMCHandleYPCEvent selector and an SMCKeyData struct carrying an inner
+// command byte (read key / write key / key info / key by index). Tools
+// like smc-fuzzer speak exactly this protocol; the convenience wrappers
+// below are what a typical attacker process uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "smc/controller.h"
+#include "smc/types.h"
+
+namespace psc::smc {
+
+// Struct-method selector (kSMCHandleYPCEvent).
+inline constexpr std::uint32_t selector_handle_ypc_event = 2;
+
+// Inner command codes, matching the AppleSMC driver's.
+enum class SmcCommand : std::uint8_t {
+  read_key = 5,
+  write_key = 6,
+  key_by_index = 8,
+  key_info = 9,
+};
+
+// Wire structure exchanged with the (simulated) SMC user client. Field
+// layout follows SMCKeyData_t in spirit: key, index, inner command,
+// key-info block, result code and a small payload buffer.
+struct SmcKeyData {
+  std::uint32_t key = 0;    // FourCc code
+  std::uint32_t index = 0;  // for key_by_index
+  std::uint8_t command = 0; // SmcCommand
+  struct KeyInfoBlock {
+    std::uint32_t data_size = 0;
+    std::uint32_t data_type = 0;  // FourCc of the type ("flt ", ...)
+    std::uint8_t attributes = 0;  // bit0 readable, bit1 writable, bit2 priv
+  } key_info;
+  std::uint8_t result = 0;  // SmcStatus
+  std::array<std::uint8_t, 32> bytes{};
+};
+
+// A user- or root-privileged connection to the SMC service.
+class SmcConnection {
+ public:
+  SmcConnection(SmcController& controller,
+                Privilege privilege = Privilege::user);
+
+  Privilege privilege() const noexcept { return privilege_; }
+
+  // The raw IOConnectCallStructMethod-shaped entry point. Returns
+  // bad_argument for unknown selectors/commands; per-key status is also
+  // mirrored in `out.result`.
+  SmcStatus call_struct_method(std::uint32_t selector, const SmcKeyData& in,
+                               SmcKeyData& out);
+
+  // Convenience wrappers (each issues struct-method calls).
+  SmcStatus read_key(FourCc key, SmcValue& out);
+  SmcStatus write_key(FourCc key, const SmcValue& value);
+  SmcStatus key_info(FourCc key, SmcKeyInfo& out);
+  SmcStatus key_at_index(std::uint32_t index, FourCc& out);
+  std::uint32_t key_count();
+
+  // Enumerates all keys via key_by_index (what smc-fuzzer does).
+  std::vector<FourCc> list_keys();
+
+  // Reads a key and interprets it numerically; NaN on failure.
+  double read_numeric(FourCc key);
+
+ private:
+  SmcController* controller_;
+  Privilege privilege_;
+};
+
+}  // namespace psc::smc

@@ -1,0 +1,171 @@
+#include "smc/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/noise.h"
+
+namespace psc::smc {
+
+SmcController::SmcController(soc::Chip& chip, std::uint64_t seed,
+                             MitigationPolicy mitigation)
+    : chip_(&chip),
+      database_(apply_mitigations(
+          KeyDatabase::for_device(chip.profile().name), mitigation)),
+      rng_(seed) {
+  states_.resize(database_.size());
+  poll();  // initial latch so every key has a value from t=0
+}
+
+void SmcController::poll() {
+  const double now = chip_->time_s();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (now >= states_[i].next_update_s) {
+      latch(i);
+    }
+  }
+}
+
+void SmcController::latch(std::size_t index) {
+  const KeyEntry& entry = database_.entries()[index];
+  KeyState& state = states_[index];
+  state.latched = sample(entry, state);
+  state.last_latch_s = chip_->time_s();
+  state.energy_snapshot = chip_->rail_energies();
+  const double period = std::max(entry.spec.update_period_s, 1e-9);
+  state.next_update_s = chip_->time_s() + period;
+}
+
+double SmcController::windowed_rail_value(const SensorSpec& spec,
+                                          const KeyState& state) const {
+  const double now = chip_->time_s();
+  const double elapsed = now - state.last_latch_s;
+  double value = 0.0;
+  for (const soc::RailId rail :
+       {soc::RailId::p_cluster, soc::RailId::e_cluster, soc::RailId::uncore,
+        soc::RailId::dram}) {
+    const double w = spec.rails.weight(rail);
+    if (w == 0.0) {
+      continue;
+    }
+    double rail_power = 0.0;
+    if (state.last_latch_s >= 0.0 && elapsed > 0.0) {
+      rail_power = (chip_->rail_energies().at(rail) -
+                    state.energy_snapshot.at(rail)) /
+                   elapsed;
+    } else {
+      // First latch: no window yet, fall back to the instantaneous value.
+      rail_power = chip_->rail_powers().at(rail);
+    }
+    value += w * rail_power;
+  }
+  return value;
+}
+
+SmcValue SmcController::sample(const KeyEntry& entry, KeyState& state) {
+  const SensorSpec& spec = entry.spec;
+  double value = 0.0;
+  switch (spec.source) {
+    case SensorSource::rail_power:
+      value = windowed_rail_value(spec, state);
+      break;
+    case SensorSource::rail_current:
+      value = windowed_rail_value(spec, state) / chip_->p_core(0).voltage();
+      break;
+    case SensorSource::estimated_power:
+      value = chip_->estimated_package_power_w();
+      break;
+    case SensorSource::temperature:
+      value = chip_->temperature_c();
+      break;
+    case SensorSource::cluster_voltage:
+      value = chip_->p_core(0).voltage();
+      break;
+    case SensorSource::fan_speed: {
+      // Simple fan curve: spins up linearly above 40C.
+      const double t = chip_->temperature_c();
+      value = std::clamp(1700.0 + 40.0 * (t - 40.0), 1700.0, 4800.0);
+      break;
+    }
+    case SensorSource::constant:
+      value = spec.constant_value;
+      break;
+    case SensorSource::lowpower_flag:
+      return SmcValue::from_flag(chip_->lowpowermode());
+  }
+
+  if (spec.noise_sigma > 0.0) {
+    value += rng_.gaussian(0.0, spec.noise_sigma);
+  }
+  value = power::Quantizer(spec.quant_step).apply(value);
+
+  switch (entry.info.type) {
+    case SmcDataType::flt:
+      return SmcValue::from_float(static_cast<float>(value));
+    case SmcDataType::ui8:
+      return SmcValue::from_u8(static_cast<std::uint8_t>(
+          std::clamp(value, 0.0, 255.0)));
+    case SmcDataType::ui16:
+      return SmcValue::from_u16(static_cast<std::uint16_t>(
+          std::clamp(value, 0.0, 65535.0)));
+    case SmcDataType::ui32:
+      return SmcValue::from_u32(static_cast<std::uint32_t>(
+          std::max(value, 0.0)));
+    case SmcDataType::flag:
+      return SmcValue::from_flag(value != 0.0);
+  }
+  return SmcValue{};
+}
+
+SmcStatus SmcController::read(FourCc key, Privilege privilege,
+                              SmcValue& out) {
+  poll();
+  for (std::size_t i = 0; i < database_.size(); ++i) {
+    const KeyEntry& entry = database_.entries()[i];
+    if (entry.info.key != key) {
+      continue;
+    }
+    if (!entry.info.readable) {
+      return SmcStatus::not_readable;
+    }
+    if (entry.info.privileged_read && privilege != Privilege::root) {
+      return SmcStatus::privilege_required;
+    }
+    out = states_[i].latched;
+    return SmcStatus::ok;
+  }
+  return SmcStatus::key_not_found;
+}
+
+SmcStatus SmcController::write(FourCc key, Privilege privilege,
+                               const SmcValue& in) {
+  const KeyEntry* entry = database_.find(key);
+  if (entry == nullptr) {
+    return SmcStatus::key_not_found;
+  }
+  if (!entry->info.writable) {
+    return SmcStatus::not_writable;
+  }
+  if (privilege != Privilege::root) {
+    return SmcStatus::privilege_required;
+  }
+  if (in.type() != entry->info.type) {
+    return SmcStatus::bad_argument;
+  }
+  if (entry->spec.source == SensorSource::lowpower_flag) {
+    chip_->set_lowpowermode(in.as_flag());
+    return SmcStatus::ok;
+  }
+  return SmcStatus::bad_argument;
+}
+
+double SmcController::last_latch_time(FourCc key) const noexcept {
+  for (std::size_t i = 0; i < database_.size(); ++i) {
+    if (database_.entries()[i].info.key == key) {
+      return states_[i].last_latch_s;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace psc::smc

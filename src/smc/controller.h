@@ -1,0 +1,68 @@
+// The SMC co-processor simulation: owns the key catalog, samples the chip
+// on each key's update schedule (power keys latch a new window-averaged
+// value about once per second — the paper's observed cadence), and applies
+// the per-key measurement path (noise, ADC quantization).
+//
+// Readers between updates see the same latched value, exactly like
+// polling the real SMC faster than its refresh rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/key_database.h"
+#include "smc/mitigation.h"
+#include "smc/types.h"
+#include "soc/chip.h"
+#include "util/rng.h"
+
+namespace psc::smc {
+
+class SmcController {
+ public:
+  // Builds the catalog for the chip's device profile, optionally with a
+  // firmware-level mitigation policy applied (paper section 5).
+  SmcController(soc::Chip& chip, std::uint64_t seed,
+                MitigationPolicy mitigation = MitigationPolicy::none());
+
+  SmcController(const SmcController&) = delete;
+  SmcController& operator=(const SmcController&) = delete;
+
+  const KeyDatabase& database() const noexcept { return database_; }
+  soc::Chip& chip() noexcept { return *chip_; }
+
+  // Latches every key whose update period has elapsed at the chip's
+  // current simulated time. Read paths call this implicitly, so explicit
+  // polling is only needed for precise experiment sequencing.
+  void poll();
+
+  // Reads the latched value of a key, subject to privilege checks.
+  SmcStatus read(FourCc key, Privilege privilege, SmcValue& out);
+
+  // Writes a writable key (configuration only; root required).
+  SmcStatus write(FourCc key, Privilege privilege, const SmcValue& in);
+
+  // Time the given key last latched a fresh value (for collectors that
+  // align on update boundaries); negative if never.
+  double last_latch_time(FourCc key) const noexcept;
+
+ private:
+  struct KeyState {
+    double next_update_s = 0.0;
+    double last_latch_s = -1.0;
+    soc::RailEnergies energy_snapshot{};
+    SmcValue latched{};
+  };
+
+  void latch(std::size_t index);
+  SmcValue sample(const KeyEntry& entry, KeyState& state);
+  double windowed_rail_value(const SensorSpec& spec,
+                             const KeyState& state) const;
+
+  soc::Chip* chip_;
+  KeyDatabase database_;
+  std::vector<KeyState> states_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace psc::smc

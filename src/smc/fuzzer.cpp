@@ -1,0 +1,61 @@
+#include "smc/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::smc {
+
+std::vector<KeySnapshot> snapshot_keys(SmcConnection& conn, char prefix) {
+  std::vector<KeySnapshot> out;
+  for (const FourCc key : conn.list_keys()) {
+    if (key.at(0) != prefix) {
+      continue;
+    }
+    SmcValue value;
+    if (conn.read_key(key, value) != SmcStatus::ok) {
+      continue;
+    }
+    out.push_back({key, value.as_double()});
+  }
+  return out;
+}
+
+std::vector<KeyDelta> diff_snapshots(const std::vector<KeySnapshot>& baseline,
+                                     const std::vector<KeySnapshot>& loaded) {
+  std::vector<KeyDelta> out;
+  for (const KeySnapshot& base : baseline) {
+    const auto it = std::find_if(
+        loaded.begin(), loaded.end(),
+        [&base](const KeySnapshot& s) { return s.key == base.key; });
+    if (it == loaded.end()) {
+      continue;
+    }
+    KeyDelta d;
+    d.key = base.key;
+    d.baseline = base.value;
+    d.loaded = it->value;
+    d.abs_delta = std::abs(it->value - base.value);
+    const double denom = std::max(std::abs(base.value), 1e-9);
+    d.rel_delta = d.abs_delta / denom;
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(), [](const KeyDelta& a, const KeyDelta& b) {
+    return a.rel_delta > b.rel_delta;
+  });
+  return out;
+}
+
+std::vector<FourCc> workload_dependent_keys(
+    const std::vector<KeyDelta>& deltas, double rel_threshold,
+    double abs_threshold) {
+  std::vector<FourCc> out;
+  for (const KeyDelta& d : deltas) {
+    if (d.rel_delta >= rel_threshold && d.abs_delta >= abs_threshold) {
+      out.push_back(d.key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace psc::smc

@@ -1,0 +1,42 @@
+// smc-fuzzer-style enumeration utilities: snapshot key values under
+// different system conditions and diff them to find workload-correlated
+// keys (the section 3.2 triage that produced Table 2).
+#pragma once
+
+#include <vector>
+
+#include "smc/client.h"
+
+namespace psc::smc {
+
+struct KeySnapshot {
+  FourCc key;
+  double value = 0.0;
+};
+
+struct KeyDelta {
+  FourCc key;
+  double baseline = 0.0;  // e.g. idle
+  double loaded = 0.0;    // e.g. stressed
+  double abs_delta = 0.0;
+  double rel_delta = 0.0;  // |delta| / max(|baseline|, epsilon)
+};
+
+// Reads every readable key starting with `prefix` through `conn`.
+// Unreadable/privileged keys are skipped (as an unprivileged fuzzer would
+// experience).
+std::vector<KeySnapshot> snapshot_keys(SmcConnection& conn, char prefix);
+
+// Pairs up snapshots by key and computes deltas, sorted by descending
+// relative delta. Keys present in only one snapshot are ignored.
+std::vector<KeyDelta> diff_snapshots(const std::vector<KeySnapshot>& baseline,
+                                     const std::vector<KeySnapshot>& loaded);
+
+// Filters deltas down to keys considered workload-dependent: relative
+// change above `rel_threshold` and absolute change above `abs_threshold`
+// (to reject noise wiggle on near-zero constants).
+std::vector<FourCc> workload_dependent_keys(
+    const std::vector<KeyDelta>& deltas, double rel_threshold = 0.05,
+    double abs_threshold = 5e-3);
+
+}  // namespace psc::smc

@@ -1,0 +1,260 @@
+#include "smc/key_database.h"
+
+#include <stdexcept>
+
+namespace psc::smc {
+
+namespace {
+
+SmcKeyInfo power_key(const char (&name)[5], std::string description) {
+  SmcKeyInfo info;
+  info.key = FourCc(name);
+  info.type = SmcDataType::flt;
+  info.readable = true;
+  info.writable = false;
+  info.description = std::move(description);
+  return info;
+}
+
+// The taps every key variant shares. Conversion loss of the DC input
+// meter: 1 / 0.9.
+constexpr double dc_gain = 1.0 / 0.9;
+
+}  // namespace
+
+void KeyDatabase::add(SmcKeyInfo info, SensorSpec spec) {
+  entries_.push_back(KeyEntry{std::move(info), spec});
+}
+
+const KeyEntry* KeyDatabase::find(FourCc key) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.info.key == key) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<FourCc> KeyDatabase::keys_with_prefix(char prefix_char) const {
+  std::vector<FourCc> out;
+  for (const auto& e : entries_) {
+    if (e.info.key.at(0) == prefix_char) {
+      out.push_back(e.info.key);
+    }
+  }
+  return out;
+}
+
+KeyDatabase KeyDatabase::for_device(const std::string& device_name) {
+  const bool m1 = device_name == "Mac Mini M1";
+  const bool m2 = device_name == "MacBook Air M2";
+  if (!m1 && !m2) {
+    throw std::invalid_argument("KeyDatabase: unknown device " + device_name);
+  }
+
+  KeyDatabase db;
+
+  // --- Workload- and data-dependent power meters (Table 2 ground truth).
+
+  // PHPC: P-cluster core rail, the cleanest channel (Table 3/4 star).
+  db.add(power_key("PHPC", "P-cluster core rail power (W)"),
+         {.source = SensorSource::rail_power,
+          .rails = {.p_cluster = 1.0},
+          .noise_sigma = m1 ? 33e-6 : 45e-6,
+          .quant_step = 1e-6,
+          .update_period_s = 1.0});
+  db.workload_dependent_.push_back(FourCc("PHPC"));
+
+  // PDTR: DC input meter over the compute rails; partial DRAM/IO coupling
+  // adds a full-block bus component that boosts TVLA but plants ghost
+  // guesses in per-byte CPA (Table 4: GE 41.6).
+  db.add(power_key("PDTR", "DC input rail power, compute-side (W)"),
+         {.source = SensorSource::rail_power,
+          .rails = {.p_cluster = dc_gain,
+                    .e_cluster = dc_gain,
+                    .uncore = dc_gain,
+                    .dram = 0.03},
+          .noise_sigma = 40e-6,
+          .quant_step = 1e-6,
+          .update_period_s = 1.0});
+  db.workload_dependent_.push_back(FourCc("PDTR"));
+
+  // PHPS: the governor's utilization-based estimate. Workload-correlated
+  // (it passes the Table 2 triage) but carries no data dependence; also
+  // the input of the lowpowermode power cap (section 4).
+  db.add(power_key("PHPS", "package power estimate, governor input (W)"),
+         {.source = SensorSource::estimated_power,
+          .noise_sigma = 2e-3,
+          .quant_step = 1e-3,
+          .update_period_s = 1.0});
+  db.workload_dependent_.push_back(FourCc("PHPS"));
+
+  if (m2) {
+    // PMVC: P-cluster VRM current meter.
+    db.add(power_key("PMVC", "P-cluster VRM output current (A)"),
+           {.source = SensorSource::rail_current,
+            .rails = {.p_cluster = 1.0, .dram = 0.055},
+            .noise_sigma = 40e-6,
+            .quant_step = 1e-6,
+            .update_period_s = 1.0});
+    db.workload_dependent_.push_back(FourCc("PMVC"));
+  }
+  if (m1) {
+    // PMVR: VRM-side P-cluster power meter (upstream of the regulator).
+    db.add(power_key("PMVR", "P-cluster VRM input power (W)"),
+           {.source = SensorSource::rail_power,
+            .rails = {.p_cluster = 1.03},
+            .noise_sigma = 70e-6,
+            .quant_step = 1e-6,
+            .update_period_s = 1.0});
+    db.workload_dependent_.push_back(FourCc("PMVR"));
+
+    // PPMR: package power meter rail.
+    db.add(power_key("PPMR", "package power meter rail (W)"),
+           {.source = SensorSource::rail_power,
+            .rails = {.p_cluster = 1.0,
+                      .e_cluster = 1.0,
+                      .uncore = 1.0,
+                      .dram = 0.6},
+            .noise_sigma = 150e-6,
+            .quant_step = 1e-6,
+            .update_period_s = 1.0});
+    db.workload_dependent_.push_back(FourCc("PPMR"));
+  }
+
+  // PSTR: full system rail including DRAM/IO. Strong full-block bus signal
+  // (clear TVLA) drowned in rail noise at byte granularity (CPA fails;
+  // Table 4: GE 109.3 ~ random).
+  db.add(power_key("PSTR", "system total rail power (W)"),
+         {.source = SensorSource::rail_power,
+          .rails = {.p_cluster = 1.0,
+                    .e_cluster = 1.0,
+                    .uncore = 1.0,
+                    .dram = 1.0},
+          .noise_sigma = 550e-6,
+          .quant_step = 1e-6,
+          .update_period_s = 1.0});
+  db.workload_dependent_.push_back(FourCc("PSTR"));
+
+  // --- Static power keys ('P' prefix, workload-independent): always-on
+  // rails, setpoints and counters. These are the haystack the section 3.2
+  // triage has to reject. Values are plausible constants with sensor-level
+  // noise.
+  struct StaticKey {
+    const char* name;
+    double value;
+    double sigma;
+    const char* desc;
+  };
+  const StaticKey static_keys[] = {
+      {"PB0R", m1 ? 0.0 : 0.08, 2e-4, "battery rail power (W)"},
+      {"PBLC", m1 ? 0.0 : 1.45, 1e-3, "display backlight rail (W)"},
+      {"PC0C", 0.02, 1e-4, "charger control loop power (W)"},
+      {"PC0R", 0.05, 2e-4, "charge controller rail (W)"},
+      {"PCPC", 0.01, 1e-4, "PMU control plane power (W)"},
+      {"PCTR", 45.0, 0.0, "charger target (W, setpoint)"},
+      {"PD0R", 0.12, 3e-4, "display controller rail (W)"},
+      {"PDBR", 0.03, 1e-4, "debug bridge rail (W)"},
+      {"PG0R", 0.15, 4e-4, "GPU always-on rail (W)"},
+      {"PH02", 0.0, 0.0, "reserved power channel 2"},
+      {"PICT", 3.0, 0.0, "input current target (A, setpoint)"},
+      {"PIOR", 0.22, 4e-4, "IO complex rail (W)"},
+      {"PM0R", 0.04, 1e-4, "PMU core rail (W)"},
+      {"PMTR", 1.0, 0.0, "power meter timer period (s, setpoint)"},
+      {"PN0C", 0.01, 1e-4, "NAND controller idle power (W)"},
+      {"PO0R", 0.02, 1e-4, "audio codec rail (W)"},
+      {"PSSR", 0.06, 2e-4, "SSD rail power (W)"},
+      {"PST9", 0.0, 0.0, "reserved power state channel"},
+      {"PWRC", 0.09, 2e-4, "wireless combo rail (W)"},
+      {"PZ0T", 0.0, 0.0, "reserved power zone"},
+      {"PSOC", 0.35, 5e-4, "always-on domain power (W)"},
+      {"PLSB", 0.01, 1e-4, "low-speed bus rail (W)"},
+      {"PUSB", m1 ? 0.25 : 0.10, 4e-4, "USB subsystem rail (W)"},
+      {"PAVG", 4.0, 0.0, "power budget reference (W, setpoint)"},
+  };
+  for (const auto& k : static_keys) {
+    SmcKeyInfo info;
+    info.key = *FourCc::parse(k.name);
+    info.type = SmcDataType::flt;
+    info.description = k.desc;
+    db.add(std::move(info), {.source = SensorSource::constant,
+                             .constant_value = k.value,
+                             .noise_sigma = k.sigma,
+                             .quant_step = 1e-4,
+                             .update_period_s = 1.0});
+  }
+
+  // PLPM: lowpowermode flag; writable with root privilege (the pmset
+  // path). Reading reflects the chip state.
+  {
+    SmcKeyInfo info;
+    info.key = FourCc("PLPM");
+    info.type = SmcDataType::flag;
+    info.writable = true;
+    info.description = "lowpowermode enable flag";
+    db.add(std::move(info),
+           {.source = SensorSource::lowpower_flag, .update_period_s = 0.0});
+  }
+
+  // PSEC: a privileged-read key, to model that *some* keys are protected
+  // (the point being that the leaky ones are not).
+  {
+    SmcKeyInfo info = power_key("PSEC", "secure enclave power budget (W)");
+    info.privileged_read = true;
+    db.add(std::move(info), {.source = SensorSource::constant,
+                             .constant_value = 0.5,
+                             .update_period_s = 1.0});
+  }
+
+  // --- Non-power keys: temperature, voltage, current, fan, battery.
+  db.add({.key = FourCc("TC0P"),
+          .type = SmcDataType::flt,
+          .description = "CPU proximity temperature (C)"},
+         {.source = SensorSource::temperature,
+          .noise_sigma = 0.2,
+          .quant_step = 0.01,
+          .update_period_s = 1.0});
+  db.add({.key = FourCc("TG0P"),
+          .type = SmcDataType::flt,
+          .description = "GPU proximity temperature (C)"},
+         {.source = SensorSource::temperature,
+          .noise_sigma = 0.3,
+          .quant_step = 0.01,
+          .update_period_s = 1.0});
+  db.add({.key = FourCc("VP0C"),
+          .type = SmcDataType::flt,
+          .description = "P-cluster core voltage (V)"},
+         {.source = SensorSource::cluster_voltage,
+          .noise_sigma = 1e-3,
+          .quant_step = 1e-3,
+          .update_period_s = 1.0});
+  db.add({.key = FourCc("IP0C"),
+          .type = SmcDataType::flt,
+          .description = "P-cluster current (A)"},
+         {.source = SensorSource::rail_current,
+          .rails = {.p_cluster = 1.0},
+          .noise_sigma = 1e-3,
+          .quant_step = 1e-3,
+          .update_period_s = 1.0});
+  if (m1) {
+    db.add({.key = FourCc("F0Ac"),
+            .type = SmcDataType::flt,
+            .description = "fan 0 actual speed (rpm)"},
+           {.source = SensorSource::fan_speed,
+            .noise_sigma = 10.0,
+            .quant_step = 1.0,
+            .update_period_s = 1.0});
+  }
+  if (m2) {
+    db.add({.key = FourCc("BNCB"),
+            .type = SmcDataType::ui8,
+            .description = "battery count"},
+           {.source = SensorSource::constant,
+            .constant_value = 1.0,
+            .update_period_s = 0.0});
+  }
+
+  return db;
+}
+
+}  // namespace psc::smc

@@ -1,0 +1,68 @@
+#include "smc/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::smc {
+
+MitigationPolicy MitigationPolicy::none() {
+  return {};
+}
+
+MitigationPolicy MitigationPolicy::rapl_style_filtering() {
+  // The blended noise must defeat the *strongest* class separation of any
+  // key (PSTR's full-block bus signal, ~0.13 mW), not just the per-byte
+  // CPA signal; 2 mW keeps every channel below the TVLA threshold at
+  // paper-scale trace counts.
+  return {.restrict_power_keys_to_root = false,
+          .added_noise_sigma = 2e-3,
+          .min_quant_step = 1e-3,        // report whole milliwatts
+          .min_update_period_s = 10.0};  // 10x slower sampling
+}
+
+MitigationPolicy MitigationPolicy::access_control() {
+  return {.restrict_power_keys_to_root = true};
+}
+
+bool MitigationPolicy::is_noop() const noexcept {
+  return !restrict_power_keys_to_root && added_noise_sigma == 0.0 &&
+         min_quant_step == 0.0 && min_update_period_s == 0.0;
+}
+
+bool is_power_telemetry(const KeyEntry& entry) noexcept {
+  switch (entry.spec.source) {
+    case SensorSource::rail_power:
+    case SensorSource::rail_current:
+    case SensorSource::estimated_power:
+      return true;
+    default:
+      return false;
+  }
+}
+
+KeyDatabase apply_mitigations(const KeyDatabase& database,
+                              const MitigationPolicy& policy) {
+  KeyDatabase out = database;
+  if (policy.is_noop()) {
+    return out;
+  }
+  for (KeyEntry& entry : out.mutable_entries()) {
+    if (!is_power_telemetry(entry)) {
+      continue;
+    }
+    if (policy.restrict_power_keys_to_root) {
+      entry.info.privileged_read = true;
+    }
+    if (policy.added_noise_sigma > 0.0) {
+      entry.spec.noise_sigma = std::hypot(entry.spec.noise_sigma,
+                                          policy.added_noise_sigma);
+    }
+    entry.spec.quant_step =
+        std::max(entry.spec.quant_step, policy.min_quant_step);
+    entry.spec.update_period_s =
+        std::max(entry.spec.update_period_s, policy.min_update_period_s);
+  }
+  return out;
+}
+
+}  // namespace psc::smc

@@ -1,0 +1,55 @@
+// Countermeasures against the SMC power side channel (paper section 5),
+// modelled after the industry response to PLATYPUS (INTEL-SA-00389 /
+// CVE-2020-8694): restrict unprivileged access to power telemetry, blend
+// random noise into the reported energy, clamp the reporting resolution,
+// and slow the update interval. Applying a policy rewrites the per-key
+// sensor specs, so both the full-platform SMC controller and the fast
+// trace source observe the mitigated channel identically.
+#pragma once
+
+#include "smc/key_database.h"
+
+namespace psc::smc {
+
+struct MitigationPolicy {
+  // Access-control mitigation: power-related keys require a root
+  // connection (what Linux did for RAPL after PLATYPUS).
+  bool restrict_power_keys_to_root = false;
+
+  // Energy-filtering mitigation: extra zero-mean Gaussian noise blended
+  // into every power/current reading, in reported units (RAPL-style
+  // "random energy noise").
+  double added_noise_sigma = 0.0;
+
+  // Resolution clamp: minimum quantization step for power/current keys
+  // (e.g. 1e-3 = milliwatt-only reporting).
+  double min_quant_step = 0.0;
+
+  // Update-interval clamp: minimum seconds between fresh samples. Does
+  // not change per-trace statistics, but divides the attacker's trace
+  // collection rate (each trace costs one update interval).
+  double min_update_period_s = 0.0;
+
+  // No mitigation (the state of the ecosystem the paper reports).
+  static MitigationPolicy none();
+
+  // The RAPL-filtering analogue: noise blending + coarser resolution +
+  // slower updates, keeping the keys readable for legitimate telemetry.
+  static MitigationPolicy rapl_style_filtering();
+
+  // The access-control response: power keys become root-only.
+  static MitigationPolicy access_control();
+
+  bool is_noop() const noexcept;
+};
+
+// True for keys the policy considers power telemetry (rail meters,
+// current meters and the estimate channel).
+bool is_power_telemetry(const KeyEntry& entry) noexcept;
+
+// Returns a copy of `database` with the policy applied to every power
+// telemetry key.
+KeyDatabase apply_mitigations(const KeyDatabase& database,
+                              const MitigationPolicy& policy);
+
+}  // namespace psc::smc

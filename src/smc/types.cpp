@@ -1,0 +1,145 @@
+#include "smc/types.h"
+
+#include <cstring>
+
+namespace psc::smc {
+
+FourCc data_type_code(SmcDataType type) noexcept {
+  switch (type) {
+    case SmcDataType::flt:
+      return FourCc("flt ");
+    case SmcDataType::ui8:
+      return FourCc("ui8 ");
+    case SmcDataType::ui16:
+      return FourCc("ui16");
+    case SmcDataType::ui32:
+      return FourCc("ui32");
+    case SmcDataType::flag:
+      return FourCc("flag");
+  }
+  return FourCc();
+}
+
+std::uint8_t data_type_size(SmcDataType type) noexcept {
+  switch (type) {
+    case SmcDataType::flt:
+      return 4;
+    case SmcDataType::ui8:
+      return 1;
+    case SmcDataType::ui16:
+      return 2;
+    case SmcDataType::ui32:
+      return 4;
+    case SmcDataType::flag:
+      return 1;
+  }
+  return 0;
+}
+
+std::string_view status_name(SmcStatus status) noexcept {
+  switch (status) {
+    case SmcStatus::ok:
+      return "ok";
+    case SmcStatus::key_not_found:
+      return "key_not_found";
+    case SmcStatus::not_readable:
+      return "not_readable";
+    case SmcStatus::not_writable:
+      return "not_writable";
+    case SmcStatus::privilege_required:
+      return "privilege_required";
+    case SmcStatus::bad_argument:
+      return "bad_argument";
+    case SmcStatus::bad_index:
+      return "bad_index";
+  }
+  return "?";
+}
+
+SmcValue SmcValue::from_float(float value) {
+  SmcValue v;
+  v.type_ = SmcDataType::flt;
+  std::memcpy(v.bytes_.data(), &value, sizeof value);
+  return v;
+}
+
+SmcValue SmcValue::from_u8(std::uint8_t value) {
+  SmcValue v;
+  v.type_ = SmcDataType::ui8;
+  v.bytes_[0] = value;
+  return v;
+}
+
+SmcValue SmcValue::from_u16(std::uint16_t value) {
+  SmcValue v;
+  v.type_ = SmcDataType::ui16;
+  v.bytes_[0] = static_cast<std::uint8_t>(value & 0xff);
+  v.bytes_[1] = static_cast<std::uint8_t>(value >> 8);
+  return v;
+}
+
+SmcValue SmcValue::from_u32(std::uint32_t value) {
+  SmcValue v;
+  v.type_ = SmcDataType::ui32;
+  for (int i = 0; i < 4; ++i) {
+    v.bytes_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return v;
+}
+
+SmcValue SmcValue::from_flag(bool value) {
+  SmcValue v;
+  v.type_ = SmcDataType::flag;
+  v.bytes_[0] = value ? 1 : 0;
+  return v;
+}
+
+float SmcValue::as_float() const noexcept {
+  float out = 0.0f;
+  std::memcpy(&out, bytes_.data(), sizeof out);
+  return out;
+}
+
+std::uint16_t SmcValue::as_u16() const noexcept {
+  return static_cast<std::uint16_t>(bytes_[0] |
+                                    (static_cast<std::uint16_t>(bytes_[1])
+                                     << 8));
+}
+
+std::uint32_t SmcValue::as_u32() const noexcept {
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) {
+    out = (out << 8) | bytes_[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+double SmcValue::as_double() const noexcept {
+  switch (type_) {
+    case SmcDataType::flt:
+      return static_cast<double>(as_float());
+    case SmcDataType::ui8:
+      return as_u8();
+    case SmcDataType::ui16:
+      return as_u16();
+    case SmcDataType::ui32:
+      return as_u32();
+    case SmcDataType::flag:
+      return as_flag() ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+SmcValue SmcValue::from_raw(SmcDataType type,
+                            const std::uint8_t* data) noexcept {
+  SmcValue v;
+  v.type_ = type;
+  const std::uint8_t n = data_type_size(type);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    v.bytes_[i] = data[i];
+  }
+  return v;
+}
+
+}  // namespace psc::smc

@@ -1,0 +1,98 @@
+// SMC key/value vocabulary, mirroring the AppleSMC user-client data model:
+// 4-character keys, 4-character type codes, small fixed-size payloads and
+// per-key attribute flags.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/fourcc.h"
+
+namespace psc::smc {
+
+using util::FourCc;
+
+// Payload encodings used by this simulator (a subset of the real SMC's
+// type zoo).
+enum class SmcDataType : std::uint8_t {
+  flt,   // "flt ": 32-bit little-endian IEEE float
+  ui8,   // "ui8 ": unsigned byte
+  ui16,  // "ui16"
+  ui32,  // "ui32"
+  flag,  // "flag": boolean byte
+};
+
+// The 4-character type code for a data type ("flt ", "ui32", ...).
+FourCc data_type_code(SmcDataType type) noexcept;
+
+// Payload size in bytes.
+std::uint8_t data_type_size(SmcDataType type) noexcept;
+
+// Operation results, modelled on SMC result codes.
+enum class SmcStatus : std::uint8_t {
+  ok = 0,
+  key_not_found,
+  not_readable,
+  not_writable,
+  privilege_required,
+  bad_argument,
+  bad_index,
+};
+
+std::string_view status_name(SmcStatus status) noexcept;
+
+// Caller privilege for the connection (kernel/root vs. sandboxed user).
+// The paper's attacker is an unprivileged user-mode process.
+enum class Privilege : std::uint8_t {
+  user,
+  root,
+};
+
+// A typed SMC value with its raw payload.
+class SmcValue {
+ public:
+  SmcValue() = default;
+
+  static SmcValue from_float(float value);
+  static SmcValue from_u8(std::uint8_t value);
+  static SmcValue from_u16(std::uint16_t value);
+  static SmcValue from_u32(std::uint32_t value);
+  static SmcValue from_flag(bool value);
+
+  SmcDataType type() const noexcept { return type_; }
+  std::uint8_t size() const noexcept { return data_type_size(type_); }
+  const std::array<std::uint8_t, 8>& bytes() const noexcept { return bytes_; }
+
+  float as_float() const noexcept;
+  std::uint8_t as_u8() const noexcept { return bytes_[0]; }
+  std::uint16_t as_u16() const noexcept;
+  std::uint32_t as_u32() const noexcept;
+  bool as_flag() const noexcept { return bytes_[0] != 0; }
+
+  // Numeric view regardless of encoding (used by the fuzzer's diffing).
+  double as_double() const noexcept;
+
+  // Raw payload decoding (client side, from wire bytes).
+  static SmcValue from_raw(SmcDataType type,
+                           const std::uint8_t* data) noexcept;
+
+ private:
+  SmcDataType type_ = SmcDataType::flt;
+  std::array<std::uint8_t, 8> bytes_{};
+};
+
+// Static description of a key (the "key info" the SMC reports).
+struct SmcKeyInfo {
+  FourCc key;
+  SmcDataType type = SmcDataType::flt;
+  bool readable = true;
+  bool writable = false;
+  // Requires a root connection to read (most power keys are NOT privileged
+  // on Apple silicon — that is the paper's core finding).
+  bool privileged_read = false;
+  std::string description;
+};
+
+}  // namespace psc::smc

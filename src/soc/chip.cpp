@@ -1,0 +1,103 @@
+#include "soc/chip.h"
+
+#include <stdexcept>
+
+namespace psc::soc {
+
+Chip::Chip(DeviceProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      thermal_(profile_.thermal),
+      governor_(profile_.governor, profile_.p_ladder),
+      rng_(seed) {
+  if (profile_.p_core_count == 0) {
+    throw std::invalid_argument("Chip: need at least one P-core");
+  }
+  cores_.reserve(profile_.p_core_count + profile_.e_core_count);
+  for (std::size_t i = 0; i < profile_.p_core_count; ++i) {
+    cores_.emplace_back(profile_.p_core, &profile_.p_ladder);
+  }
+  for (std::size_t i = 0; i < profile_.e_core_count; ++i) {
+    cores_.emplace_back(profile_.e_core, &profile_.e_ladder);
+  }
+}
+
+void Chip::advance(double dt_s) {
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("Chip::advance: dt must be positive");
+  }
+
+  // Apply the governor's P-cluster limit; E-cores are never throttled.
+  for (std::size_t i = 0; i < profile_.p_core_count; ++i) {
+    cores_[i].set_state_limit(governor_.p_state_limit());
+  }
+
+  double p_cluster_j = 0.0;
+  double e_cluster_j = 0.0;
+  double bus_extra_j = 0.0;
+  double intensity_sum = 0.0;
+  std::size_t active_cores = 0;
+  double est_p_w = 0.0;
+  double est_e_w = 0.0;
+
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    Core& c = cores_[i];
+    const CoreStep step = c.step(dt_s, rng_);
+    const bool is_p = i < profile_.p_core_count;
+    (is_p ? p_cluster_j : e_cluster_j) += step.core_energy_j;
+    bus_extra_j += step.bus_energy_j;
+    const Workload* w = c.workload();
+    const double intensity =
+        w != nullptr ? w->nominal_intensity() : IdleWorkload{}.nominal_intensity();
+    intensity_sum += intensity;
+    if (!c.is_idle()) {
+      ++active_cores;
+    }
+    (is_p ? est_p_w : est_e_w) += c.estimated_power_w();
+  }
+
+  const double uncore_w = profile_.uncore_idle_w +
+                          profile_.uncore_w_per_active_core *
+                              static_cast<double>(active_cores);
+  const double dram_w = profile_.dram_idle_w +
+                        profile_.dram_w_per_unit_intensity * intensity_sum +
+                        bus_extra_j / dt_s;
+
+  RailPowers powers;
+  powers.at(RailId::p_cluster) = p_cluster_j / dt_s;
+  powers.at(RailId::e_cluster) = e_cluster_j / dt_s;
+  powers.at(RailId::uncore) = uncore_w;
+  powers.at(RailId::dram) = dram_w;
+  const double total = powers.at(RailId::p_cluster) +
+                       powers.at(RailId::e_cluster) + uncore_w + dram_w;
+  powers.at(RailId::total_soc) = total;
+  powers.at(RailId::dc_in) = total / profile_.dc_conversion_efficiency;
+  last_powers_ = powers;
+
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    energies_.joules[r] += powers.watts[r] * dt_s;
+  }
+
+  // Utilization-based estimate: nominal-intensity core power plus the same
+  // uncore/dram formulas with no data-dependent component.
+  const double est_dram_w = profile_.dram_idle_w +
+                            profile_.dram_w_per_unit_intensity *
+                                intensity_sum;
+  last_estimated_package_w_ = est_p_w + est_e_w + uncore_w + est_dram_w;
+  est_p_cluster_energy_j_ += est_p_w * dt_s;
+  est_e_cluster_energy_j_ += est_e_w * dt_s;
+
+  thermal_.step(total, dt_s);
+  governor_.update(last_estimated_package_w_, thermal_.temperature_c(),
+                   dt_s);
+
+  time_s_ += dt_s;
+}
+
+void Chip::run_for(double seconds, double dt_s) {
+  const auto steps = static_cast<std::size_t>(seconds / dt_s);
+  for (std::size_t i = 0; i < steps; ++i) {
+    advance(dt_s);
+  }
+}
+
+}  // namespace psc::soc

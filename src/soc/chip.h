@@ -1,0 +1,101 @@
+// The SoC simulator: cores, rails, thermal state and the reactive-limit
+// governor, advanced in fixed time steps. It maintains two parallel views
+// of power:
+//
+//  * Measured rails: true dissipated energy, including the data-dependent
+//    leakage contributed by workloads. SMC power keys sample these.
+//  * Estimated power: what a utilization-based model (frequency, voltage,
+//    nominal workload intensity) predicts. The governor's power cap, the
+//    PHPS key and the IOReport "Energy Model" channels all read this
+//    estimate — which is exactly why none of them leak data (paper
+//    sections 3.6 and 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/core.h"
+#include "soc/device_profile.h"
+#include "soc/governor.h"
+#include "soc/thermal.h"
+#include "soc/types.h"
+#include "util/rng.h"
+
+namespace psc::soc {
+
+class Chip {
+ public:
+  // `seed` drives all chip-internal randomness.
+  Chip(DeviceProfile profile, std::uint64_t seed);
+
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+
+  const DeviceProfile& profile() const noexcept { return profile_; }
+
+  std::size_t p_core_count() const noexcept { return profile_.p_core_count; }
+  std::size_t e_core_count() const noexcept { return profile_.e_core_count; }
+  std::size_t core_count() const noexcept { return cores_.size(); }
+
+  // Cores 0..p_core_count-1 are P-cores, the rest E-cores.
+  Core& core(std::size_t index) { return cores_.at(index); }
+  const Core& core(std::size_t index) const { return cores_.at(index); }
+  Core& p_core(std::size_t index) { return cores_.at(index); }
+  Core& e_core(std::size_t index) {
+    return cores_.at(profile_.p_core_count + index);
+  }
+
+  Governor& governor() noexcept { return governor_; }
+  const Governor& governor() const noexcept { return governor_; }
+
+  // pmset lowpowermode analogue.
+  void set_lowpowermode(bool enabled) noexcept {
+    governor_.set_lowpowermode(enabled);
+  }
+  bool lowpowermode() const noexcept { return governor_.lowpowermode(); }
+
+  // Advances the whole chip by `dt_s` seconds (default step 1 ms).
+  void advance(double dt_s);
+
+  // Convenience: advance in fixed steps until `seconds` have elapsed.
+  void run_for(double seconds, double dt_s = 1e-3);
+
+  double time_s() const noexcept { return time_s_; }
+
+  // Rail power averaged over the last step.
+  const RailPowers& rail_powers() const noexcept { return last_powers_; }
+
+  // Cumulative measured energy per rail since construction.
+  const RailEnergies& rail_energies() const noexcept { return energies_; }
+
+  // Utilization-model package power of the last step (PHPS view).
+  double estimated_package_power_w() const noexcept {
+    return last_estimated_package_w_;
+  }
+
+  // Cumulative estimated energy per cluster (IOReport "Energy Model").
+  double estimated_cluster_energy_j(CoreType type) const noexcept {
+    return type == CoreType::performance ? est_p_cluster_energy_j_
+                                         : est_e_cluster_energy_j_;
+  }
+
+  double temperature_c() const noexcept { return thermal_.temperature_c(); }
+
+  util::Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  DeviceProfile profile_;
+  std::vector<Core> cores_;
+  ThermalModel thermal_;
+  Governor governor_;
+  util::Xoshiro256 rng_;
+
+  double time_s_ = 0.0;
+  RailPowers last_powers_{};
+  RailEnergies energies_{};
+  double last_estimated_package_w_ = 0.0;
+  double est_p_cluster_energy_j_ = 0.0;
+  double est_e_cluster_energy_j_ = 0.0;
+};
+
+}  // namespace psc::soc

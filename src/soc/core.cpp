@@ -1,0 +1,63 @@
+#include "soc/core.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::soc {
+
+Core::Core(CoreConfig config, const DvfsLadder* ladder)
+    : config_(config), ladder_(ladder) {
+  if (ladder_ == nullptr) {
+    throw std::invalid_argument("Core: null DVFS ladder");
+  }
+  requested_state_ = ladder_->max_state();
+  state_limit_ = ladder_->max_state();
+}
+
+void Core::request_state(std::size_t state) noexcept {
+  requested_state_ = std::min(state, ladder_->max_state());
+}
+
+std::size_t Core::effective_state() const noexcept {
+  return std::min(requested_state_, state_limit_);
+}
+
+double Core::frequency_hz() const noexcept {
+  return ladder_->frequency_hz(effective_state());
+}
+
+double Core::voltage() const noexcept {
+  return ladder_->voltage(effective_state());
+}
+
+double Core::estimated_power_w() const noexcept {
+  const Workload& w =
+      workload_ != nullptr ? *workload_ : static_cast<const Workload&>(idle_);
+  const double v = voltage();
+  return config_.ceff_farads * w.nominal_intensity() * v * v *
+             frequency_hz() +
+         config_.static_power_w;
+}
+
+CoreStep Core::step(double dt_s, util::Xoshiro256& rng) {
+  Workload& w =
+      workload_ != nullptr ? *workload_ : static_cast<Workload&>(idle_);
+  const double f = frequency_hz();
+  const double v = voltage();
+  const double cycles = f * dt_s;
+  const WorkStep ws = w.run(cycles, rng);
+
+  CoreStep out;
+  out.cycles = ws.cycles;
+  out.items_completed = ws.items_completed;
+  const double dynamic_w = config_.ceff_farads * ws.intensity * v * v * f;
+  out.core_energy_j = (dynamic_w + config_.static_power_w) * dt_s +
+                      ws.core_extra_energy_j;
+  out.bus_energy_j = ws.bus_extra_energy_j;
+
+  total_items_ += ws.items_completed;
+  total_cycles_ += ws.cycles;
+  return out;
+}
+
+}  // namespace psc::soc

@@ -1,0 +1,72 @@
+// One CPU core: runs an assigned workload at the cluster's DVFS point and
+// reports the energy it dissipated. Dynamic power follows the standard
+// C_eff * V^2 * f * activity model plus per-core static leakage; workload
+// data-dependent energy rides on top.
+#pragma once
+
+#include <cstdint>
+
+#include "soc/dvfs.h"
+#include "soc/types.h"
+#include "soc/workload.h"
+#include "util/rng.h"
+
+namespace psc::soc {
+
+struct CoreConfig {
+  CoreType type = CoreType::performance;
+  // Effective switched capacitance at intensity 1.0, in farads.
+  double ceff_farads = 0.0;
+  // Static (leakage) power when powered on, in watts.
+  double static_power_w = 0.0;
+};
+
+// Result of advancing one core by one step.
+struct CoreStep {
+  double core_energy_j = 0.0;  // dynamic + static + data-dependent (core)
+  double bus_energy_j = 0.0;   // data-dependent energy routed to DRAM/IO
+  double cycles = 0.0;
+  std::uint64_t items_completed = 0;
+};
+
+class Core {
+ public:
+  Core(CoreConfig config, const DvfsLadder* ladder);
+
+  CoreType type() const noexcept { return config_.type; }
+
+  // Assigns a workload (non-owning; nullptr reverts to built-in idle).
+  void assign(Workload* workload) noexcept { workload_ = workload; }
+  Workload* workload() const noexcept { return workload_; }
+  bool is_idle() const noexcept { return workload_ == nullptr; }
+
+  // Requested DVFS state; the effective state is min(requested, limit).
+  void request_state(std::size_t state) noexcept;
+  void set_state_limit(std::size_t limit) noexcept { state_limit_ = limit; }
+
+  std::size_t effective_state() const noexcept;
+  double frequency_hz() const noexcept;
+  double voltage() const noexcept;
+
+  // Nominal-intensity power at the current operating point; what a
+  // utilization-based estimator believes this core draws when busy.
+  double estimated_power_w() const noexcept;
+
+  // Advances by dt seconds.
+  CoreStep step(double dt_s, util::Xoshiro256& rng);
+
+  std::uint64_t total_items() const noexcept { return total_items_; }
+  double total_cycles() const noexcept { return total_cycles_; }
+
+ private:
+  CoreConfig config_;
+  const DvfsLadder* ladder_;
+  Workload* workload_ = nullptr;
+  IdleWorkload idle_;
+  std::size_t requested_state_ = 0;
+  std::size_t state_limit_ = 0;
+  std::uint64_t total_items_ = 0;
+  double total_cycles_ = 0.0;
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,94 @@
+#include "soc/device_profile.h"
+
+namespace psc::soc {
+
+namespace {
+
+constexpr double mhz = 1e6;
+
+}  // namespace
+
+DeviceProfile DeviceProfile::mac_mini_m1() {
+  DeviceProfile p{
+      .name = "Mac Mini M1",
+      .os_version = "macOS 12.5",
+      .p_core_count = 4,
+      .e_core_count = 4,
+      // Firestorm / Icestorm P-state tables (public powermetrics dumps).
+      .p_ladder = DvfsLadder({600 * mhz, 972 * mhz, 1332 * mhz, 1704 * mhz,
+                              2064 * mhz, 2388 * mhz, 2724 * mhz, 2988 * mhz,
+                              3096 * mhz, 3144 * mhz, 3204 * mhz},
+                             0.65, 0.125),
+      .e_ladder = DvfsLadder({600 * mhz, 972 * mhz, 1332 * mhz, 1704 * mhz,
+                              2064 * mhz},
+                             0.65, 0.125),
+      .p_core = {.type = CoreType::performance,
+                 .ceff_farads = 0.32e-9,
+                 .static_power_w = 0.045},
+      .e_core = {.type = CoreType::efficiency,
+                 .ceff_farads = 0.13e-9,
+                 .static_power_w = 0.015},
+      .uncore_idle_w = 0.40,
+      .uncore_w_per_active_core = 0.04,
+      .dram_idle_w = 0.30,
+      .dram_w_per_unit_intensity = 0.06,
+      .dc_conversion_efficiency = 0.90,
+      // Desktop enclosure with active cooling: low junction-to-ambient
+      // resistance; sustained all-core load stays below the trip point.
+      .thermal = {.ambient_c = 25.0, .r_thermal_c_per_w = 3.0, .tau_s = 25.0},
+      .governor = {.thermal_limit_c = 95.0,
+                   .thermal_hysteresis_c = 3.0,
+                   .lowpower_cap_w = 4.0,
+                   .lowpower_cap_margin_w = 0.25,
+                   .lowpower_max_p_freq_hz = 2.064e9,
+                   .decision_period_s = 0.010},
+      .leakage = power::LeakageConfig::apple_silicon_default(),
+      .aes_cycles_per_block = 80.0,
+  };
+  return p;
+}
+
+DeviceProfile DeviceProfile::macbook_air_m2() {
+  DeviceProfile p{
+      .name = "MacBook Air M2",
+      .os_version = "macOS 13.0",
+      .p_core_count = 4,
+      .e_core_count = 4,
+      // Avalanche / Blizzard P-state tables. Note the 1968 MHz point: the
+      // P-cluster ceiling observed under lowpowermode (section 4).
+      .p_ladder = DvfsLadder({660 * mhz, 912 * mhz, 1284 * mhz, 1752 * mhz,
+                              1968 * mhz, 2208 * mhz, 2400 * mhz, 2568 * mhz,
+                              2724 * mhz, 2868 * mhz, 2988 * mhz, 3096 * mhz,
+                              3204 * mhz, 3324 * mhz, 3408 * mhz, 3504 * mhz},
+                             0.65, 0.125),
+      .e_ladder = DvfsLadder({912 * mhz, 1284 * mhz, 1572 * mhz, 1824 * mhz,
+                              2004 * mhz, 2256 * mhz, 2424 * mhz},
+                             0.65, 0.125),
+      .p_core = {.type = CoreType::performance,
+                 .ceff_farads = 0.30e-9,
+                 .static_power_w = 0.045},
+      .e_core = {.type = CoreType::efficiency,
+                 .ceff_farads = 0.15e-9,
+                 .static_power_w = 0.015},
+      .uncore_idle_w = 0.40,
+      .uncore_w_per_active_core = 0.04,
+      .dram_idle_w = 0.30,
+      .dram_w_per_unit_intensity = 0.06,
+      .dc_conversion_efficiency = 0.90,
+      // Fanless enclosure: high junction-to-ambient resistance; sustained
+      // all-core stress trips the thermal limit before any power limit
+      // (the section 4 observation that motivated lowpowermode).
+      .thermal = {.ambient_c = 25.0, .r_thermal_c_per_w = 7.5, .tau_s = 18.0},
+      .governor = {.thermal_limit_c = 95.0,
+                   .thermal_hysteresis_c = 3.0,
+                   .lowpower_cap_w = 4.0,
+                   .lowpower_cap_margin_w = 0.25,
+                   .lowpower_max_p_freq_hz = 1.968e9,
+                   .decision_period_s = 0.010},
+      .leakage = power::LeakageConfig::apple_silicon_default(),
+      .aes_cycles_per_block = 80.0,
+  };
+  return p;
+}
+
+}  // namespace psc::soc

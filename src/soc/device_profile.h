@@ -1,0 +1,47 @@
+// Device profiles for the two systems the paper evaluates (Table 1):
+// Mac Mini M1 and MacBook Air M2. A profile carries everything the chip
+// simulator needs: cluster topology, DVFS ladders, power coefficients,
+// thermal/governor configuration and the leakage calibration.
+#pragma once
+
+#include <string>
+
+#include "power/leakage_model.h"
+#include "soc/core.h"
+#include "soc/dvfs.h"
+#include "soc/governor.h"
+#include "soc/thermal.h"
+
+namespace psc::soc {
+
+struct DeviceProfile {
+  std::string name;
+  std::string os_version;
+
+  std::size_t p_core_count = 0;
+  std::size_t e_core_count = 0;
+  DvfsLadder p_ladder;
+  DvfsLadder e_ladder;
+  CoreConfig p_core;
+  CoreConfig e_core;
+
+  // Fabric / memory rails.
+  double uncore_idle_w = 0.0;
+  double uncore_w_per_active_core = 0.0;
+  double dram_idle_w = 0.0;
+  double dram_w_per_unit_intensity = 0.0;  // scaled by sum of core intensity
+  double dc_conversion_efficiency = 0.9;   // total_soc / dc_in
+
+  ThermalConfig thermal;
+  GovernorConfig governor;
+  power::LeakageConfig leakage;
+
+  // Constant-cycle AES kernel cost on this microarchitecture.
+  double aes_cycles_per_block = 80.0;
+
+  // The paper's two test systems.
+  static DeviceProfile mac_mini_m1();
+  static DeviceProfile macbook_air_m2();
+};
+
+}  // namespace psc::soc

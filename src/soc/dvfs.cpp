@@ -1,0 +1,45 @@
+#include "soc/dvfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::soc {
+
+DvfsLadder::DvfsLadder(std::vector<double> frequencies_hz, double v0,
+                       double volts_per_ghz)
+    : frequencies_hz_(std::move(frequencies_hz)),
+      v0_(v0),
+      volts_per_ghz_(volts_per_ghz) {
+  if (frequencies_hz_.empty()) {
+    throw std::invalid_argument("DvfsLadder: empty frequency list");
+  }
+  if (!std::is_sorted(frequencies_hz_.begin(), frequencies_hz_.end()) ||
+      std::adjacent_find(frequencies_hz_.begin(), frequencies_hz_.end()) !=
+          frequencies_hz_.end()) {
+    throw std::invalid_argument(
+        "DvfsLadder: frequencies must be strictly ascending");
+  }
+  if (frequencies_hz_.front() <= 0.0) {
+    throw std::invalid_argument("DvfsLadder: frequencies must be positive");
+  }
+}
+
+double DvfsLadder::frequency_hz(std::size_t state) const {
+  return frequencies_hz_.at(state);
+}
+
+double DvfsLadder::voltage(std::size_t state) const {
+  return v0_ + volts_per_ghz_ * frequencies_hz_.at(state) * 1e-9;
+}
+
+std::size_t DvfsLadder::state_at_or_below(double freq_hz) const noexcept {
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < frequencies_hz_.size(); ++s) {
+    if (frequencies_hz_[s] <= freq_hz) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace psc::soc

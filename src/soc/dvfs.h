@@ -1,0 +1,41 @@
+// DVFS operating-point ladders: the discrete frequency states a cluster can
+// run at, and the (affine-approximated) supply voltage at each state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psc::soc {
+
+class DvfsLadder {
+ public:
+  // `frequencies_hz` must be non-empty and strictly ascending. The voltage
+  // model is V(f) = v0 + volts_per_ghz * f_ghz, the usual first-order fit
+  // of a P-state table.
+  DvfsLadder(std::vector<double> frequencies_hz, double v0,
+             double volts_per_ghz);
+
+  std::size_t state_count() const noexcept { return frequencies_hz_.size(); }
+
+  // Highest state index.
+  std::size_t max_state() const noexcept { return frequencies_hz_.size() - 1; }
+
+  double frequency_hz(std::size_t state) const;
+
+  double max_frequency_hz() const noexcept { return frequencies_hz_.back(); }
+  double min_frequency_hz() const noexcept { return frequencies_hz_.front(); }
+
+  // Supply voltage at a state.
+  double voltage(std::size_t state) const;
+
+  // Largest state whose frequency is <= `freq_hz`; state 0 if all are
+  // above (the cluster can always run at its lowest point).
+  std::size_t state_at_or_below(double freq_hz) const noexcept;
+
+ private:
+  std::vector<double> frequencies_hz_;
+  double v0_;
+  double volts_per_ghz_;
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,69 @@
+// Reactive-limit governor: the firmware loop that throttles the P-cluster
+// when a limit is hit. Reproduces the two §4 behaviours:
+//
+//  * Default mode: only the thermal limit exists; sustained heavy load
+//    trips it before any power cap, and the governor steps the P-cluster
+//    frequency down (thermal throttling).
+//  * lowpowermode: the P-cluster is additionally capped at a fixed
+//    frequency (1.968 GHz on M2) and a hard package power budget (4 W)
+//    is enforced; exceeding it throttles the P-cluster only. E-cores are
+//    never throttled (observed to stay at 2.424 GHz).
+//
+// Crucially, the power input of the cap is the *estimated* power (the PHPS
+// model value, derived from utilization), not a measured rail — which is
+// why throttling carries no data dependence (Table 6, right column).
+#pragma once
+
+#include <cstddef>
+
+#include "soc/dvfs.h"
+
+namespace psc::soc {
+
+struct GovernorConfig {
+  double thermal_limit_c = 95.0;      // junction trip point
+  double thermal_hysteresis_c = 3.0;  // recover below limit - hysteresis
+  double lowpower_cap_w = 4.0;        // package budget in lowpowermode
+  double lowpower_cap_margin_w = 0.25;  // re-raise frequency below cap-margin
+  double lowpower_max_p_freq_hz = 1.968e9;  // P-cluster ceiling in lowpowermode
+  // Steps between governor decisions, in seconds of simulated time.
+  double decision_period_s = 0.010;
+};
+
+class Governor {
+ public:
+  Governor(GovernorConfig config, const DvfsLadder& p_ladder);
+
+  void set_lowpowermode(bool enabled) noexcept;
+  bool lowpowermode() const noexcept { return lowpowermode_; }
+
+  // Feeds one simulation step; acts only every decision_period_s.
+  // `estimated_power_w` is the utilization-model package power (PHPS),
+  // `temperature_c` the die temperature.
+  void update(double estimated_power_w, double temperature_c,
+              double dt_s) noexcept;
+
+  // Current P-cluster DVFS state limit to be applied by the chip.
+  std::size_t p_state_limit() const noexcept { return p_state_limit_; }
+
+  bool thermal_throttling() const noexcept { return thermal_throttling_; }
+  bool power_throttling() const noexcept { return power_throttling_; }
+  bool throttling() const noexcept {
+    return thermal_throttling_ || power_throttling_;
+  }
+
+  const GovernorConfig& config() const noexcept { return config_; }
+
+ private:
+  std::size_t max_allowed_state() const noexcept;
+
+  GovernorConfig config_;
+  const DvfsLadder* p_ladder_;
+  bool lowpowermode_ = false;
+  std::size_t p_state_limit_;
+  bool thermal_throttling_ = false;
+  bool power_throttling_ = false;
+  double time_since_decision_s_ = 0.0;
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,26 @@
+#include "soc/thermal.h"
+
+#include <cmath>
+
+namespace psc::soc {
+
+ThermalModel::ThermalModel(ThermalConfig config) noexcept
+    : config_(config), temperature_c_(config.ambient_c) {}
+
+void ThermalModel::step(double power_w, double dt_s) noexcept {
+  // Exact exponential update of T' = (T_target - T) / tau, stable for any
+  // dt (the simulator uses 1 ms steps, but tests exercise coarse steps).
+  const double target = steady_state_c(power_w);
+  const double alpha = 1.0 - std::exp(-dt_s / config_.tau_s);
+  temperature_c_ += (target - temperature_c_) * alpha;
+}
+
+double ThermalModel::steady_state_c(double power_w) const noexcept {
+  return config_.ambient_c + config_.r_thermal_c_per_w * power_w;
+}
+
+void ThermalModel::reset() noexcept {
+  temperature_c_ = config_.ambient_c;
+}
+
+}  // namespace psc::soc

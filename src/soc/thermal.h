@@ -1,0 +1,38 @@
+// First-order lumped RC thermal model of the package: one thermal
+// resistance from junction to ambient and one time constant. Good enough to
+// reproduce the §4 behaviour that matters — under default limits the die
+// reaches the thermal trip point before any power limit, while the 4 W
+// lowpowermode cap keeps it far below.
+#pragma once
+
+namespace psc::soc {
+
+struct ThermalConfig {
+  double ambient_c = 25.0;       // ambient/baseline temperature
+  double r_thermal_c_per_w = 4.0;  // steady-state rise per watt
+  double tau_s = 18.0;           // thermal time constant
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config) noexcept;
+
+  // Advances the die temperature given the package power over `dt_s`.
+  void step(double power_w, double dt_s) noexcept;
+
+  double temperature_c() const noexcept { return temperature_c_; }
+
+  // Steady-state temperature at a constant power.
+  double steady_state_c(double power_w) const noexcept;
+
+  // Resets to ambient.
+  void reset() noexcept;
+
+  const ThermalConfig& config() const noexcept { return config_; }
+
+ private:
+  ThermalConfig config_;
+  double temperature_c_;
+};
+
+}  // namespace psc::soc

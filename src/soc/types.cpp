@@ -1,0 +1,27 @@
+#include "soc/types.h"
+
+namespace psc::soc {
+
+std::string_view core_type_name(CoreType type) noexcept {
+  return type == CoreType::performance ? "P" : "E";
+}
+
+std::string_view rail_name(RailId rail) noexcept {
+  switch (rail) {
+    case RailId::p_cluster:
+      return "p_cluster";
+    case RailId::e_cluster:
+      return "e_cluster";
+    case RailId::uncore:
+      return "uncore";
+    case RailId::dram:
+      return "dram";
+    case RailId::total_soc:
+      return "total_soc";
+    case RailId::dc_in:
+      return "dc_in";
+  }
+  return "?";
+}
+
+}  // namespace psc::soc

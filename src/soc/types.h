@@ -1,0 +1,57 @@
+// Shared SoC-level vocabulary. All physical quantities are SI doubles:
+// seconds, hertz, volts, watts, joules, degrees Celsius.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace psc::soc {
+
+enum class CoreType {
+  performance,  // "P-core" (Firestorm/Avalanche class)
+  efficiency,   // "E-core" (Icestorm/Blizzard class)
+};
+
+std::string_view core_type_name(CoreType type) noexcept;
+
+// Power rails a sensor can be attached to. The SMC key database binds each
+// power key to one of these.
+enum class RailId : std::size_t {
+  p_cluster,   // P-core cluster supply
+  e_cluster,   // E-core cluster supply
+  uncore,      // fabric, caches, always-on
+  dram,        // memory + IO buses
+  total_soc,   // sum of the above (package power)
+  dc_in,       // upstream DC input (total / conversion efficiency)
+};
+
+inline constexpr std::size_t rail_count = 6;
+
+std::string_view rail_name(RailId rail) noexcept;
+
+// Instantaneous or window-averaged power per rail, in watts.
+struct RailPowers {
+  std::array<double, rail_count> watts{};
+
+  double at(RailId rail) const noexcept {
+    return watts[static_cast<std::size_t>(rail)];
+  }
+  double& at(RailId rail) noexcept {
+    return watts[static_cast<std::size_t>(rail)];
+  }
+};
+
+// Cumulative per-rail energy in joules.
+struct RailEnergies {
+  std::array<double, rail_count> joules{};
+
+  double at(RailId rail) const noexcept {
+    return joules[static_cast<std::size_t>(rail)];
+  }
+  double& at(RailId rail) noexcept {
+    return joules[static_cast<std::size_t>(rail)];
+  }
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,99 @@
+#include "soc/workload.h"
+
+#include <cmath>
+
+namespace psc::soc {
+
+WorkStep IdleWorkload::run(double cycles, util::Xoshiro256& /*rng*/) {
+  WorkStep step;
+  step.cycles = cycles;
+  step.intensity = nominal_intensity();
+  return step;
+}
+
+WorkStep MatrixStressor::run(double cycles, util::Xoshiro256& /*rng*/) {
+  WorkStep step;
+  step.cycles = cycles;
+  step.intensity = nominal_intensity();
+  // One "item" per 4k-cycle matrix tile, for progress accounting.
+  step.items_completed = static_cast<std::uint64_t>(cycles / 4096.0);
+  return step;
+}
+
+WorkStep FmulStressor::run(double cycles, util::Xoshiro256& /*rng*/) {
+  WorkStep step;
+  step.cycles = cycles;
+  // Constant operands: steady activity, zero data-dependent energy by
+  // construction (section 4's stressor design goal).
+  step.intensity = nominal_intensity();
+  step.items_completed = static_cast<std::uint64_t>(cycles);
+  return step;
+}
+
+JitterWorkload::JitterWorkload(double mean_intensity, double sigma,
+                               double phi)
+    : mean_(mean_intensity),
+      sigma_(sigma),
+      phi_(phi),
+      intensity_(mean_intensity) {}
+
+WorkStep JitterWorkload::run(double cycles, util::Xoshiro256& rng) {
+  intensity_ = mean_ + phi_ * (intensity_ - mean_) +
+               rng.gaussian(0.0, sigma_);
+  intensity_ = std::max(0.0, intensity_);
+  WorkStep step;
+  step.cycles = cycles;
+  step.intensity = intensity_;
+  return step;
+}
+
+AesWorkload::AesWorkload(const aes::Block& key, power::LeakageConfig leakage,
+                         double cycles_per_block, double duty_cycle)
+    : cipher_(key),
+      evaluator_(leakage),
+      cycles_per_block_(cycles_per_block),
+      duty_cycle_(duty_cycle) {
+  refresh_leakage();
+}
+
+void AesWorkload::set_plaintext(const aes::Block& plaintext) {
+  plaintext_ = plaintext;
+  refresh_leakage();
+}
+
+void AesWorkload::set_key(const aes::Block& key) {
+  cipher_ = aes::Aes128(key);
+  refresh_leakage();
+}
+
+void AesWorkload::refresh_leakage() {
+  // The same plaintext is encrypted back to back for a whole measurement
+  // window, so the per-block leakage is computed once per plaintext change
+  // from the true intermediate states.
+  aes::RoundTrace trace;
+  ciphertext_ = cipher_.encrypt_trace(plaintext_, trace);
+  core_leak_per_block_ = evaluator_.energy_deviation(plaintext_, trace);
+  bus_leak_per_block_ = evaluator_.bus_energy_deviation(plaintext_,
+                                                        ciphertext_);
+}
+
+WorkStep AesWorkload::run(double cycles, util::Xoshiro256& /*rng*/) {
+  WorkStep step;
+  step.cycles = cycles;
+  step.intensity = nominal_intensity() * duty_cycle_ +
+                   0.15 * (1.0 - duty_cycle_);
+  const double effective = cycles * duty_cycle_ + cycle_carry_;
+  const double blocks_exact = effective / cycles_per_block_;
+  const auto blocks = static_cast<std::uint64_t>(blocks_exact);
+  cycle_carry_ = effective -
+                 static_cast<double>(blocks) * cycles_per_block_;
+  step.items_completed = blocks;
+  blocks_total_ += blocks;
+  step.core_extra_energy_j = static_cast<double>(blocks) *
+                             core_leak_per_block_;
+  step.bus_extra_energy_j = static_cast<double>(blocks) *
+                            bus_leak_per_block_;
+  return step;
+}
+
+}  // namespace psc::soc

@@ -1,0 +1,144 @@
+// Workloads a core can execute. A workload abstracts an instruction stream
+// by three quantities per step: switching intensity (scales dynamic power),
+// data-dependent extra energy on the core rail (the side-channel signal),
+// and data-dependent extra energy on the memory/IO rail (bus toggling).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "aes/aes128.h"
+#include "power/leakage_model.h"
+#include "util/rng.h"
+
+namespace psc::soc {
+
+// What one core executed during one step.
+struct WorkStep {
+  double cycles = 0.0;            // cycles consumed
+  double intensity = 0.0;         // switching activity factor (~0..1.5)
+  double core_extra_energy_j = 0.0;  // data-dependent energy, core rail
+  double bus_extra_energy_j = 0.0;   // data-dependent energy, dram/IO rail
+  std::uint64_t items_completed = 0; // workload-defined unit (e.g. blocks)
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // Executes `cycles` cycles. `rng` may be used for workload-internal
+  // randomness (none of the bundled workloads use it; the interface allows
+  // e.g. a random-memory stressor).
+  virtual WorkStep run(double cycles, util::Xoshiro256& rng) = 0;
+
+  // Switching intensity when running flat out; used by power estimators
+  // that never see the actual data (PHPS, IOReport).
+  virtual double nominal_intensity() const noexcept = 0;
+};
+
+// A core with nothing scheduled: clock-gated most of the time.
+class IdleWorkload final : public Workload {
+ public:
+  std::string_view name() const noexcept override { return "idle"; }
+  WorkStep run(double cycles, util::Xoshiro256& rng) override;
+  double nominal_intensity() const noexcept override { return 0.04; }
+};
+
+// stress-ng --matrix analogue: dense FP/SIMD matrix products, the highest
+// sustained switching activity of the bundled workloads (used for the
+// idle-vs-busy SMC key triage of Table 2).
+class MatrixStressor final : public Workload {
+ public:
+  std::string_view name() const noexcept override { return "matrix"; }
+  WorkStep run(double cycles, util::Xoshiro256& rng) override;
+  double nominal_intensity() const noexcept override { return 1.30; }
+};
+
+// The paper's E-core stressor: fmul between two constant operands — a
+// steady, completely data-independent power load (section 4).
+class FmulStressor final : public Workload {
+ public:
+  std::string_view name() const noexcept override { return "fmul"; }
+  WorkStep run(double cycles, util::Xoshiro256& rng) override;
+  double nominal_intensity() const noexcept override { return 0.95; }
+};
+
+// Background activity with slowly wandering intensity (AR(1) process),
+// modelling unmodelled OS work such as the syscall/IOKit path of a kernel
+// crypto service's caller. Data-independent, but it raises the variance of
+// window-averaged rail power and therefore lowers the attacker's SNR.
+class JitterWorkload final : public Workload {
+ public:
+  // intensity_t+1 = mean + phi * (intensity_t - mean) + N(0, sigma).
+  JitterWorkload(double mean_intensity, double sigma, double phi = 0.98);
+
+  std::string_view name() const noexcept override { return "jitter"; }
+  WorkStep run(double cycles, util::Xoshiro256& rng) override;
+  double nominal_intensity() const noexcept override { return mean_; }
+
+ private:
+  double mean_;
+  double sigma_;
+  double phi_;
+  double intensity_;
+};
+
+// AES-128 encryption loop (AES-Intrinsics style): encrypts the current
+// plaintext back to back, constant cycles per block, and contributes
+// data-dependent leakage energy computed from the true round states.
+class AesWorkload final : public Workload {
+ public:
+  // `cycles_per_block` models the constant-cycle kernel (AESE/AESMC chain
+  // plus loop overhead). `duty_cycle` < 1 models invocation overhead (e.g.
+  // syscall entry/exit for the kernel-module victim): the fraction of
+  // cycles spent encrypting.
+  AesWorkload(const aes::Block& key, power::LeakageConfig leakage,
+              double cycles_per_block = 80.0, double duty_cycle = 1.0);
+
+  std::string_view name() const noexcept override { return "aes"; }
+  WorkStep run(double cycles, util::Xoshiro256& rng) override;
+  double nominal_intensity() const noexcept override { return 0.80; }
+
+  // Changes the plaintext being encrypted (the attacker-controlled input).
+  void set_plaintext(const aes::Block& plaintext);
+
+  const aes::Block& plaintext() const noexcept { return plaintext_; }
+  aes::Block ciphertext() const noexcept { return ciphertext_; }
+
+  // Re-keys the cipher (e.g. a fresh victim secret).
+  void set_key(const aes::Block& key);
+
+  std::uint64_t blocks_encrypted() const noexcept { return blocks_total_; }
+
+  double cycles_per_block() const noexcept { return cycles_per_block_; }
+  double duty_cycle() const noexcept { return duty_cycle_; }
+
+  // Per-encryption data-dependent energies for the current plaintext
+  // (exposed for the fast analytic trace path).
+  double core_leak_energy_per_block() const noexcept {
+    return core_leak_per_block_;
+  }
+  double bus_leak_energy_per_block() const noexcept {
+    return bus_leak_per_block_;
+  }
+
+ private:
+  void refresh_leakage();
+
+  aes::Aes128 cipher_;
+  power::LeakageEvaluator evaluator_;
+  double cycles_per_block_;
+  double duty_cycle_;
+  aes::Block plaintext_{};
+  aes::Block ciphertext_{};
+  double core_leak_per_block_ = 0.0;
+  double bus_leak_per_block_ = 0.0;
+  double cycle_carry_ = 0.0;
+  std::uint64_t blocks_total_ = 0;
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace psc::util {
+
+namespace {
+
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view cell) {
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "inf" : "-inf";
+  }
+  char buf[32];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, value, std::chars_format::general,
+                    10);
+  if (ec != std::errc{}) {
+    return "0";
+  }
+  return std::string(buf, ptr);
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  std::vector<std::string> rendered;
+  rendered.reserve(cells.size());
+  for (const auto cell : cells) {
+    rendered.emplace_back(cell);
+  }
+  write_raw(rendered);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_raw(cells);
+}
+
+void CsvWriter::write_raw(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) {
+      *out_ << ',';
+    }
+    first = false;
+    if (needs_quoting(cell)) {
+      *out_ << quote(cell);
+    } else {
+      *out_ << cell;
+    }
+  }
+  *out_ << '\n';
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(std::string_view text) {
+  cells_.emplace_back(text);
+  return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(double value) {
+  cells_.push_back(format_double(value));
+  return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::Row::done() {
+  parent_->write_raw(cells_);
+  cells_.clear();
+}
+
+}  // namespace psc::util

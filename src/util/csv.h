@@ -1,0 +1,51 @@
+// Minimal CSV emitter used by the bench harness to dump figure series
+// (e.g. GE-vs-traces curves) in a plot-ready form.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psc::util {
+
+class CsvWriter {
+ public:
+  // Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  // Writes a header or data row of pre-rendered cells. Cells containing
+  // commas, quotes or newlines are quoted per RFC 4180.
+  void row(std::initializer_list<std::string_view> cells);
+  void row(const std::vector<std::string>& cells);
+
+  // Row builder for mixed numeric/string content.
+  class Row {
+   public:
+    explicit Row(CsvWriter& parent) : parent_(&parent) {}
+    Row& cell(std::string_view text);
+    Row& cell(double value);
+    Row& cell(std::size_t value);
+    // Emits the accumulated row.
+    void done();
+
+   private:
+    CsvWriter* parent_;
+    std::vector<std::string> cells_;
+  };
+
+  Row start_row() { return Row(*this); }
+
+ private:
+  friend class Row;
+  void write_raw(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+};
+
+// Formats a double with enough digits to round-trip but without noise
+// ("3.5", "0.004123").
+std::string format_double(double value);
+
+}  // namespace psc::util

@@ -1,0 +1,20 @@
+// Environment-variable knobs for the bench harness (e.g. PSC_FULL=1 to run
+// paper-scale trace counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace psc::util {
+
+// True when `name` is set to a truthy value ("1", "true", "yes", "on";
+// case-insensitive); `fallback` when unset or empty.
+bool env_flag(const std::string& name, bool fallback = false);
+
+// Parses `name` as a non-negative integer; `fallback` when unset/invalid.
+std::size_t env_size(const std::string& name, std::size_t fallback);
+
+// Parses `name` as a floating-point value; `fallback` when unset/invalid.
+double env_double(const std::string& name, double fallback);
+
+}  // namespace psc::util

@@ -1,0 +1,29 @@
+#include "util/fourcc.h"
+
+#include <cctype>
+
+namespace psc::util {
+
+std::optional<FourCc> FourCc::parse(std::string_view s) noexcept {
+  if (s.size() != 4) {
+    return std::nullopt;
+  }
+  std::uint32_t code = 0;
+  for (const char c : s) {
+    code = (code << 8) | static_cast<unsigned char>(c);
+  }
+  return FourCc(code);
+}
+
+std::string FourCc::str() const {
+  std::string out(4, '.');
+  for (std::size_t i = 0; i < 4; ++i) {
+    const char c = at(i);
+    if (std::isprint(static_cast<unsigned char>(c)) != 0) {
+      out[i] = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace psc::util

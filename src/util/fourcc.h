@@ -1,0 +1,57 @@
+// Four-character codes, the key type of Apple's SMC key/value store
+// (e.g. "PHPC", "TC0P"). Stored big-endian in a 32-bit word, matching the
+// wire format of the SMC protocol.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace psc::util {
+
+class FourCc {
+ public:
+  constexpr FourCc() = default;
+
+  // Builds from the packed big-endian representation.
+  constexpr explicit FourCc(std::uint32_t code) noexcept : code_(code) {}
+
+  // Builds from a 4-character string literal, e.g. FourCc("PHPC").
+  constexpr explicit FourCc(const char (&s)[5]) noexcept
+      : code_((static_cast<std::uint32_t>(static_cast<unsigned char>(s[0]))
+               << 24) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(s[1]))
+               << 16) |
+              (static_cast<std::uint32_t>(static_cast<unsigned char>(s[2]))
+               << 8) |
+              static_cast<std::uint32_t>(static_cast<unsigned char>(s[3]))) {}
+
+  // Parses a 4-character string at runtime; rejects other lengths.
+  static std::optional<FourCc> parse(std::string_view s) noexcept;
+
+  constexpr std::uint32_t code() const noexcept { return code_; }
+
+  // The 4-character string form (non-printable bytes rendered as '.').
+  std::string str() const;
+
+  // Character at position i (0..3), most significant first.
+  constexpr char at(std::size_t i) const noexcept {
+    return static_cast<char>((code_ >> (8 * (3 - i))) & 0xff);
+  }
+
+  constexpr auto operator<=>(const FourCc&) const noexcept = default;
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+}  // namespace psc::util
+
+template <>
+struct std::hash<psc::util::FourCc> {
+  std::size_t operator()(const psc::util::FourCc& k) const noexcept {
+    return std::hash<std::uint32_t>{}(k.code());
+  }
+};

@@ -1,0 +1,24 @@
+// Hex encoding/decoding for keys, plaintexts and ciphertexts in logs,
+// test vectors and the CLI examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psc::util {
+
+// Lower-case hex string of `bytes` ("0123af...").
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Decodes a hex string (case-insensitive, no separators). Returns nullopt
+// on odd length or non-hex characters.
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+// Decodes exactly N bytes into `out`; returns false on any mismatch.
+bool from_hex_exact(std::string_view hex, std::span<std::uint8_t> out);
+
+}  // namespace psc::util

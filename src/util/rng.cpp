@@ -1,0 +1,124 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace psc::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) {
+    word = sm();
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+
+  return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256::uniform_u64(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::gaussian(double mean, double sigma) noexcept {
+  return mean + sigma * gaussian();
+}
+
+void Xoshiro256::fill_bytes(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = (*this)();
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = (*this)();
+    for (std::size_t b = 0; i < out.size(); ++i, ++b) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+Xoshiro256 Xoshiro256::fork() noexcept {
+  return Xoshiro256((*this)());
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        for (std::size_t w = 0; w < 4; ++w) {
+          acc[w] ^= state_[w];
+        }
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+  has_cached_gaussian_ = false;
+}
+
+}  // namespace psc::util

@@ -1,0 +1,99 @@
+// Statistics primitives used by the leakage-assessment (TVLA) and key
+// extraction (CPA) engines: numerically stable running moments, Welch's
+// t-test, and Pearson correlation in both batch and online form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace psc::util {
+
+// Numerically stable running mean/variance (Welford's algorithm) with
+// support for merging partial results (Chan et al.), min/max tracking.
+class RunningStats {
+ public:
+  // Adds one observation.
+  void add(double x) noexcept;
+
+  // Merges another accumulator into this one, as if all of its samples had
+  // been added here.
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  // Mean of the samples seen so far; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  // Unbiased sample variance (divides by n-1); 0 when count < 2.
+  double variance() const noexcept;
+  // Population variance (divides by n); 0 when empty.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  // Smallest / largest sample; undefined (0) when empty.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Result of a Welch two-sample t-test.
+struct WelchResult {
+  double t = 0.0;    // t statistic (sign: mean(a) - mean(b))
+  double dof = 0.0;  // Welch-Satterthwaite degrees of freedom
+};
+
+// Welch's unequal-variance t-test between two sample sets summarized by
+// their running statistics. Returns t = 0 when either set has fewer than
+// two samples or both variances are zero.
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) noexcept;
+
+// Convenience overload over raw sample spans.
+WelchResult welch_t_test(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+// TVLA threshold from Goodwill et al.: |t| >= 4.5 indicates the two trace
+// sets are distinguishable with confidence > 99.999%.
+inline constexpr double tvla_threshold = 4.5;
+
+// Pearson correlation coefficient of two equal-length sample spans.
+// Returns 0 for degenerate inputs (fewer than 2 samples or zero variance).
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+// Streaming accumulator for the Pearson correlation of paired observations.
+// Keeps only sums, so millions of pairs cost O(1) memory.
+class OnlineCorrelation {
+ public:
+  void add(double x, double y) noexcept;
+  void merge(const OnlineCorrelation& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  // Correlation of the pairs seen so far; 0 for degenerate input.
+  double correlation() const noexcept;
+  double mean_x() const noexcept;
+  double mean_y() const noexcept;
+  // Sample covariance (n-1 denominator); 0 when count < 2.
+  double covariance() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_yy_ = 0.0;
+  double sum_xy_ = 0.0;
+};
+
+// Mean of a span; 0 when empty.
+double mean(std::span<const double> xs) noexcept;
+
+// Unbiased sample variance of a span; 0 when size < 2.
+double variance(std::span<const double> xs) noexcept;
+
+// Linear-interpolated percentile (p in [0,100]) of a span. The span is
+// copied and sorted internally; 0 when empty.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace psc::util

@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace psc::util {
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (align_.size() <= column) {
+    align_.resize(column + 1, Align::right);
+    if (align_.size() > 0 && column_count() > 0) {
+      align_[0] = Align::left;
+    }
+  }
+  align_[column] = align;
+}
+
+std::size_t TextTable::column_count() const {
+  std::size_t n = header_.size();
+  for (const auto& row : rows_) {
+    n = std::max(n, row.size());
+  }
+  return n;
+}
+
+Align TextTable::alignment(std::size_t column) const {
+  if (column < align_.size()) {
+    return align_[column];
+  }
+  return column == 0 ? Align::left : Align::right;
+}
+
+void TextTable::render(std::ostream& out) const {
+  const std::size_t cols = column_count();
+  if (cols == 0) {
+    return;
+  }
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      out << (c == 0 ? "| " : " ");
+      if (alignment(c) == Align::right) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) {
+    out << title_ << '\n';
+  }
+  std::size_t rule_len = 1;
+  for (const std::size_t w : width) {
+    rule_len += w + 3;
+  }
+  const std::string rule(rule_len, '-');
+  out << rule << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    out << rule << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  out << rule << '\n';
+}
+
+}  // namespace psc::util

@@ -1,0 +1,48 @@
+// Plain-text table rendering for the bench binaries, which print the same
+// rows the paper's tables report.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psc::util {
+
+enum class Align { left, right };
+
+class TextTable {
+ public:
+  // Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  // Sets the header row; defines the column count.
+  void header(std::vector<std::string> cells);
+
+  // Appends a data row. Rows shorter than the header are padded with
+  // empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> cells);
+
+  // Per-column alignment; defaults to left for col 0, right elsewhere.
+  void set_align(std::size_t column, Align align);
+
+  // Renders with column separators and a header rule.
+  void render(std::ostream& out) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::size_t column_count() const;
+  Align alignment(std::size_t column) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+// Fixed-precision float formatting for table cells ("20.94", "-0.18").
+std::string fixed(double value, int decimals);
+
+}  // namespace psc::util

@@ -1,0 +1,21 @@
+#include "victim/platform.h"
+
+namespace psc::victim {
+
+Platform::Platform(soc::DeviceProfile profile, std::uint64_t seed,
+                   smc::MitigationPolicy mitigation)
+    : chip_(std::move(profile), seed),
+      scheduler_(chip_),
+      smc_(chip_, seed ^ 0x534d43ULL, mitigation),  // "SMC"
+      ioreport_(chip_, seed ^ 0x494f52ULL) {}       // "IOR"
+
+void Platform::run_for(double seconds) {
+  const double quantum = scheduler_.quantum_s();
+  const auto quanta = static_cast<std::size_t>(seconds / quantum);
+  for (std::size_t q = 0; q < quanta; ++q) {
+    scheduler_.step();
+    smc_.poll();
+  }
+}
+
+}  // namespace psc::victim

@@ -1,0 +1,51 @@
+// One simulated machine: chip + scheduler + SMC controller + IOReport,
+// stepped together. This is the "macOS system" an experiment runs on; the
+// attacker process opens SMC connections against it, the victim runs
+// threads on it.
+#pragma once
+
+#include <cstdint>
+
+#include "ioreport/ioreport.h"
+#include "sched/scheduler.h"
+#include "smc/client.h"
+#include "smc/controller.h"
+#include "soc/chip.h"
+
+namespace psc::victim {
+
+class Platform {
+ public:
+  Platform(soc::DeviceProfile profile, std::uint64_t seed,
+           smc::MitigationPolicy mitigation = smc::MitigationPolicy::none());
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  soc::Chip& chip() noexcept { return chip_; }
+  sched::Scheduler& scheduler() noexcept { return scheduler_; }
+  smc::SmcController& smc() noexcept { return smc_; }
+  ioreport::IoReport& ioreport() noexcept { return ioreport_; }
+
+  // Opens an SMC connection at the given privilege (attacker: user).
+  smc::SmcConnection open_smc(
+      smc::Privilege privilege = smc::Privilege::user) {
+    return smc::SmcConnection(smc_, privilege);
+  }
+
+  // Advances the machine: scheduler quanta plus SMC sampling.
+  void run_for(double seconds);
+
+  // pmset-equivalent.
+  void set_lowpowermode(bool enabled) { chip_.set_lowpowermode(enabled); }
+
+  double time_s() const noexcept { return chip_.time_s(); }
+
+ private:
+  soc::Chip chip_;
+  sched::Scheduler scheduler_;
+  smc::SmcController smc_;
+  ioreport::IoReport ioreport_;
+};
+
+}  // namespace psc::victim

@@ -1,0 +1,99 @@
+#include "victim/victims.h"
+
+#include <memory>
+
+namespace psc::victim {
+
+namespace {
+
+sched::ThreadAttributes realtime_attrs() {
+  return {.policy = sched::SchedPolicy::round_robin,
+          .priority = 47,
+          .cluster_hint = std::nullopt};
+}
+
+soc::AesWorkload& aes_workload(Platform& platform, sched::ThreadId id) {
+  return dynamic_cast<soc::AesWorkload&>(
+      platform.scheduler().thread(id).workload());
+}
+
+}  // namespace
+
+UserSpaceVictim::UserSpaceVictim(Platform& platform,
+                                 const aes::Block& secret_key,
+                                 std::size_t thread_count)
+    : platform_(&platform) {
+  const auto& profile = platform.chip().profile();
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    threads_.push_back(platform.scheduler().spawn(
+        "aes-victim-" + std::to_string(i),
+        std::make_unique<soc::AesWorkload>(secret_key, profile.leakage,
+                                           profile.aes_cycles_per_block),
+        realtime_attrs()));
+  }
+}
+
+aes::Block UserSpaceVictim::encrypt_window(const aes::Block& plaintext,
+                                           double window_s) {
+  for (const sched::ThreadId id : threads_) {
+    aes_workload(*platform_, id).set_plaintext(plaintext);
+  }
+  platform_->run_for(window_s);
+  return aes_workload(*platform_, threads_.front()).ciphertext();
+}
+
+std::uint64_t UserSpaceVictim::blocks_encrypted() const {
+  std::uint64_t total = 0;
+  for (const sched::ThreadId id : threads_) {
+    total += dynamic_cast<const soc::AesWorkload&>(
+                 platform_->scheduler().thread(id).workload())
+                 .blocks_encrypted();
+  }
+  return total;
+}
+
+KernelModuleVictim::KernelModuleVictim(Platform& platform,
+                                       const aes::Block& secret_key,
+                                       std::size_t worker_count,
+                                       double duty_cycle)
+    : platform_(&platform) {
+  const auto& profile = platform.chip().profile();
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.push_back(platform.scheduler().spawn(
+        "kcrypto-worker-" + std::to_string(i),
+        std::make_unique<soc::AesWorkload>(secret_key, profile.leakage,
+                                           profile.aes_cycles_per_block,
+                                           duty_cycle),
+        realtime_attrs()));
+  }
+  // The user-side caller: default policy, spends its time in the syscall
+  // path with wandering intensity. Steered after the workers, so it lands
+  // on a remaining core.
+  caller_ = platform.scheduler().spawn(
+      "kcrypto-caller",
+      std::make_unique<soc::JitterWorkload>(0.25, 0.01),
+      {.policy = sched::SchedPolicy::other,
+       .priority = 31,
+       .cluster_hint = std::nullopt});
+}
+
+aes::Block KernelModuleVictim::encrypt_window(const aes::Block& plaintext,
+                                              double window_s) {
+  for (const sched::ThreadId id : workers_) {
+    aes_workload(*platform_, id).set_plaintext(plaintext);
+  }
+  platform_->run_for(window_s);
+  return aes_workload(*platform_, workers_.front()).ciphertext();
+}
+
+std::uint64_t KernelModuleVictim::blocks_encrypted() const {
+  std::uint64_t total = 0;
+  for (const sched::ThreadId id : workers_) {
+    total += dynamic_cast<const soc::AesWorkload&>(
+                 platform_->scheduler().thread(id).workload())
+                 .blocks_encrypted();
+  }
+  return total;
+}
+
+}  // namespace psc::victim

@@ -1,0 +1,81 @@
+// Full-simulation victim programs (threat model of section 3.1): a service
+// holding a secret AES-128 key, accepting attacker-chosen plaintexts, and
+// encrypting each one repeatedly for about one SMC update window.
+//
+// Two deployments, as in the paper:
+//  * UserSpaceVictim  — section 3.3/3.4: N replicated threads on P-cores
+//    (3 in the paper's amplified setup) encrypting the same plaintext.
+//  * KernelModuleVictim — section 3.5: a kernel crypto driver; its worker
+//    threads run at a duty cycle < 1 (syscall entry/exit, copyin/copyout)
+//    and the user-side caller adds background jitter — both lower SNR.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "aes/aes128.h"
+#include "sched/scheduler.h"
+#include "victim/platform.h"
+
+namespace psc::victim {
+
+// Common interface the attacker interacts with (known-plaintext setting).
+class CryptoService {
+ public:
+  virtual ~CryptoService() = default;
+
+  // Feeds a plaintext and lets the victim encrypt it repeatedly for
+  // `window_s` seconds of simulated time; returns the ciphertext.
+  virtual aes::Block encrypt_window(const aes::Block& plaintext,
+                                    double window_s) = 0;
+
+  virtual std::string_view description() const noexcept = 0;
+
+  // Total blocks encrypted so far (for throughput/timing measurements).
+  virtual std::uint64_t blocks_encrypted() const = 0;
+};
+
+class UserSpaceVictim final : public CryptoService {
+ public:
+  // Spawns `thread_count` AES threads (SCHED_RR, top priority -> P-cores).
+  UserSpaceVictim(Platform& platform, const aes::Block& secret_key,
+                  std::size_t thread_count = 3);
+
+  aes::Block encrypt_window(const aes::Block& plaintext,
+                            double window_s) override;
+  std::string_view description() const noexcept override {
+    return "user-space AES victim";
+  }
+  std::uint64_t blocks_encrypted() const override;
+
+  const std::vector<sched::ThreadId>& thread_ids() const noexcept {
+    return threads_;
+  }
+
+ private:
+  Platform* platform_;
+  std::vector<sched::ThreadId> threads_;
+};
+
+class KernelModuleVictim final : public CryptoService {
+ public:
+  // `worker_count` kernel worker threads at `duty_cycle`, plus a
+  // user-side caller thread generating syscall-path jitter.
+  KernelModuleVictim(Platform& platform, const aes::Block& secret_key,
+                     std::size_t worker_count = 3, double duty_cycle = 0.85);
+
+  aes::Block encrypt_window(const aes::Block& plaintext,
+                            double window_s) override;
+  std::string_view description() const noexcept override {
+    return "kernel-module AES victim";
+  }
+  std::uint64_t blocks_encrypted() const override;
+
+ private:
+  Platform* platform_;
+  std::vector<sched::ThreadId> workers_;
+  sched::ThreadId caller_;
+};
+
+}  // namespace psc::victim

@@ -1,0 +1,111 @@
+#include "aes/aes_armv8.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace psc::aes {
+namespace {
+
+Block block_from_hex(const char* hex) {
+  Block b{};
+  EXPECT_TRUE(util::from_hex_exact(hex, b));
+  return b;
+}
+
+TEST(AesArmv8, AeseSemantics) {
+  // AESE = ShiftRows(SubBytes(state ^ key)); verify against primitives.
+  Block state = block_from_hex("00112233445566778899aabbccddeeff");
+  const Block key = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  Block expected = state;
+  add_round_key(expected, key);
+  sub_bytes(expected);
+  shift_rows(expected);
+  EXPECT_EQ(aese(state, key), expected);
+}
+
+TEST(AesArmv8, AesmcSemantics) {
+  Block state = block_from_hex("6353e08c0960e104cd70b751bacad0e7");
+  Block expected = state;
+  mix_columns(expected);
+  EXPECT_EQ(aesmc(state), expected);
+}
+
+TEST(AesArmv8, MatchesFips197Vector) {
+  const Block key = block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+  const Block expected = block_from_hex("3925841d02dc09fbdc118597196a0b32");
+  Aes128Armv8 cipher(key);
+  EXPECT_EQ(cipher.encrypt(pt), expected);
+}
+
+TEST(AesArmv8, InstructionTraceEndsWithCiphertext) {
+  const Block key = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const Block pt = block_from_hex("00112233445566778899aabbccddeeff");
+  Aes128Armv8 cipher(key);
+  Armv8InstructionTrace trace;
+  const Block ct = cipher.encrypt_trace(pt, trace);
+  EXPECT_EQ(trace.values[Armv8InstructionTrace::instruction_count - 1], ct);
+}
+
+TEST(AesArmv8, InstructionTraceFirstValue) {
+  const Block key = block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+  Aes128Armv8 cipher(key);
+  Armv8InstructionTrace trace;
+  cipher.encrypt_trace(pt, trace);
+  EXPECT_EQ(trace.values[0], aese(pt, key));
+}
+
+TEST(AesArmv8, InstructionTraceAlternatesAeseAesmc) {
+  const Block key = block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+  Aes128Armv8 cipher(key);
+  Armv8InstructionTrace trace;
+  cipher.encrypt_trace(pt, trace);
+  // Each AESMC output equals MixColumns of the preceding AESE output.
+  for (std::size_t r = 0; r + 1 < num_rounds; ++r) {
+    EXPECT_EQ(trace.values[2 * r + 1], aesmc(trace.values[2 * r]));
+  }
+}
+
+class Armv8Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Armv8Equivalence, MatchesReferenceCipher) {
+  util::Xoshiro256 rng(GetParam());
+  Block key;
+  Block pt;
+  rng.fill_bytes(key);
+  rng.fill_bytes(pt);
+  Aes128 reference(key);
+  Aes128Armv8 armv8(key);
+  EXPECT_EQ(armv8.encrypt(pt), reference.encrypt(pt));
+}
+
+TEST_P(Armv8Equivalence, TraceConsistentWithReferenceStates) {
+  util::Xoshiro256 rng(GetParam() + 500);
+  Block key;
+  Block pt;
+  rng.fill_bytes(key);
+  rng.fill_bytes(pt);
+  Aes128 reference(key);
+  Aes128Armv8 armv8(key);
+  RoundTrace ref_trace;
+  Armv8InstructionTrace arm_trace;
+  reference.encrypt_trace(pt, ref_trace);
+  armv8.encrypt_trace(pt, arm_trace);
+  // AESMC output of round r equals the reference state just before
+  // AddRoundKey of round r+1; XORing the round key gives post_ark[r+1].
+  for (std::size_t r = 0; r + 1 < num_rounds; ++r) {
+    Block expected = arm_trace.values[2 * r + 1];
+    add_round_key(expected, reference.round_keys()[r + 1]);
+    EXPECT_EQ(expected, ref_trace.post_add_round_key[r + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, Armv8Equivalence,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace psc::aes

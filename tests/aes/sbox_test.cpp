@@ -1,0 +1,103 @@
+#include "aes/sbox.h"
+
+#include <gtest/gtest.h>
+
+namespace psc::aes {
+namespace {
+
+TEST(Sbox, KnownEntries) {
+  // FIPS-197 figure 7 spot checks.
+  EXPECT_EQ(sbox[0x00], 0x63);
+  EXPECT_EQ(sbox[0x01], 0x7c);
+  EXPECT_EQ(sbox[0x53], 0xed);
+  EXPECT_EQ(sbox[0xff], 0x16);
+  EXPECT_EQ(sbox[0xc9], 0xdd);
+}
+
+TEST(Sbox, InverseKnownEntries) {
+  EXPECT_EQ(inv_sbox[0x63], 0x00);
+  EXPECT_EQ(inv_sbox[0xed], 0x53);
+  EXPECT_EQ(inv_sbox[0x16], 0xff);
+}
+
+TEST(Sbox, InverseIsTrueInverse) {
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(inv_sbox[sbox[x]], x);
+    EXPECT_EQ(sbox[inv_sbox[x]], x);
+  }
+}
+
+TEST(Sbox, IsAPermutation) {
+  std::array<bool, 256> seen{};
+  for (int i = 0; i < 256; ++i) {
+    seen[sbox[static_cast<std::size_t>(i)]] = true;
+  }
+  for (const bool hit : seen) {
+    EXPECT_TRUE(hit);
+  }
+}
+
+TEST(Sbox, NoFixedPoints) {
+  // The AES S-box has no fixed points and no anti-fixed points.
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    EXPECT_NE(sbox[x], x);
+    EXPECT_NE(sbox[x], static_cast<std::uint8_t>(~x));
+  }
+}
+
+TEST(GfArithmetic, XtimeChain) {
+  // FIPS-197 section 4.2.1 example: repeated xtime of 0x57.
+  EXPECT_EQ(xtime(0x57), 0xae);
+  EXPECT_EQ(xtime(0xae), 0x47);
+  EXPECT_EQ(xtime(0x47), 0x8e);
+  EXPECT_EQ(xtime(0x8e), 0x07);
+}
+
+TEST(GfArithmetic, MulKnownExamples) {
+  // FIPS-197: {57} * {83} = {c1} and {57} * {13} = {fe}.
+  EXPECT_EQ(gf_mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(gf_mul(0x57, 0x13), 0xfe);
+}
+
+TEST(GfArithmetic, MulCommutative) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(gf_mul(static_cast<std::uint8_t>(a),
+                       static_cast<std::uint8_t>(b)),
+                gf_mul(static_cast<std::uint8_t>(b),
+                       static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GfArithmetic, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, 1), x);
+    EXPECT_EQ(gf_mul(x, 0), 0);
+  }
+}
+
+TEST(GfArithmetic, InverseProperty) {
+  EXPECT_EQ(gf_inv(0), 0);
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, gf_inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(GfArithmetic, AffineOfZeroIsSboxConstant) {
+  EXPECT_EQ(aes_affine(0), 0x63);
+}
+
+TEST(Sbox, CompileTimeGeneration) {
+  static_assert(sbox[0x00] == 0x63);
+  static_assert(sbox[0x53] == 0xed);
+  static_assert(inv_sbox[0x63] == 0x00);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psc::aes

@@ -1,0 +1,211 @@
+#include "core/cpa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace psc::core {
+namespace {
+
+aes::Block random_block(util::Xoshiro256& rng) {
+  aes::Block b;
+  rng.fill_bytes(b);
+  return b;
+}
+
+TEST(CpaEngine, RejectsEmptyModelList) {
+  EXPECT_THROW(CpaEngine({}), std::invalid_argument);
+}
+
+TEST(CpaEngine, RejectsUnconfiguredModel) {
+  CpaEngine engine({power::PowerModel::rd0_hw});
+  EXPECT_THROW(engine.analyze_byte(power::PowerModel::rd10_hw, 0),
+               std::invalid_argument);
+}
+
+TEST(CpaEngine, TraceCountTracked) {
+  CpaEngine engine({power::PowerModel::rd0_hw});
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 5; ++i) {
+    engine.add_trace(random_block(rng), random_block(rng), 1.0);
+  }
+  EXPECT_EQ(engine.trace_count(), 5u);
+}
+
+TEST(ByteRanking, RankAndBestGuess) {
+  ByteRanking ranking;
+  for (int g = 0; g < 256; ++g) {
+    ranking.correlation[static_cast<std::size_t>(g)] = -g / 1000.0;
+  }
+  EXPECT_EQ(ranking.best_guess(), 0);
+  EXPECT_EQ(ranking.rank_of(0), 1);
+  EXPECT_EQ(ranking.rank_of(5), 6);
+  EXPECT_EQ(ranking.rank_of(255), 256);
+}
+
+// Each model recovers the key byte it targets when the chip leaks exactly
+// its hypothesized intermediate.
+class CpaModelRecovery : public ::testing::TestWithParam<power::PowerModel> {
+};
+
+TEST_P(CpaModelRecovery, RecoversAllBytesNoiseless) {
+  const power::PowerModel model = GetParam();
+  util::Xoshiro256 rng(2);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+
+  CpaEngine engine({model});
+  aes::RoundTrace trace;
+  for (int t = 0; t < 6000; ++t) {
+    const aes::Block pt = random_block(rng);
+    const aes::Block ct = cipher.encrypt_trace(pt, trace);
+    double leak = 0.0;
+    switch (model) {
+      case power::PowerModel::rd0_hw:
+        leak = aes::hamming_weight(trace.post_add_round_key[0]);
+        break;
+      case power::PowerModel::rd10_hw:
+        leak = aes::hamming_weight(trace.post_add_round_key[9]);
+        break;
+      case power::PowerModel::rd10_hd:
+        leak = aes::hamming_distance(trace.post_add_round_key[9],
+                                     trace.post_add_round_key[10]);
+        break;
+      case power::PowerModel::rd1_sbox_hw:
+        leak = aes::hamming_weight(trace.post_sub_bytes[0]);
+        break;
+    }
+    engine.add_trace(pt, ct, leak);
+  }
+
+  const ModelResult result = engine.analyze(model, cipher.round_keys());
+  EXPECT_EQ(result.recovered_bytes, 16) << power::power_model_name(model);
+  EXPECT_DOUBLE_EQ(result.ge_bits, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_rank, 1.0);
+  EXPECT_EQ(result.implied_master_key, key);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CpaModelRecovery,
+                         ::testing::ValuesIn(power::all_power_models));
+
+TEST(CpaEngine, RecoversUnderModerateNoise) {
+  util::Xoshiro256 rng(3);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+  CpaEngine engine({power::PowerModel::rd0_hw});
+  aes::RoundTrace trace;
+  for (int t = 0; t < 40000; ++t) {
+    const aes::Block pt = random_block(rng);
+    const aes::Block ct = cipher.encrypt_trace(pt, trace);
+    const double leak = aes::hamming_weight(trace.post_add_round_key[0]) +
+                        rng.gaussian(0.0, 40.0);
+    engine.add_trace(pt, ct, leak);
+  }
+  const ModelResult result =
+      engine.analyze(power::PowerModel::rd0_hw, cipher.round_keys());
+  EXPECT_GE(result.recovered_bytes, 12);
+  EXPECT_LT(result.ge_bits, 12.0);
+}
+
+// The histogram decomposition must agree exactly with brute-force
+// per-trace correlation.
+class CpaHistogramEquivalence
+    : public ::testing::TestWithParam<power::PowerModel> {};
+
+TEST_P(CpaHistogramEquivalence, MatchesDirectCorrelation) {
+  const power::PowerModel model = GetParam();
+  util::Xoshiro256 rng(4);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+
+  constexpr int n_traces = 1500;
+  std::vector<aes::Block> pts(n_traces);
+  std::vector<aes::Block> cts(n_traces);
+  std::vector<double> values(n_traces);
+
+  CpaEngine engine({model});
+  aes::RoundTrace trace;
+  for (int t = 0; t < n_traces; ++t) {
+    pts[static_cast<std::size_t>(t)] = random_block(rng);
+    cts[static_cast<std::size_t>(t)] =
+        cipher.encrypt_trace(pts[static_cast<std::size_t>(t)], trace);
+    values[static_cast<std::size_t>(t)] =
+        aes::hamming_weight(trace.post_add_round_key[0]) +
+        rng.gaussian(0.0, 5.0);
+    engine.add_trace(pts[static_cast<std::size_t>(t)],
+                     cts[static_cast<std::size_t>(t)],
+                     values[static_cast<std::size_t>(t)]);
+  }
+
+  for (const std::size_t byte_index : {std::size_t{0}, std::size_t{7}}) {
+    const ByteRanking fast = engine.analyze_byte(model, byte_index);
+    for (int g = 0; g < 256; g += 13) {
+      util::OnlineCorrelation direct;
+      for (int t = 0; t < n_traces; ++t) {
+        direct.add(
+            static_cast<double>(power::predict(
+                model, pts[static_cast<std::size_t>(t)],
+                cts[static_cast<std::size_t>(t)], byte_index,
+                static_cast<std::uint8_t>(g))),
+            values[static_cast<std::size_t>(t)]);
+      }
+      EXPECT_NEAR(fast.correlation[static_cast<std::size_t>(g)],
+                  direct.correlation(), 1e-9)
+          << power::power_model_name(model) << " byte " << byte_index
+          << " guess " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CpaHistogramEquivalence,
+                         ::testing::ValuesIn(power::all_power_models));
+
+TEST(CpaEngine, Round10KeyInversion) {
+  // A perfect rd10 recovery must hand back the victim's master key.
+  util::Xoshiro256 rng(5);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+  CpaEngine engine({power::PowerModel::rd10_hw});
+  aes::RoundTrace trace;
+  for (int t = 0; t < 8000; ++t) {
+    const aes::Block pt = random_block(rng);
+    const aes::Block ct = cipher.encrypt_trace(pt, trace);
+    engine.add_trace(pt, ct,
+                     aes::hamming_weight(trace.post_add_round_key[9]));
+  }
+  const ModelResult result =
+      engine.analyze(power::PowerModel::rd10_hw, cipher.round_keys());
+  EXPECT_EQ(result.best_round_key, cipher.round_keys()[10]);
+  EXPECT_EQ(result.implied_master_key, key);
+}
+
+TEST(CpaEngine, NoSignalMeansNoRecovery) {
+  util::Xoshiro256 rng(6);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+  CpaEngine engine({power::PowerModel::rd0_hw});
+  for (int t = 0; t < 20000; ++t) {
+    const aes::Block pt = random_block(rng);
+    engine.add_trace(pt, cipher.encrypt(pt), rng.gaussian(0.0, 1.0));
+  }
+  const ModelResult result =
+      engine.analyze(power::PowerModel::rd0_hw, cipher.round_keys());
+  // Pure noise: GE stays near the random-guessing reference.
+  EXPECT_GT(result.ge_bits, 80.0);
+  EXPECT_LE(result.recovered_bytes, 2);
+}
+
+TEST(CpaEngine, EmptyEngineReturnsZeroCorrelations) {
+  CpaEngine engine({power::PowerModel::rd0_hw});
+  const ByteRanking ranking =
+      engine.analyze_byte(power::PowerModel::rd0_hw, 0);
+  for (const double c : ranking.correlation) {
+    EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,176 @@
+#include "core/key_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace psc::core {
+namespace {
+
+// Builds rankings where each byte's scores are a strictly decreasing
+// function of the distance to the true byte value; the true byte lands at
+// the given per-byte rank.
+std::array<ByteRanking, 16> synthetic_rankings(
+    const std::array<std::uint8_t, 16>& true_key,
+    const std::array<int, 16>& target_ranks) {
+  std::array<ByteRanking, 16> bytes{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (int g = 0; g < 256; ++g) {
+      // Unique descending scores by (g - true) mod 256 order.
+      const int offset = (g - true_key[i] + 256) % 256;
+      bytes[i].correlation[static_cast<std::size_t>(g)] =
+          1.0 - offset / 256.0;
+    }
+    // Move the true byte down to the requested rank by swapping scores.
+    const int rank = target_ranks[i];
+    if (rank > 1) {
+      const auto truth = true_key[i];
+      const auto occupant =
+          static_cast<std::uint8_t>((truth + rank - 1) % 256);
+      std::swap(bytes[i].correlation[truth], bytes[i].correlation[occupant]);
+    }
+  }
+  return bytes;
+}
+
+TEST(KeyRank, RejectsTooFewBins) {
+  std::array<ByteRanking, 16> bytes{};
+  std::array<std::uint8_t, 16> key{};
+  EXPECT_THROW(estimate_key_rank(bytes, key, 4), std::invalid_argument);
+}
+
+TEST(KeyRank, AllRankOneMeansRankOne) {
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(17 * i + 3);
+  }
+  std::array<int, 16> ranks;
+  ranks.fill(1);
+  const auto est = estimate_key_rank(synthetic_rankings(key, ranks), key);
+  EXPECT_NEAR(est.log2_rank_lower, 0.0, 0.01);
+  EXPECT_LT(est.log2_rank, 1.0);
+}
+
+TEST(KeyRank, DegenerateScoresGiveFullRange) {
+  std::array<ByteRanking, 16> bytes{};  // all-zero correlations
+  std::array<std::uint8_t, 16> key{};
+  const auto est = estimate_key_rank(bytes, key);
+  EXPECT_DOUBLE_EQ(est.log2_rank_lower, 0.0);
+  EXPECT_DOUBLE_EQ(est.log2_rank_upper, 128.0);
+}
+
+TEST(KeyRank, BoundsAreOrdered) {
+  util::Xoshiro256 rng(5);
+  std::array<ByteRanking, 16> bytes{};
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    for (int g = 0; g < 256; ++g) {
+      bytes[i].correlation[static_cast<std::size_t>(g)] = rng.gaussian();
+    }
+  }
+  const auto est = estimate_key_rank(bytes, key);
+  EXPECT_LE(est.log2_rank_lower, est.log2_rank);
+  EXPECT_LE(est.log2_rank, est.log2_rank_upper + 1e-9);
+  EXPECT_LE(est.log2_rank_upper, 128.0);
+}
+
+TEST(KeyRank, RandomScoresPutRandomKeyMidRange) {
+  // With i.i.d. scores the true key is a typical key: its rank should be
+  // deep (tens of bits), not near 0.
+  util::Xoshiro256 rng(6);
+  std::array<ByteRanking, 16> bytes{};
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    for (int g = 0; g < 256; ++g) {
+      bytes[i].correlation[static_cast<std::size_t>(g)] = rng.uniform01();
+    }
+  }
+  const auto est = estimate_key_rank(bytes, key);
+  EXPECT_GT(est.log2_rank, 80.0);
+}
+
+TEST(KeyRank, MatchesExactEnumerationOnTwoBytes) {
+  // Exact cross-check: restrict information to 2 bytes (the other 14 at
+  // rank 1 with far-separated scores), enumerate all 65536 combinations
+  // of the two informative bytes, and compare with the estimator.
+  util::Xoshiro256 rng(7);
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  // Pin bytes 2..15 hard: the true byte scores 50, every other guess 0,
+  // so no full-key combination can trade a pinned byte against the two
+  // informative ones (whose scores stay within [0, 1]).
+  std::array<ByteRanking, 16> bytes{};
+  for (std::size_t i = 2; i < 16; ++i) {
+    bytes[i].correlation[key[i]] = 50.0;
+  }
+  // Make bytes 0 and 1 informative with random scores.
+  for (const std::size_t i : {0u, 1u}) {
+    for (int g = 0; g < 256; ++g) {
+      bytes[i].correlation[static_cast<std::size_t>(g)] = rng.uniform01();
+    }
+  }
+
+  // Exact rank over the two informative bytes (other bytes contribute a
+  // constant, maximal score).
+  const double t0 = bytes[0].correlation[key[0]];
+  const double t1 = bytes[1].correlation[key[1]];
+  std::uint64_t better = 0;
+  for (int g0 = 0; g0 < 256; ++g0) {
+    for (int g1 = 0; g1 < 256; ++g1) {
+      const double s = bytes[0].correlation[static_cast<std::size_t>(g0)] +
+                       bytes[1].correlation[static_cast<std::size_t>(g1)];
+      if (s > t0 + t1) {
+        ++better;
+      }
+    }
+  }
+  const double exact_log2 = std::log2(static_cast<double>(better) + 1.0);
+
+  const auto est = estimate_key_rank(bytes, key, 8192);
+  EXPECT_NEAR(est.log2_rank, exact_log2, 1.0);
+  EXPECT_LE(est.log2_rank_lower, exact_log2 + 0.5);
+  EXPECT_GE(est.log2_rank_upper, exact_log2 - 0.5);
+}
+
+TEST(KeyRank, TighterRanksMeanLowerKeyRank) {
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(31 * i + 7);
+  }
+  std::array<int, 16> good;
+  good.fill(2);
+  std::array<int, 16> bad;
+  bad.fill(50);
+  const auto est_good =
+      estimate_key_rank(synthetic_rankings(key, good), key);
+  const auto est_bad = estimate_key_rank(synthetic_rankings(key, bad), key);
+  EXPECT_LT(est_good.log2_rank, est_bad.log2_rank);
+}
+
+TEST(KeyRank, ModelResultOverloadUsesScoredKey) {
+  util::Xoshiro256 rng(8);
+  ModelResult result;
+  for (std::size_t i = 0; i < 16; ++i) {
+    result.scored_key[i] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    for (int g = 0; g < 256; ++g) {
+      result.bytes[i].correlation[static_cast<std::size_t>(g)] =
+          rng.gaussian();
+    }
+  }
+  std::array<std::uint8_t, 16> key{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    key[i] = result.scored_key[i];
+  }
+  const auto a = estimate_key_rank(result);
+  const auto b = estimate_key_rank(result.bytes, key);
+  EXPECT_DOUBLE_EQ(a.log2_rank, b.log2_rank);
+}
+
+}  // namespace
+}  // namespace psc::core

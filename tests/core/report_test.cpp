@@ -1,0 +1,122 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psc::core {
+namespace {
+
+std::vector<TvlaChannelResult> sample_channels() {
+  TvlaChannelResult leaky;
+  leaky.channel = "PHPC";
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      leaky.matrix.t[i][j] = i == j ? 0.2 : 12.5;
+    }
+  }
+  TvlaChannelResult quiet;
+  quiet.channel = "PHPS";
+  return {leaky, quiet};
+}
+
+TEST(Report, TvlaTableLayout) {
+  const auto table = tvla_table("Table 3", sample_channels());
+  std::ostringstream out;
+  table.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Table 3"), std::string::npos);
+  EXPECT_NE(s.find("PHPC All 0s"), std::string::npos);
+  EXPECT_NE(s.find("PHPS Random"), std::string::npos);
+  EXPECT_NE(s.find("12.50"), std::string::npos);
+  EXPECT_NE(s.find("All 1s'"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(Report, TvlaClassificationTable) {
+  const auto table =
+      tvla_classification_table("classes", sample_channels());
+  std::ostringstream out;
+  table.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("TP"), std::string::npos);
+  EXPECT_NE(s.find("TN"), std::string::npos);
+  EXPECT_NE(s.find("FN"), std::string::npos);
+  EXPECT_NE(s.find("TP=6"), std::string::npos);  // PHPC summary
+  EXPECT_NE(s.find("FN=6"), std::string::npos);  // PHPS summary
+}
+
+TEST(Report, CpaRankTable) {
+  ModelResult result;
+  result.model = power::PowerModel::rd0_hw;
+  for (std::size_t i = 0; i < 16; ++i) {
+    result.true_ranks[i] = static_cast<int>(i) + 1;
+  }
+  result.true_ranks[0] = 1;
+  result.ge_bits = 31.0;
+  result.mean_rank = 7.8;
+  result.recovered_bytes = 1;
+
+  const auto table =
+      cpa_rank_table("Table 4", {{"PHPC", &result}, {"PHPC (M1)", &result}});
+  std::ostringstream out;
+  table.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Table 4"), std::string::npos);
+  EXPECT_NE(s.find("PHPC (M1)"), std::string::npos);
+  EXPECT_NE(s.find("1 *"), std::string::npos);   // recovered marker
+  EXPECT_NE(s.find("5 +"), std::string::npos);   // near-recovery marker
+  EXPECT_NE(s.find("31.0"), std::string::npos);  // GE row
+  EXPECT_NE(s.find("1/16"), std::string::npos);  // recovered row
+}
+
+TEST(Report, GeCurvesCsv) {
+  const std::vector<GeCurvePoint> curve = {{1000, 90.0, 50.0, 0},
+                                           {10000, 60.0, 20.0, 2}};
+  std::ostringstream out;
+  write_ge_curves_csv(out, {{"M2 Rd0-HW", &curve}});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("series,traces,ge_bits,mean_rank,recovered_bytes"),
+            std::string::npos);
+  EXPECT_NE(s.find("M2 Rd0-HW,1000,90,50,0"), std::string::npos);
+  EXPECT_NE(s.find("M2 Rd0-HW,10000,60,20,2"), std::string::npos);
+}
+
+TEST(Report, GeCurvesTextPlot) {
+  const std::vector<GeCurvePoint> a = {{1000, 100.0, 50.0, 0},
+                                       {10000, 40.0, 10.0, 4}};
+  const std::vector<GeCurvePoint> b = {{1000, 100.0, 50.0, 0},
+                                       {10000, 95.0, 45.0, 0}};
+  std::ostringstream out;
+  render_ge_curves(out, {{"converging", &a}, {"flat", &b}});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("A = converging"), std::string::npos);
+  EXPECT_NE(s.find("B = flat"), std::string::npos);
+  EXPECT_NE(s.find("GE (bits)"), std::string::npos);
+}
+
+TEST(Report, GeCurvesEmptyInput) {
+  std::ostringstream out;
+  render_ge_curves(out, {});
+  EXPECT_NE(out.str().find("no curve data"), std::string::npos);
+}
+
+TEST(Report, ThrottleObservationTable) {
+  ThrottleObservation obs;
+  obs.aes_only_power_w = 2.81;
+  obs.aes_only_p_freq_hz = 1.968e9;
+  obs.stressed_p_freq_hz = 1.284e9;
+  obs.stressed_e_freq_hz = 2.424e9;
+  obs.power_throttled = true;
+  const auto table = throttle_observation_table(obs);
+  std::ostringstream out;
+  table.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("2.81"), std::string::npos);
+  EXPECT_NE(s.find("1.968"), std::string::npos);
+  EXPECT_NE(s.find("2.424"), std::string::npos);
+  EXPECT_NE(s.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc::core

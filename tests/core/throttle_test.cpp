@@ -1,0 +1,79 @@
+#include "core/throttle.h"
+
+#include <gtest/gtest.h>
+
+namespace psc::core {
+namespace {
+
+TEST(LowpowerSweep, PowerRisesWithThreadsButStaysUnthrottled) {
+  const auto points =
+      lowpower_aes_sweep(soc::DeviceProfile::macbook_air_m2(), 4, 21);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].package_power_w, points[i - 1].package_power_w);
+  }
+  // AES alone never exceeds the 4 W budget (paper: 2.8 W at 4 threads).
+  for (const auto& p : points) {
+    EXPECT_LT(p.package_power_w, 4.0);
+    EXPECT_FALSE(p.throttled);
+    EXPECT_DOUBLE_EQ(p.p_freq_hz, 1.968e9);
+  }
+  EXPECT_NEAR(points.back().package_power_w, 2.8, 0.3);
+}
+
+class ThrottleCampaignTest : public ::testing::Test {
+ protected:
+  ThrottleExperimentConfig config_{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .aes_threads = 4,
+      .stressor_threads = 4,
+      .traces_per_set = 20,
+      .window_s = 0.5,
+      .seed = 22,
+  };
+};
+
+TEST_F(ThrottleCampaignTest, ReproducesSection4OperatingPoints) {
+  const auto result = run_throttle_campaign(config_);
+  const auto& obs = result.observation;
+
+  // Phase 1: ~2.8 W, 1.968 GHz, no throttling.
+  EXPECT_NEAR(obs.aes_only_power_w, 2.8, 0.3);
+  EXPECT_DOUBLE_EQ(obs.aes_only_p_freq_hz, 1.968e9);
+  EXPECT_FALSE(obs.aes_only_throttled);
+
+  // Phase 2: budget exceeded -> power throttling of the P-cluster only.
+  EXPECT_TRUE(obs.power_throttled);
+  EXPECT_FALSE(obs.thermal_throttled);
+  EXPECT_LT(obs.stressed_p_freq_hz, 1.968e9);
+  EXPECT_DOUBLE_EQ(obs.stressed_e_freq_hz, 2.424e9);
+  // Governor settles at/below the 4 W budget (within one step of slack).
+  EXPECT_LT(obs.stressed_estimated_power_w, 4.4);
+}
+
+TEST_F(ThrottleCampaignTest, ThrottledTimingCarriesNoDataDependence) {
+  const auto result = run_throttle_campaign(config_);
+  EXPECT_TRUE(result.timing_matrix.no_data_dependence())
+      << "timing must not leak: the governor input is the PHPS estimate";
+  EXPECT_GT(result.mean_time_per_kblock_s, 0.0);
+}
+
+TEST_F(ThrottleCampaignTest, ThrottlingSlowsTheVictim) {
+  const auto result = run_throttle_campaign(config_);
+  // Throttled: below the lowpower ceiling frequency, so slower than the
+  // unthrottled time 1000 * 80 cycles / 1.968 GHz per thread-kblock.
+  const double unthrottled_kblock =
+      1000.0 * 80.0 / 1.968e9 / static_cast<double>(config_.aes_threads);
+  EXPECT_GT(result.mean_time_per_kblock_s, unthrottled_kblock);
+}
+
+TEST_F(ThrottleCampaignTest, DeterministicForSeed) {
+  const auto a = run_throttle_campaign(config_);
+  const auto b = run_throttle_campaign(config_);
+  EXPECT_DOUBLE_EQ(a.observation.stressed_p_freq_hz,
+                   b.observation.stressed_p_freq_hz);
+  EXPECT_DOUBLE_EQ(a.mean_time_per_kblock_s, b.mean_time_per_kblock_s);
+}
+
+}  // namespace
+}  // namespace psc::core

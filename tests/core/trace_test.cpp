@@ -1,0 +1,90 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace psc::core {
+namespace {
+
+TraceRecord make_record(util::Xoshiro256& rng, std::size_t values) {
+  TraceRecord r;
+  rng.fill_bytes(r.plaintext);
+  rng.fill_bytes(r.ciphertext);
+  for (std::size_t i = 0; i < values; ++i) {
+    r.values.push_back(rng.uniform(0.0, 10.0));
+  }
+  return r;
+}
+
+TEST(TraceSet, AddAndAccess) {
+  TraceSet set({util::FourCc("PHPC"), util::FourCc("PSTR")});
+  util::Xoshiro256 rng(1);
+  set.add(make_record(rng, 2));
+  set.add(make_record(rng, 2));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set[0].values.size(), 2u);
+}
+
+TEST(TraceSet, RejectsMismatchedValues) {
+  TraceSet set({util::FourCc("PHPC")});
+  util::Xoshiro256 rng(2);
+  EXPECT_THROW(set.add(make_record(rng, 3)), std::invalid_argument);
+}
+
+TEST(TraceSet, KeyIndexLookup) {
+  TraceSet set({util::FourCc("PHPC"), util::FourCc("PSTR")});
+  EXPECT_EQ(set.key_index(util::FourCc("PSTR")), 1u);
+  EXPECT_FALSE(set.key_index(util::FourCc("XXXX")).has_value());
+}
+
+TEST(TraceSet, ColumnExtraction) {
+  TraceSet set({util::FourCc("PHPC")});
+  for (double v : {1.0, 2.0, 3.0}) {
+    TraceRecord r;
+    r.values = {v};
+    set.add(r);
+  }
+  EXPECT_EQ(set.column(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TraceSet, CsvRoundTrip) {
+  TraceSet set({util::FourCc("PHPC"), util::FourCc("PDTR")});
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) {
+    set.add(make_record(rng, 2));
+  }
+  std::stringstream buffer;
+  set.save_csv(buffer);
+  const TraceSet loaded = TraceSet::load_csv(buffer);
+  ASSERT_EQ(loaded.size(), set.size());
+  ASSERT_EQ(loaded.keys(), set.keys());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(loaded[i].plaintext, set[i].plaintext);
+    EXPECT_EQ(loaded[i].ciphertext, set[i].ciphertext);
+    for (std::size_t v = 0; v < 2; ++v) {
+      EXPECT_NEAR(loaded[i].values[v], set[i].values[v], 1e-9);
+    }
+  }
+}
+
+TEST(TraceSet, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(TraceSet::load_csv(empty), std::runtime_error);
+
+  std::stringstream bad_header("foo,bar\n");
+  EXPECT_THROW(TraceSet::load_csv(bad_header), std::runtime_error);
+
+  std::stringstream bad_key("plaintext,ciphertext,TOOLONGKEY\n");
+  EXPECT_THROW(TraceSet::load_csv(bad_key), std::runtime_error);
+
+  std::stringstream bad_hex(
+      "plaintext,ciphertext,PHPC\nzz,00112233445566778899aabbccddeeff,1.0\n");
+  EXPECT_THROW(TraceSet::load_csv(bad_hex), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,73 @@
+#include "power/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace psc::power {
+namespace {
+
+TEST(GaussianNoise, ZeroSigmaIsIdentity) {
+  GaussianNoise noise(0.0);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(noise.apply(3.25, rng), 3.25);
+  }
+}
+
+TEST(GaussianNoise, SampleMoments) {
+  GaussianNoise noise(2.5);
+  util::Xoshiro256 rng(2);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(noise.sample(rng));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.5, 0.05);
+}
+
+TEST(GaussianNoise, ApplyShiftsValue) {
+  GaussianNoise noise(1.0);
+  util::Xoshiro256 rng(3);
+  util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(noise.apply(10.0, rng));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+}
+
+TEST(Quantizer, RoundsToStep) {
+  Quantizer q(0.5);
+  EXPECT_DOUBLE_EQ(q.apply(0.74), 0.5);
+  EXPECT_DOUBLE_EQ(q.apply(0.76), 1.0);
+  EXPECT_DOUBLE_EQ(q.apply(-0.74), -0.5);
+  EXPECT_DOUBLE_EQ(q.apply(-0.76), -1.0);
+  EXPECT_DOUBLE_EQ(q.apply(0.0), 0.0);
+}
+
+TEST(Quantizer, ZeroStepIsIdentity) {
+  Quantizer q(0.0);
+  EXPECT_DOUBLE_EQ(q.apply(0.123456789), 0.123456789);
+}
+
+TEST(Quantizer, Idempotent) {
+  Quantizer q(1e-6);
+  const double once = q.apply(3.14159265358979);
+  EXPECT_DOUBLE_EQ(q.apply(once), once);
+}
+
+TEST(Quantizer, MicrowattResolution) {
+  Quantizer q(1e-6);
+  EXPECT_NEAR(q.apply(2.0000014), 2.000001, 1e-12);
+  EXPECT_NEAR(q.apply(2.0000016), 2.000002, 1e-12);
+}
+
+TEST(Quantizer, ErrorBoundedByHalfStep) {
+  Quantizer q(0.25);
+  for (double x = -3.0; x < 3.0; x += 0.0137) {
+    EXPECT_LE(std::abs(q.apply(x) - x), 0.125 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace psc::power

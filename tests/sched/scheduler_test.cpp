@@ -1,0 +1,181 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "soc/chip.h"
+#include "soc/workload.h"
+
+namespace psc::sched {
+namespace {
+
+std::unique_ptr<soc::Chip> make_chip() {
+  return std::make_unique<soc::Chip>(soc::DeviceProfile::macbook_air_m2(), 9);
+}
+
+ThreadAttributes realtime_attrs() {
+  return {.policy = SchedPolicy::round_robin,
+          .priority = 47,
+          .cluster_hint = std::nullopt};
+}
+
+TEST(Scheduler, SpawnAndLookup) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const ThreadId id = sched.spawn("w", std::make_unique<soc::FmulStressor>());
+  EXPECT_EQ(sched.thread_count(), 1u);
+  EXPECT_EQ(sched.thread(id).name(), "w");
+  EXPECT_THROW(sched.thread(999), std::out_of_range);
+}
+
+TEST(Scheduler, KillRemovesThread) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const ThreadId id = sched.spawn("w", std::make_unique<soc::FmulStressor>());
+  sched.step();
+  sched.kill(id);
+  EXPECT_EQ(sched.thread_count(), 0u);
+  EXPECT_THROW(sched.kill(id), std::out_of_range);
+  // No core may still reference the destroyed workload.
+  for (std::size_t c = 0; c < chip->core_count(); ++c) {
+    EXPECT_TRUE(chip->core(c).is_idle());
+  }
+}
+
+TEST(Scheduler, RejectsNonPositiveQuantum) {
+  auto chip = make_chip();
+  EXPECT_THROW(Scheduler(*chip, 0.0), std::invalid_argument);
+}
+
+TEST(Scheduler, RealtimeThreadsGetPCores) {
+  // The paper's placement recipe: SCHED_RR + top priority lands on P-cores
+  // even when default threads compete.
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  std::vector<ThreadId> aes_ids;
+  for (int i = 0; i < 4; ++i) {
+    aes_ids.push_back(sched.spawn("aes" + std::to_string(i),
+                                  std::make_unique<soc::FmulStressor>(),
+                                  realtime_attrs()));
+  }
+  std::vector<ThreadId> stress_ids;
+  for (int i = 0; i < 4; ++i) {
+    stress_ids.push_back(sched.spawn("stress" + std::to_string(i),
+                                     std::make_unique<soc::FmulStressor>()));
+  }
+  sched.step();
+  for (const ThreadId id : aes_ids) {
+    const auto core = sched.thread(id).last_core();
+    ASSERT_TRUE(core.has_value());
+    EXPECT_LT(*core, chip->p_core_count()) << "realtime thread on E-core";
+  }
+  for (const ThreadId id : stress_ids) {
+    const auto core = sched.thread(id).last_core();
+    ASSERT_TRUE(core.has_value());
+    EXPECT_GE(*core, chip->p_core_count()) << "default thread on P-core";
+  }
+}
+
+TEST(Scheduler, EfficiencyHintRespected) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const ThreadId id = sched.spawn(
+      "bg", std::make_unique<soc::FmulStressor>(),
+      {.policy = SchedPolicy::other,
+       .priority = 31,
+       .cluster_hint = soc::CoreType::efficiency});
+  sched.step();
+  const auto core = sched.thread(id).last_core();
+  ASSERT_TRUE(core.has_value());
+  EXPECT_GE(*core, chip->p_core_count());
+}
+
+TEST(Scheduler, SingleDefaultThreadPrefersPCore) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const ThreadId id =
+      sched.spawn("fg", std::make_unique<soc::FmulStressor>());
+  sched.step();
+  const auto core = sched.thread(id).last_core();
+  ASSERT_TRUE(core.has_value());
+  EXPECT_LT(*core, chip->p_core_count());
+}
+
+TEST(Scheduler, TimeSlicesExcessThreads) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  std::vector<ThreadId> ids;
+  for (int i = 0; i < 16; ++i) {  // 16 threads on 8 cores
+    ids.push_back(sched.spawn(std::string("t") + std::to_string(i),
+                              std::make_unique<soc::FmulStressor>()));
+  }
+  sched.run_for(0.1);
+  for (const ThreadId id : ids) {
+    // Each equal-weight thread should get about half the CPU.
+    EXPECT_NEAR(sched.thread(id).cpu_time_s(), 0.05, 0.01)
+        << sched.thread(id).name();
+  }
+}
+
+TEST(Scheduler, CpuTimeFullyAccountedWhenUnderloaded) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const ThreadId id =
+      sched.spawn("only", std::make_unique<soc::FmulStressor>());
+  sched.run_for(0.05);
+  EXPECT_NEAR(sched.thread(id).cpu_time_s(), 0.05, 1e-9);
+}
+
+TEST(Scheduler, HigherPriorityWinsContention) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  // 8 high-priority + 8 low-priority threads on 8 cores: high gets all.
+  std::vector<ThreadId> high;
+  std::vector<ThreadId> low;
+  for (int i = 0; i < 8; ++i) {
+    high.push_back(sched.spawn("hi" + std::to_string(i),
+                               std::make_unique<soc::FmulStressor>(),
+                               realtime_attrs()));
+    low.push_back(sched.spawn("lo" + std::to_string(i),
+                              std::make_unique<soc::FmulStressor>()));
+  }
+  sched.run_for(0.05);
+  for (const ThreadId id : high) {
+    EXPECT_NEAR(sched.thread(id).cpu_time_s(), 0.05, 1e-9);
+  }
+  for (const ThreadId id : low) {
+    EXPECT_DOUBLE_EQ(sched.thread(id).cpu_time_s(), 0.0);
+  }
+}
+
+TEST(Scheduler, RunForAdvancesChipTime) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  sched.run_for(0.25);
+  EXPECT_NEAR(chip->time_s(), 0.25, 1e-9);
+}
+
+TEST(Scheduler, AesThreadsMakeProgress) {
+  auto chip = make_chip();
+  Scheduler sched(*chip);
+  const auto& profile = chip->profile();
+  util::Xoshiro256 rng(3);
+  aes::Block key;
+  rng.fill_bytes(key);
+  const ThreadId id = sched.spawn(
+      "aes",
+      std::make_unique<soc::AesWorkload>(key, profile.leakage,
+                                         profile.aes_cycles_per_block),
+      realtime_attrs());
+  sched.run_for(0.1);
+  const auto& w =
+      dynamic_cast<const soc::AesWorkload&>(sched.thread(id).workload());
+  // 0.1 s at 3.504 GHz / 80 cycles per block.
+  const double expected = 0.1 * 3.504e9 / 80.0;
+  EXPECT_NEAR(static_cast<double>(w.blocks_encrypted()), expected,
+              0.01 * expected);
+}
+
+}  // namespace
+}  // namespace psc::sched

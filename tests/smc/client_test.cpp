@@ -1,0 +1,118 @@
+#include "smc/client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::smc {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : chip_(soc::DeviceProfile::macbook_air_m2(), 91),
+        controller_(chip_, 92),
+        user_(controller_, Privilege::user),
+        root_(controller_, Privilege::root) {}
+
+  soc::Chip chip_;
+  SmcController controller_;
+  SmcConnection user_;
+  SmcConnection root_;
+};
+
+TEST_F(ClientTest, BadSelectorRejected) {
+  SmcKeyData in;
+  SmcKeyData out;
+  EXPECT_EQ(user_.call_struct_method(99, in, out), SmcStatus::bad_argument);
+  EXPECT_EQ(out.result, static_cast<std::uint8_t>(SmcStatus::bad_argument));
+}
+
+TEST_F(ClientTest, BadCommandRejected) {
+  SmcKeyData in;
+  in.command = 0x42;
+  SmcKeyData out;
+  EXPECT_EQ(user_.call_struct_method(selector_handle_ypc_event, in, out),
+            SmcStatus::bad_argument);
+}
+
+TEST_F(ClientTest, ReadKeyThroughStructMethod) {
+  SmcKeyData in;
+  in.key = FourCc("PHPC").code();
+  in.command = static_cast<std::uint8_t>(SmcCommand::read_key);
+  SmcKeyData out;
+  ASSERT_EQ(user_.call_struct_method(selector_handle_ypc_event, in, out),
+            SmcStatus::ok);
+  EXPECT_EQ(out.key, in.key);
+  EXPECT_EQ(out.key_info.data_size, 4u);
+  EXPECT_EQ(out.key_info.data_type, FourCc("flt ").code());
+  const SmcValue decoded = SmcValue::from_raw(SmcDataType::flt,
+                                              out.bytes.data());
+  EXPECT_GT(decoded.as_double(), 0.0);
+}
+
+TEST_F(ClientTest, ReadKeyConvenienceMatchesStructCall) {
+  SmcValue via_wrapper;
+  ASSERT_EQ(user_.read_key(FourCc("PCTR"), via_wrapper), SmcStatus::ok);
+  EXPECT_DOUBLE_EQ(via_wrapper.as_double(), 45.0);
+}
+
+TEST_F(ClientTest, KeyInfoAttributes) {
+  SmcKeyInfo info;
+  ASSERT_EQ(user_.key_info(FourCc("PLPM"), info), SmcStatus::ok);
+  EXPECT_TRUE(info.writable);
+  ASSERT_EQ(user_.key_info(FourCc("PHPC"), info), SmcStatus::ok);
+  EXPECT_FALSE(info.writable);
+  EXPECT_TRUE(info.readable);
+}
+
+TEST_F(ClientTest, KeyInfoAttributeBitsOnWire) {
+  SmcKeyData in;
+  in.key = FourCc("PSEC").code();
+  in.command = static_cast<std::uint8_t>(SmcCommand::key_info);
+  SmcKeyData out;
+  ASSERT_EQ(user_.call_struct_method(selector_handle_ypc_event, in, out),
+            SmcStatus::ok);
+  EXPECT_TRUE(out.key_info.attributes & 0x01);  // readable
+  EXPECT_FALSE(out.key_info.attributes & 0x02); // not writable
+  EXPECT_TRUE(out.key_info.attributes & 0x04);  // privileged
+}
+
+TEST_F(ClientTest, KeyByIndexEnumerates) {
+  FourCc first;
+  ASSERT_EQ(user_.key_at_index(0, first), SmcStatus::ok);
+  EXPECT_EQ(first, controller_.database().entries()[0].info.key);
+  FourCc out;
+  EXPECT_EQ(user_.key_at_index(user_.key_count(), out), SmcStatus::bad_index);
+}
+
+TEST_F(ClientTest, ListKeysCoversCatalog) {
+  const auto keys = user_.list_keys();
+  EXPECT_EQ(keys.size(), controller_.database().size());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), FourCc("PHPC")), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), FourCc("PSTR")), keys.end());
+}
+
+TEST_F(ClientTest, UserCannotReadPrivilegedKey) {
+  SmcValue value;
+  EXPECT_EQ(user_.read_key(FourCc("PSEC"), value),
+            SmcStatus::privilege_required);
+  EXPECT_EQ(root_.read_key(FourCc("PSEC"), value), SmcStatus::ok);
+}
+
+TEST_F(ClientTest, WriteThroughStructMethod) {
+  const SmcValue flag = SmcValue::from_flag(true);
+  EXPECT_EQ(user_.write_key(FourCc("PLPM"), flag),
+            SmcStatus::privilege_required);
+  EXPECT_EQ(root_.write_key(FourCc("PLPM"), flag), SmcStatus::ok);
+  EXPECT_TRUE(chip_.lowpowermode());
+}
+
+TEST_F(ClientTest, ReadNumericNanOnMissing) {
+  EXPECT_TRUE(std::isnan(user_.read_numeric(FourCc("ZZZZ"))));
+  EXPECT_FALSE(std::isnan(user_.read_numeric(FourCc("PHPC"))));
+}
+
+}  // namespace
+}  // namespace psc::smc

@@ -1,0 +1,156 @@
+#include "smc/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "soc/workload.h"
+
+namespace psc::smc {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : chip_(soc::DeviceProfile::macbook_air_m2(), 77),
+        controller_(chip_, 78) {}
+
+  soc::Chip chip_;
+  SmcController controller_;
+};
+
+TEST_F(ControllerTest, ReadKnownKey) {
+  SmcValue value;
+  EXPECT_EQ(controller_.read(FourCc("PHPC"), Privilege::user, value),
+            SmcStatus::ok);
+  EXPECT_EQ(value.type(), SmcDataType::flt);
+  EXPECT_GT(value.as_double(), 0.0);
+}
+
+TEST_F(ControllerTest, ReadUnknownKey) {
+  SmcValue value;
+  EXPECT_EQ(controller_.read(FourCc("ZZZZ"), Privilege::user, value),
+            SmcStatus::key_not_found);
+}
+
+TEST_F(ControllerTest, PrivilegedKeyDeniedForUser) {
+  SmcValue value;
+  EXPECT_EQ(controller_.read(FourCc("PSEC"), Privilege::user, value),
+            SmcStatus::privilege_required);
+  EXPECT_EQ(controller_.read(FourCc("PSEC"), Privilege::root, value),
+            SmcStatus::ok);
+}
+
+TEST_F(ControllerTest, PowerKeysAreUserReadable) {
+  // The vulnerability: every workload-dependent key reads fine as user.
+  for (const FourCc key : controller_.database().workload_dependent_keys()) {
+    SmcValue value;
+    EXPECT_EQ(controller_.read(key, Privilege::user, value), SmcStatus::ok)
+        << key.str();
+  }
+}
+
+TEST_F(ControllerTest, ValueLatchedWithinUpdatePeriod) {
+  SmcValue first;
+  controller_.read(FourCc("PHPC"), Privilege::user, first);
+  chip_.run_for(0.2);  // less than the 1 s period
+  SmcValue second;
+  controller_.read(FourCc("PHPC"), Privilege::user, second);
+  EXPECT_EQ(first.as_float(), second.as_float());
+}
+
+TEST_F(ControllerTest, ValueRefreshesAfterUpdatePeriod) {
+  SmcValue first;
+  controller_.read(FourCc("PHPC"), Privilege::user, first);
+  chip_.run_for(1.1);
+  SmcValue second;
+  controller_.read(FourCc("PHPC"), Privilege::user, second);
+  // Fresh noise draw makes equality vanishingly unlikely.
+  EXPECT_NE(first.as_float(), second.as_float());
+  EXPECT_GE(controller_.last_latch_time(FourCc("PHPC")), 1.0);
+}
+
+TEST_F(ControllerTest, PhpcTracksLoad) {
+  SmcValue idle;
+  chip_.run_for(1.1);
+  controller_.read(FourCc("PHPC"), Privilege::user, idle);
+
+  std::vector<std::unique_ptr<soc::MatrixStressor>> stressors;
+  for (std::size_t i = 0; i < chip_.p_core_count(); ++i) {
+    stressors.push_back(std::make_unique<soc::MatrixStressor>());
+    chip_.p_core(i).assign(stressors.back().get());
+  }
+  chip_.run_for(1.5);
+  SmcValue busy;
+  controller_.read(FourCc("PHPC"), Privilege::user, busy);
+  EXPECT_GT(busy.as_double(), 5.0 * idle.as_double());
+}
+
+TEST_F(ControllerTest, PhpsApproximatesPackagePower) {
+  chip_.run_for(1.1);
+  SmcValue phps;
+  controller_.read(FourCc("PHPS"), Privilege::user, phps);
+  EXPECT_NEAR(phps.as_double(), chip_.estimated_package_power_w(), 0.05);
+}
+
+TEST_F(ControllerTest, TemperatureKeyReflectsThermalModel) {
+  chip_.run_for(1.1);
+  SmcValue temp;
+  controller_.read(FourCc("TC0P"), Privilege::user, temp);
+  EXPECT_NEAR(temp.as_double(), chip_.temperature_c(), 1.5);
+}
+
+TEST_F(ControllerTest, WriteRequiresRoot) {
+  EXPECT_EQ(controller_.write(FourCc("PLPM"), Privilege::user,
+                              SmcValue::from_flag(true)),
+            SmcStatus::privilege_required);
+  EXPECT_FALSE(chip_.lowpowermode());
+}
+
+TEST_F(ControllerTest, RootWriteTogglesLowpowermode) {
+  EXPECT_EQ(controller_.write(FourCc("PLPM"), Privilege::root,
+                              SmcValue::from_flag(true)),
+            SmcStatus::ok);
+  EXPECT_TRUE(chip_.lowpowermode());
+  EXPECT_EQ(controller_.write(FourCc("PLPM"), Privilege::root,
+                              SmcValue::from_flag(false)),
+            SmcStatus::ok);
+  EXPECT_FALSE(chip_.lowpowermode());
+}
+
+TEST_F(ControllerTest, WriteWrongTypeRejected) {
+  EXPECT_EQ(controller_.write(FourCc("PLPM"), Privilege::root,
+                              SmcValue::from_float(1.0f)),
+            SmcStatus::bad_argument);
+}
+
+TEST_F(ControllerTest, WriteReadOnlyKeyRejected) {
+  EXPECT_EQ(controller_.write(FourCc("PHPC"), Privilege::root,
+                              SmcValue::from_float(0.0f)),
+            SmcStatus::not_writable);
+}
+
+TEST_F(ControllerTest, WriteUnknownKeyRejected) {
+  EXPECT_EQ(controller_.write(FourCc("ZZZZ"), Privilege::root,
+                              SmcValue::from_flag(true)),
+            SmcStatus::key_not_found);
+}
+
+TEST_F(ControllerTest, LowpowerFlagReadsChipState) {
+  chip_.set_lowpowermode(true);
+  chip_.run_for(0.01);
+  SmcValue flag;
+  controller_.read(FourCc("PLPM"), Privilege::user, flag);
+  EXPECT_TRUE(flag.as_flag());
+}
+
+TEST_F(ControllerTest, QuantizationApplied) {
+  // Constant setpoint keys with zero noise must be exact.
+  SmcValue v;
+  controller_.read(FourCc("PCTR"), Privilege::user, v);
+  EXPECT_DOUBLE_EQ(v.as_double(), 45.0);
+}
+
+}  // namespace
+}  // namespace psc::smc

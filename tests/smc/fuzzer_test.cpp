@@ -1,0 +1,97 @@
+#include "smc/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "soc/workload.h"
+
+namespace psc::smc {
+namespace {
+
+class FuzzerTest : public ::testing::Test {
+ protected:
+  FuzzerTest()
+      : chip_(soc::DeviceProfile::macbook_air_m2(), 55),
+        controller_(chip_, 56),
+        conn_(controller_, Privilege::user) {}
+
+  soc::Chip chip_;
+  SmcController controller_;
+  SmcConnection conn_;
+};
+
+TEST_F(FuzzerTest, SnapshotFiltersByPrefix) {
+  chip_.run_for(1.1);
+  const auto snap = snapshot_keys(conn_, 'P');
+  EXPECT_GE(snap.size(), 25u);
+  for (const auto& s : snap) {
+    EXPECT_EQ(s.key.at(0), 'P');
+  }
+}
+
+TEST_F(FuzzerTest, SnapshotSkipsPrivilegedKeys) {
+  chip_.run_for(1.1);
+  const auto snap = snapshot_keys(conn_, 'P');
+  for (const auto& s : snap) {
+    EXPECT_NE(s.key, FourCc("PSEC"));
+  }
+}
+
+TEST_F(FuzzerTest, DiffSortedByRelativeDelta) {
+  const std::vector<KeySnapshot> idle = {{FourCc("AAAA"), 1.0},
+                                         {FourCc("BBBB"), 2.0},
+                                         {FourCc("CCCC"), 10.0}};
+  const std::vector<KeySnapshot> busy = {{FourCc("AAAA"), 1.1},
+                                         {FourCc("BBBB"), 6.0},
+                                         {FourCc("CCCC"), 10.05}};
+  const auto deltas = diff_snapshots(idle, busy);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_EQ(deltas[0].key, FourCc("BBBB"));  // 200% change
+  EXPECT_EQ(deltas[1].key, FourCc("AAAA"));  // 10%
+  EXPECT_EQ(deltas[2].key, FourCc("CCCC"));  // 0.5%
+}
+
+TEST_F(FuzzerTest, DiffIgnoresUnpairedKeys) {
+  const std::vector<KeySnapshot> idle = {{FourCc("AAAA"), 1.0}};
+  const std::vector<KeySnapshot> busy = {{FourCc("BBBB"), 2.0}};
+  EXPECT_TRUE(diff_snapshots(idle, busy).empty());
+}
+
+TEST_F(FuzzerTest, ThresholdFiltering) {
+  const std::vector<KeyDelta> deltas = {
+      {FourCc("BIGG"), 1.0, 5.0, 4.0, 4.0},
+      {FourCc("TINY"), 1.0, 1.001, 0.001, 0.001},
+      {FourCc("ZERO"), 1e-6, 2e-6, 1e-6, 1.0},  // big relative, tiny absolute
+  };
+  const auto found = workload_dependent_keys(deltas, 0.05, 5e-3);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], FourCc("BIGG"));
+}
+
+TEST_F(FuzzerTest, IdleVsStressRecoversTable2Keys) {
+  // The end-to-end section 3.2 methodology: snapshot idle, stress all
+  // cores with matrix workloads, snapshot again, diff — and find exactly
+  // the device's data/workload-dependent keys.
+  chip_.run_for(1.2);
+  const auto idle_snap = snapshot_keys(conn_, 'P');
+
+  std::vector<std::unique_ptr<soc::MatrixStressor>> stressors;
+  for (std::size_t c = 0; c < chip_.core_count(); ++c) {
+    stressors.push_back(std::make_unique<soc::MatrixStressor>());
+    chip_.core(c).assign(stressors.back().get());
+  }
+  chip_.run_for(2.0);
+  const auto busy_snap = snapshot_keys(conn_, 'P');
+
+  const auto found =
+      workload_dependent_keys(diff_snapshots(idle_snap, busy_snap));
+  std::vector<FourCc> expected = controller_.database()
+                                     .workload_dependent_keys();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(found, expected);
+}
+
+}  // namespace
+}  // namespace psc::smc

@@ -1,0 +1,134 @@
+#include "smc/key_database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace psc::smc {
+namespace {
+
+TEST(KeyDatabase, UnknownDeviceThrows) {
+  EXPECT_THROW(KeyDatabase::for_device("iPhone 15"), std::invalid_argument);
+}
+
+TEST(KeyDatabase, M2WorkloadDependentSetMatchesTable2) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  std::vector<FourCc> expected = {FourCc("PDTR"), FourCc("PHPC"),
+                                  FourCc("PHPS"), FourCc("PMVC"),
+                                  FourCc("PSTR")};
+  std::vector<FourCc> actual = db.workload_dependent_keys();
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(KeyDatabase, M1WorkloadDependentSetMatchesTable2) {
+  const KeyDatabase db = KeyDatabase::for_device("Mac Mini M1");
+  std::vector<FourCc> expected = {FourCc("PDTR"), FourCc("PHPC"),
+                                  FourCc("PHPS"), FourCc("PMVR"),
+                                  FourCc("PPMR"), FourCc("PSTR")};
+  std::vector<FourCc> actual = db.workload_dependent_keys();
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(KeyDatabase, M2HasNoM1OnlyKeys) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  EXPECT_EQ(db.find(FourCc("PMVR")), nullptr);
+  EXPECT_EQ(db.find(FourCc("PPMR")), nullptr);
+  EXPECT_NE(db.find(FourCc("PMVC")), nullptr);
+}
+
+TEST(KeyDatabase, M1HasNoM2OnlyKeys) {
+  const KeyDatabase db = KeyDatabase::for_device("Mac Mini M1");
+  EXPECT_EQ(db.find(FourCc("PMVC")), nullptr);
+  EXPECT_NE(db.find(FourCc("PMVR")), nullptr);
+}
+
+TEST(KeyDatabase, AboutThirtyPowerKeys) {
+  // The paper narrowed the pool of P-keys to "approximately 30".
+  for (const char* device : {"Mac Mini M1", "MacBook Air M2"}) {
+    const KeyDatabase db = KeyDatabase::for_device(device);
+    const auto p_keys = db.keys_with_prefix('P');
+    EXPECT_GE(p_keys.size(), 28u) << device;
+    EXPECT_LE(p_keys.size(), 34u) << device;
+  }
+}
+
+TEST(KeyDatabase, PhpcIsCleanPClusterMeter) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyEntry* phpc = db.find(FourCc("PHPC"));
+  ASSERT_NE(phpc, nullptr);
+  EXPECT_EQ(phpc->spec.source, SensorSource::rail_power);
+  EXPECT_DOUBLE_EQ(phpc->spec.rails.p_cluster, 1.0);
+  EXPECT_DOUBLE_EQ(phpc->spec.rails.dram, 0.0);
+  EXPECT_DOUBLE_EQ(phpc->spec.update_period_s, 1.0);
+  // uW-class resolution.
+  EXPECT_LE(phpc->spec.quant_step, 1e-6);
+}
+
+TEST(KeyDatabase, PhpsIsEstimateNotSensor) {
+  for (const char* device : {"Mac Mini M1", "MacBook Air M2"}) {
+    const KeyDatabase db = KeyDatabase::for_device(device);
+    const KeyEntry* phps = db.find(FourCc("PHPS"));
+    ASSERT_NE(phps, nullptr) << device;
+    EXPECT_EQ(phps->spec.source, SensorSource::estimated_power) << device;
+  }
+}
+
+TEST(KeyDatabase, PstrIsNoisierThanPhpc) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyEntry* phpc = db.find(FourCc("PHPC"));
+  const KeyEntry* pstr = db.find(FourCc("PSTR"));
+  ASSERT_NE(phpc, nullptr);
+  ASSERT_NE(pstr, nullptr);
+  EXPECT_GT(pstr->spec.noise_sigma, 5.0 * phpc->spec.noise_sigma);
+  // PSTR sees the full DRAM/IO rail; PHPC does not.
+  EXPECT_DOUBLE_EQ(pstr->spec.rails.dram, 1.0);
+}
+
+TEST(KeyDatabase, AllKeysReadableExceptSecure) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  for (const auto& entry : db.entries()) {
+    if (entry.info.key == FourCc("PSEC")) {
+      EXPECT_TRUE(entry.info.privileged_read);
+    } else {
+      EXPECT_FALSE(entry.info.privileged_read)
+          << entry.info.key.str()
+          << ": power keys must be user-readable (the paper's finding)";
+    }
+  }
+}
+
+TEST(KeyDatabase, LowpowerFlagWritable) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyEntry* plpm = db.find(FourCc("PLPM"));
+  ASSERT_NE(plpm, nullptr);
+  EXPECT_TRUE(plpm->info.writable);
+  EXPECT_EQ(plpm->info.type, SmcDataType::flag);
+}
+
+TEST(KeyDatabase, KeysAreUnique) {
+  for (const char* device : {"Mac Mini M1", "MacBook Air M2"}) {
+    const KeyDatabase db = KeyDatabase::for_device(device);
+    std::vector<FourCc> keys;
+    for (const auto& entry : db.entries()) {
+      keys.push_back(entry.info.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+        << device;
+  }
+}
+
+TEST(KeyDatabase, PrefixFilterWorks) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  for (const FourCc key : db.keys_with_prefix('T')) {
+    EXPECT_EQ(key.at(0), 'T');
+  }
+  EXPECT_FALSE(db.keys_with_prefix('T').empty());
+}
+
+}  // namespace
+}  // namespace psc::smc

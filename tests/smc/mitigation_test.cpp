@@ -1,0 +1,106 @@
+#include "smc/mitigation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smc/controller.h"
+#include "soc/chip.h"
+
+namespace psc::smc {
+namespace {
+
+TEST(MitigationPolicy, NoneIsNoop) {
+  EXPECT_TRUE(MitigationPolicy::none().is_noop());
+  EXPECT_FALSE(MitigationPolicy::rapl_style_filtering().is_noop());
+  EXPECT_FALSE(MitigationPolicy::access_control().is_noop());
+}
+
+TEST(MitigationPolicy, PowerTelemetryClassification) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  EXPECT_TRUE(is_power_telemetry(*db.find(FourCc("PHPC"))));
+  EXPECT_TRUE(is_power_telemetry(*db.find(FourCc("PMVC"))));
+  EXPECT_TRUE(is_power_telemetry(*db.find(FourCc("PHPS"))));
+  EXPECT_FALSE(is_power_telemetry(*db.find(FourCc("TC0P"))));
+  EXPECT_FALSE(is_power_telemetry(*db.find(FourCc("PCTR"))));  // setpoint
+  EXPECT_FALSE(is_power_telemetry(*db.find(FourCc("PLPM"))));
+}
+
+TEST(ApplyMitigations, NoopReturnsIdenticalSpecs) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyDatabase out = apply_mitigations(db, MitigationPolicy::none());
+  ASSERT_EQ(out.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.entries()[i].spec.noise_sigma,
+                     db.entries()[i].spec.noise_sigma);
+  }
+}
+
+TEST(ApplyMitigations, NoiseBlendedInQuadrature) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  MitigationPolicy policy;
+  policy.added_noise_sigma = 300e-6;
+  const KeyDatabase out = apply_mitigations(db, policy);
+  const double before = db.find(FourCc("PHPC"))->spec.noise_sigma;
+  const double after = out.find(FourCc("PHPC"))->spec.noise_sigma;
+  EXPECT_DOUBLE_EQ(after, std::hypot(before, 300e-6));
+}
+
+TEST(ApplyMitigations, OnlyPowerKeysTouched) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyDatabase out =
+      apply_mitigations(db, MitigationPolicy::rapl_style_filtering());
+  EXPECT_DOUBLE_EQ(out.find(FourCc("TC0P"))->spec.noise_sigma,
+                   db.find(FourCc("TC0P"))->spec.noise_sigma);
+  EXPECT_DOUBLE_EQ(out.find(FourCc("PCTR"))->spec.update_period_s,
+                   db.find(FourCc("PCTR"))->spec.update_period_s);
+}
+
+TEST(ApplyMitigations, RaplStyleClampsResolutionAndPeriod) {
+  const KeyDatabase db = KeyDatabase::for_device("MacBook Air M2");
+  const KeyDatabase out =
+      apply_mitigations(db, MitigationPolicy::rapl_style_filtering());
+  const auto* phpc = out.find(FourCc("PHPC"));
+  EXPECT_GE(phpc->spec.quant_step, 1e-3);
+  EXPECT_GE(phpc->spec.update_period_s, 10.0);
+  EXPECT_FALSE(phpc->info.privileged_read);  // keys stay readable
+}
+
+TEST(ApplyMitigations, AccessControlRestrictsPowerKeys) {
+  const KeyDatabase db = KeyDatabase::for_device("Mac Mini M1");
+  const KeyDatabase out =
+      apply_mitigations(db, MitigationPolicy::access_control());
+  for (const auto& entry : out.entries()) {
+    if (is_power_telemetry(entry)) {
+      EXPECT_TRUE(entry.info.privileged_read) << entry.info.key.str();
+    }
+  }
+  // Non-power keys keep their accessibility.
+  EXPECT_FALSE(out.find(FourCc("TC0P"))->info.privileged_read);
+}
+
+TEST(Mitigations, ControllerEnforcesAccessControl) {
+  soc::Chip chip(soc::DeviceProfile::macbook_air_m2(), 61);
+  SmcController controller(chip, 62, MitigationPolicy::access_control());
+  SmcValue value;
+  EXPECT_EQ(controller.read(FourCc("PHPC"), Privilege::user, value),
+            SmcStatus::privilege_required);
+  // Legitimate telemetry consumers (root) keep access.
+  EXPECT_EQ(controller.read(FourCc("PHPC"), Privilege::root, value),
+            SmcStatus::ok);
+  // Unrelated keys stay readable for everyone.
+  EXPECT_EQ(controller.read(FourCc("TC0P"), Privilege::user, value),
+            SmcStatus::ok);
+}
+
+TEST(Mitigations, FilteringKeepsUserAccess) {
+  soc::Chip chip(soc::DeviceProfile::macbook_air_m2(), 63);
+  SmcController controller(chip, 64,
+                           MitigationPolicy::rapl_style_filtering());
+  SmcValue value;
+  EXPECT_EQ(controller.read(FourCc("PHPC"), Privilege::user, value),
+            SmcStatus::ok);
+}
+
+}  // namespace
+}  // namespace psc::smc

@@ -1,0 +1,78 @@
+#include "smc/types.h"
+
+#include <gtest/gtest.h>
+
+namespace psc::smc {
+namespace {
+
+TEST(SmcValue, FloatRoundTrip) {
+  const SmcValue v = SmcValue::from_float(3.14f);
+  EXPECT_EQ(v.type(), SmcDataType::flt);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FLOAT_EQ(v.as_float(), 3.14f);
+}
+
+TEST(SmcValue, U8RoundTrip) {
+  const SmcValue v = SmcValue::from_u8(0xAB);
+  EXPECT_EQ(v.type(), SmcDataType::ui8);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.as_u8(), 0xAB);
+}
+
+TEST(SmcValue, U16RoundTrip) {
+  const SmcValue v = SmcValue::from_u16(0xBEEF);
+  EXPECT_EQ(v.as_u16(), 0xBEEF);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmcValue, U32RoundTrip) {
+  const SmcValue v = SmcValue::from_u32(0xDEADBEEF);
+  EXPECT_EQ(v.as_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(SmcValue, FlagRoundTrip) {
+  EXPECT_TRUE(SmcValue::from_flag(true).as_flag());
+  EXPECT_FALSE(SmcValue::from_flag(false).as_flag());
+}
+
+TEST(SmcValue, AsDoubleForAllTypes) {
+  EXPECT_DOUBLE_EQ(SmcValue::from_float(2.5f).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(SmcValue::from_u8(7).as_double(), 7.0);
+  EXPECT_DOUBLE_EQ(SmcValue::from_u16(300).as_double(), 300.0);
+  EXPECT_DOUBLE_EQ(SmcValue::from_u32(70000).as_double(), 70000.0);
+  EXPECT_DOUBLE_EQ(SmcValue::from_flag(true).as_double(), 1.0);
+}
+
+TEST(SmcValue, FromRawDecodesWireBytes) {
+  const SmcValue original = SmcValue::from_float(-17.25f);
+  const SmcValue decoded =
+      SmcValue::from_raw(SmcDataType::flt, original.bytes().data());
+  EXPECT_FLOAT_EQ(decoded.as_float(), -17.25f);
+}
+
+TEST(SmcDataTypes, TypeCodes) {
+  EXPECT_EQ(data_type_code(SmcDataType::flt).str(), "flt ");
+  EXPECT_EQ(data_type_code(SmcDataType::ui8).str(), "ui8 ");
+  EXPECT_EQ(data_type_code(SmcDataType::ui16).str(), "ui16");
+  EXPECT_EQ(data_type_code(SmcDataType::ui32).str(), "ui32");
+  EXPECT_EQ(data_type_code(SmcDataType::flag).str(), "flag");
+}
+
+TEST(SmcDataTypes, Sizes) {
+  EXPECT_EQ(data_type_size(SmcDataType::flt), 4);
+  EXPECT_EQ(data_type_size(SmcDataType::ui8), 1);
+  EXPECT_EQ(data_type_size(SmcDataType::ui16), 2);
+  EXPECT_EQ(data_type_size(SmcDataType::ui32), 4);
+  EXPECT_EQ(data_type_size(SmcDataType::flag), 1);
+}
+
+TEST(SmcStatusNames, AllNamed) {
+  EXPECT_EQ(status_name(SmcStatus::ok), "ok");
+  EXPECT_EQ(status_name(SmcStatus::key_not_found), "key_not_found");
+  EXPECT_EQ(status_name(SmcStatus::privilege_required), "privilege_required");
+  EXPECT_EQ(status_name(SmcStatus::bad_index), "bad_index");
+}
+
+}  // namespace
+}  // namespace psc::smc

@@ -1,0 +1,111 @@
+#include "soc/core.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace psc::soc {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : ladder_({1.0e9, 2.0e9, 3.0e9}, 0.6, 0.1),
+        core_({.type = CoreType::performance,
+               .ceff_farads = 0.3e-9,
+               .static_power_w = 0.05},
+              &ladder_) {}
+
+  DvfsLadder ladder_;
+  Core core_;
+  util::Xoshiro256 rng_{11};
+};
+
+TEST_F(CoreTest, RejectsNullLadder) {
+  EXPECT_THROW(Core({}, nullptr), std::invalid_argument);
+}
+
+TEST_F(CoreTest, StartsAtMaxState) {
+  EXPECT_EQ(core_.effective_state(), 2u);
+  EXPECT_DOUBLE_EQ(core_.frequency_hz(), 3.0e9);
+}
+
+TEST_F(CoreTest, RequestedStateClamped) {
+  core_.request_state(99);
+  EXPECT_EQ(core_.effective_state(), 2u);
+  core_.request_state(1);
+  EXPECT_EQ(core_.effective_state(), 1u);
+  EXPECT_DOUBLE_EQ(core_.frequency_hz(), 2.0e9);
+}
+
+TEST_F(CoreTest, StateLimitWins) {
+  core_.request_state(2);
+  core_.set_state_limit(0);
+  EXPECT_EQ(core_.effective_state(), 0u);
+  EXPECT_DOUBLE_EQ(core_.frequency_hz(), 1.0e9);
+  core_.set_state_limit(2);
+  EXPECT_EQ(core_.effective_state(), 2u);
+}
+
+TEST_F(CoreTest, IdleEnergyMatchesFormula) {
+  // idle intensity 0.04 at state 2: V = 0.9, f = 3 GHz.
+  const CoreStep s = core_.step(1e-3, rng_);
+  const double dyn = 0.3e-9 * 0.04 * 0.9 * 0.9 * 3.0e9;
+  EXPECT_NEAR(s.core_energy_j, (dyn + 0.05) * 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(s.bus_energy_j, 0.0);
+}
+
+TEST_F(CoreTest, FmulEnergyMatchesFormula) {
+  FmulStressor fmul;
+  core_.assign(&fmul);
+  const CoreStep s = core_.step(1e-3, rng_);
+  const double dyn = 0.3e-9 * fmul.nominal_intensity() * 0.81 * 3.0e9;
+  EXPECT_NEAR(s.core_energy_j, (dyn + 0.05) * 1e-3, 1e-12);
+}
+
+TEST_F(CoreTest, LowerFrequencyLowersEnergy) {
+  FmulStressor fmul;
+  core_.assign(&fmul);
+  const double e_fast = core_.step(1e-3, rng_).core_energy_j;
+  core_.request_state(0);
+  const double e_slow = core_.step(1e-3, rng_).core_energy_j;
+  EXPECT_LT(e_slow, e_fast);
+}
+
+TEST_F(CoreTest, EstimatedPowerMatchesNominalWorkload) {
+  FmulStressor fmul;
+  core_.assign(&fmul);
+  const CoreStep s = core_.step(1e-3, rng_);
+  EXPECT_NEAR(core_.estimated_power_w() * 1e-3, s.core_energy_j, 1e-12);
+}
+
+TEST_F(CoreTest, CyclesScaleWithFrequency) {
+  const CoreStep fast = core_.step(1e-3, rng_);
+  EXPECT_DOUBLE_EQ(fast.cycles, 3.0e6);
+  core_.request_state(0);
+  const CoreStep slow = core_.step(1e-3, rng_);
+  EXPECT_DOUBLE_EQ(slow.cycles, 1.0e6);
+}
+
+TEST_F(CoreTest, TotalsAccumulate) {
+  MatrixStressor matrix;
+  core_.assign(&matrix);
+  for (int i = 0; i < 10; ++i) {
+    core_.step(1e-3, rng_);
+  }
+  EXPECT_DOUBLE_EQ(core_.total_cycles(), 30.0e6);
+  EXPECT_GT(core_.total_items(), 0u);
+}
+
+TEST_F(CoreTest, AssignNullIsIdle) {
+  FmulStressor fmul;
+  core_.assign(&fmul);
+  EXPECT_FALSE(core_.is_idle());
+  core_.assign(nullptr);
+  EXPECT_TRUE(core_.is_idle());
+}
+
+}  // namespace
+}  // namespace psc::soc

@@ -1,0 +1,76 @@
+#include "soc/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace psc::soc {
+namespace {
+
+DvfsLadder small_ladder() {
+  return DvfsLadder({1.0e9, 2.0e9, 3.0e9}, 0.6, 0.1);
+}
+
+TEST(DvfsLadder, RejectsEmpty) {
+  EXPECT_THROW(DvfsLadder({}, 0.6, 0.1), std::invalid_argument);
+}
+
+TEST(DvfsLadder, RejectsUnsorted) {
+  EXPECT_THROW(DvfsLadder({2.0e9, 1.0e9}, 0.6, 0.1), std::invalid_argument);
+}
+
+TEST(DvfsLadder, RejectsDuplicates) {
+  EXPECT_THROW(DvfsLadder({1.0e9, 1.0e9}, 0.6, 0.1), std::invalid_argument);
+}
+
+TEST(DvfsLadder, RejectsNonPositive) {
+  EXPECT_THROW(DvfsLadder({0.0, 1.0e9}, 0.6, 0.1), std::invalid_argument);
+}
+
+TEST(DvfsLadder, StateAccess) {
+  const DvfsLadder ladder = small_ladder();
+  EXPECT_EQ(ladder.state_count(), 3u);
+  EXPECT_EQ(ladder.max_state(), 2u);
+  EXPECT_DOUBLE_EQ(ladder.frequency_hz(0), 1.0e9);
+  EXPECT_DOUBLE_EQ(ladder.frequency_hz(2), 3.0e9);
+  EXPECT_DOUBLE_EQ(ladder.min_frequency_hz(), 1.0e9);
+  EXPECT_DOUBLE_EQ(ladder.max_frequency_hz(), 3.0e9);
+  EXPECT_THROW(ladder.frequency_hz(3), std::out_of_range);
+}
+
+TEST(DvfsLadder, AffineVoltage) {
+  const DvfsLadder ladder = small_ladder();
+  EXPECT_DOUBLE_EQ(ladder.voltage(0), 0.6 + 0.1 * 1.0);
+  EXPECT_DOUBLE_EQ(ladder.voltage(2), 0.6 + 0.1 * 3.0);
+}
+
+TEST(DvfsLadder, VoltageMonotonic) {
+  const DvfsLadder ladder = small_ladder();
+  for (std::size_t s = 1; s < ladder.state_count(); ++s) {
+    EXPECT_GT(ladder.voltage(s), ladder.voltage(s - 1));
+  }
+}
+
+TEST(DvfsLadder, StateAtOrBelow) {
+  const DvfsLadder ladder = small_ladder();
+  EXPECT_EQ(ladder.state_at_or_below(3.5e9), 2u);
+  EXPECT_EQ(ladder.state_at_or_below(3.0e9), 2u);
+  EXPECT_EQ(ladder.state_at_or_below(2.9e9), 1u);
+  EXPECT_EQ(ladder.state_at_or_below(1.0e9), 0u);
+  // Below the lowest state: clamps to state 0.
+  EXPECT_EQ(ladder.state_at_or_below(0.5e9), 0u);
+}
+
+TEST(DvfsLadder, M2LadderContainsLowpowerPoint) {
+  // The M2 lowpowermode ceiling (1.968 GHz) must be an exact ladder point
+  // so the governor cap lands on it.
+  const std::vector<double> freqs = {660e6, 912e6, 1284e6, 1752e6, 1968e6,
+                                     2208e6};
+  const DvfsLadder ladder(freqs, 0.65, 0.125);
+  EXPECT_DOUBLE_EQ(ladder.frequency_hz(ladder.state_at_or_below(1.968e9)),
+                   1.968e9);
+}
+
+}  // namespace
+}  // namespace psc::soc

@@ -1,0 +1,122 @@
+#include "soc/governor.h"
+
+#include <gtest/gtest.h>
+
+namespace psc::soc {
+namespace {
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest()
+      : ladder_({1.0e9, 1.5e9, 1.968e9, 2.5e9, 3.0e9, 3.5e9}, 0.65, 0.125),
+        governor_({.thermal_limit_c = 95.0,
+                   .thermal_hysteresis_c = 3.0,
+                   .lowpower_cap_w = 4.0,
+                   .lowpower_cap_margin_w = 0.25,
+                   .lowpower_max_p_freq_hz = 1.968e9,
+                   .decision_period_s = 0.010},
+                  ladder_) {}
+
+  // Runs `n` decision periods with fixed inputs.
+  void run_decisions(int n, double est_power_w, double temp_c) {
+    for (int i = 0; i < n; ++i) {
+      governor_.update(est_power_w, temp_c, 0.010);
+    }
+  }
+
+  DvfsLadder ladder_;
+  Governor governor_;
+};
+
+TEST_F(GovernorTest, StartsUnthrottledAtMax) {
+  EXPECT_EQ(governor_.p_state_limit(), 5u);
+  EXPECT_FALSE(governor_.throttling());
+}
+
+TEST_F(GovernorTest, LowpowermodeCapsFrequency) {
+  governor_.set_lowpowermode(true);
+  run_decisions(1, 1.0, 30.0);
+  EXPECT_DOUBLE_EQ(ladder_.frequency_hz(governor_.p_state_limit()), 1.968e9);
+}
+
+TEST_F(GovernorTest, LowpowermodeOffRestoresMax) {
+  governor_.set_lowpowermode(true);
+  run_decisions(5, 1.0, 30.0);
+  governor_.set_lowpowermode(false);
+  run_decisions(10, 1.0, 30.0);
+  EXPECT_EQ(governor_.p_state_limit(), 5u);
+}
+
+TEST_F(GovernorTest, PowerCapThrottlesInLowpowermode) {
+  governor_.set_lowpowermode(true);
+  run_decisions(3, 4.5, 30.0);
+  EXPECT_TRUE(governor_.power_throttling());
+  EXPECT_LT(ladder_.frequency_hz(governor_.p_state_limit()), 1.968e9);
+}
+
+TEST_F(GovernorTest, PowerCapIgnoredInNormalMode) {
+  run_decisions(10, 10.0, 30.0);
+  EXPECT_FALSE(governor_.power_throttling());
+  EXPECT_EQ(governor_.p_state_limit(), 5u);
+}
+
+TEST_F(GovernorTest, RecoversWhenPowerDrops) {
+  governor_.set_lowpowermode(true);
+  run_decisions(3, 4.5, 30.0);
+  const std::size_t throttled = governor_.p_state_limit();
+  EXPECT_LT(throttled, 2u + 1u);
+  run_decisions(10, 2.0, 30.0);
+  EXPECT_DOUBLE_EQ(ladder_.frequency_hz(governor_.p_state_limit()), 1.968e9);
+  EXPECT_FALSE(governor_.power_throttling());
+}
+
+TEST_F(GovernorTest, HoldsInsideMarginBand) {
+  governor_.set_lowpowermode(true);
+  run_decisions(2, 4.5, 30.0);
+  const std::size_t limit = governor_.p_state_limit();
+  // Between cap-margin and cap: no change either way.
+  run_decisions(10, 3.9, 30.0);
+  EXPECT_EQ(governor_.p_state_limit(), limit);
+}
+
+TEST_F(GovernorTest, ThermalLimitThrottlesInAnyMode) {
+  run_decisions(2, 1.0, 96.0);
+  EXPECT_TRUE(governor_.thermal_throttling());
+  EXPECT_LT(governor_.p_state_limit(), 5u);
+}
+
+TEST_F(GovernorTest, ThermalHysteresisHolds) {
+  run_decisions(2, 1.0, 96.0);
+  const std::size_t limit = governor_.p_state_limit();
+  // Cooled below the limit but inside hysteresis: hold.
+  run_decisions(5, 1.0, 93.5);
+  EXPECT_EQ(governor_.p_state_limit(), limit);
+  EXPECT_TRUE(governor_.thermal_throttling());
+  // Cooled below limit - hysteresis: recover.
+  run_decisions(10, 1.0, 80.0);
+  EXPECT_FALSE(governor_.thermal_throttling());
+  EXPECT_EQ(governor_.p_state_limit(), 5u);
+}
+
+TEST_F(GovernorTest, DecisionPeriodRateLimits) {
+  governor_.set_lowpowermode(true);
+  // 5 ms of 1 ms steps: less than one decision period, no action yet.
+  for (int i = 0; i < 5; ++i) {
+    governor_.update(10.0, 30.0, 0.001);
+  }
+  EXPECT_FALSE(governor_.power_throttling());
+  // Completing the period triggers the decision.
+  for (int i = 0; i < 6; ++i) {
+    governor_.update(10.0, 30.0, 0.001);
+  }
+  EXPECT_TRUE(governor_.power_throttling());
+}
+
+TEST_F(GovernorTest, ThrottleFloorsAtStateZero) {
+  governor_.set_lowpowermode(true);
+  run_decisions(50, 10.0, 30.0);
+  EXPECT_EQ(governor_.p_state_limit(), 0u);
+}
+
+}  // namespace
+}  // namespace psc::soc

@@ -1,0 +1,96 @@
+#include "soc/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psc::soc {
+namespace {
+
+ThermalConfig config() {
+  return {.ambient_c = 25.0, .r_thermal_c_per_w = 5.0, .tau_s = 10.0};
+}
+
+TEST(ThermalModel, StartsAtAmbient) {
+  ThermalModel t(config());
+  EXPECT_DOUBLE_EQ(t.temperature_c(), 25.0);
+}
+
+TEST(ThermalModel, SteadyStateFormula) {
+  ThermalModel t(config());
+  EXPECT_DOUBLE_EQ(t.steady_state_c(10.0), 75.0);
+  EXPECT_DOUBLE_EQ(t.steady_state_c(0.0), 25.0);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  ThermalModel t(config());
+  for (int i = 0; i < 100000; ++i) {
+    t.step(10.0, 1e-2);
+  }
+  EXPECT_NEAR(t.temperature_c(), 75.0, 0.01);
+}
+
+TEST(ThermalModel, MonotonicApproachFromBelow) {
+  ThermalModel t(config());
+  double prev = t.temperature_c();
+  for (int i = 0; i < 1000; ++i) {
+    t.step(10.0, 1e-2);
+    EXPECT_GE(t.temperature_c(), prev);
+    EXPECT_LE(t.temperature_c(), 75.0 + 1e-9);
+    prev = t.temperature_c();
+  }
+}
+
+TEST(ThermalModel, CoolsWhenPowerRemoved) {
+  ThermalModel t(config());
+  for (int i = 0; i < 10000; ++i) {
+    t.step(10.0, 1e-2);
+  }
+  const double hot = t.temperature_c();
+  for (int i = 0; i < 1000; ++i) {
+    t.step(0.0, 1e-2);
+  }
+  EXPECT_LT(t.temperature_c(), hot);
+}
+
+TEST(ThermalModel, StableForLargeSteps) {
+  // The exponential update must not overshoot even with dt >> tau.
+  ThermalModel t(config());
+  t.step(10.0, 1000.0);
+  EXPECT_NEAR(t.temperature_c(), 75.0, 1e-6);
+  t.step(10.0, 1000.0);
+  EXPECT_NEAR(t.temperature_c(), 75.0, 1e-6);
+}
+
+TEST(ThermalModel, TimeConstantGovernsRate) {
+  // After exactly tau seconds at constant power, the gap closes by 1-1/e.
+  ThermalModel t(config());
+  const int steps = 1000;
+  const double dt = config().tau_s / steps;
+  for (int i = 0; i < steps; ++i) {
+    t.step(10.0, dt);
+  }
+  const double expected = 25.0 + 50.0 * (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(t.temperature_c(), expected, 0.05);
+}
+
+TEST(ThermalModel, Reset) {
+  ThermalModel t(config());
+  t.step(20.0, 100.0);
+  EXPECT_GT(t.temperature_c(), 25.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.temperature_c(), 25.0);
+}
+
+TEST(ThermalModel, MorePowerMeansHotter) {
+  ThermalModel a(config());
+  ThermalModel b(config());
+  for (int i = 0; i < 500; ++i) {
+    a.step(5.0, 0.05);
+    b.step(15.0, 0.05);
+  }
+  EXPECT_LT(a.temperature_c(), b.temperature_c());
+}
+
+}  // namespace
+}  // namespace psc::soc

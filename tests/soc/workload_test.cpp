@@ -1,0 +1,139 @@
+#include "soc/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "aes/aes128.h"
+#include "power/leakage_model.h"
+#include "util/rng.h"
+
+namespace psc::soc {
+namespace {
+
+aes::Block random_block(util::Xoshiro256& rng) {
+  aes::Block b;
+  rng.fill_bytes(b);
+  return b;
+}
+
+TEST(IdleWorkload, NoDataEnergy) {
+  IdleWorkload w;
+  util::Xoshiro256 rng(1);
+  const WorkStep s = w.run(1e6, rng);
+  EXPECT_DOUBLE_EQ(s.core_extra_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(s.bus_extra_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(s.cycles, 1e6);
+  EXPECT_LT(s.intensity, 0.1);
+}
+
+TEST(MatrixStressor, HighestIntensity) {
+  MatrixStressor matrix;
+  FmulStressor fmul;
+  IdleWorkload idle;
+  EXPECT_GT(matrix.nominal_intensity(), fmul.nominal_intensity());
+  EXPECT_GT(fmul.nominal_intensity(), idle.nominal_intensity());
+}
+
+TEST(FmulStressor, DataIndependentByConstruction) {
+  FmulStressor w;
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const WorkStep s = w.run(12345.0, rng);
+    EXPECT_DOUBLE_EQ(s.core_extra_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(s.bus_extra_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(s.intensity, w.nominal_intensity());
+  }
+}
+
+class AesWorkloadTest : public ::testing::Test {
+ protected:
+  util::Xoshiro256 rng_{3};
+  power::LeakageConfig leakage_ = power::LeakageConfig::apple_silicon_default();
+};
+
+TEST_F(AesWorkloadTest, CountsBlocks) {
+  AesWorkload w(random_block(rng_), leakage_, /*cycles_per_block=*/100.0);
+  const WorkStep s = w.run(1000.0, rng_);
+  EXPECT_EQ(s.items_completed, 10u);
+  EXPECT_EQ(w.blocks_encrypted(), 10u);
+}
+
+TEST_F(AesWorkloadTest, CarriesFractionalCycles) {
+  AesWorkload w(random_block(rng_), leakage_, 100.0);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += w.run(150.0, rng_).items_completed;
+  }
+  // 1500 cycles at 100 cycles/block = 15 blocks, no loss to rounding.
+  EXPECT_EQ(total, 15u);
+}
+
+TEST_F(AesWorkloadTest, DutyCycleScalesThroughput) {
+  AesWorkload full(random_block(rng_), leakage_, 100.0, 1.0);
+  AesWorkload half(random_block(rng_), leakage_, 100.0, 0.5);
+  const std::uint64_t full_blocks = full.run(100000.0, rng_).items_completed;
+  const std::uint64_t half_blocks = half.run(100000.0, rng_).items_completed;
+  EXPECT_EQ(full_blocks, 1000u);
+  EXPECT_EQ(half_blocks, 500u);
+}
+
+TEST_F(AesWorkloadTest, CiphertextMatchesReferenceCipher) {
+  const aes::Block key = random_block(rng_);
+  const aes::Block pt = random_block(rng_);
+  AesWorkload w(key, leakage_);
+  w.set_plaintext(pt);
+  aes::Aes128 reference(key);
+  EXPECT_EQ(w.ciphertext(), reference.encrypt(pt));
+}
+
+TEST_F(AesWorkloadTest, LeakageEnergyMatchesEvaluator) {
+  const aes::Block key = random_block(rng_);
+  const aes::Block pt = random_block(rng_);
+  AesWorkload w(key, leakage_, 100.0);
+  w.set_plaintext(pt);
+
+  aes::Aes128 reference(key);
+  aes::RoundTrace trace;
+  const aes::Block ct = reference.encrypt_trace(pt, trace);
+  power::LeakageEvaluator eval(leakage_);
+  EXPECT_DOUBLE_EQ(w.core_leak_energy_per_block(),
+                   eval.energy_deviation(pt, trace));
+  EXPECT_DOUBLE_EQ(w.bus_leak_energy_per_block(),
+                   eval.bus_energy_deviation(pt, ct));
+
+  // 10 blocks leak 10x the per-block deviation.
+  const WorkStep s = w.run(1000.0, rng_);
+  EXPECT_NEAR(s.core_extra_energy_j,
+              10.0 * eval.energy_deviation(pt, trace), 1e-24);
+}
+
+TEST_F(AesWorkloadTest, PlaintextChangeChangesLeakage) {
+  AesWorkload w(random_block(rng_), leakage_);
+  w.set_plaintext(random_block(rng_));
+  const double first = w.core_leak_energy_per_block();
+  aes::Block other = w.plaintext();
+  other[3] ^= 0xff;
+  w.set_plaintext(other);
+  EXPECT_NE(w.core_leak_energy_per_block(), first);
+}
+
+TEST_F(AesWorkloadTest, RekeyChangesCiphertext) {
+  const aes::Block pt = random_block(rng_);
+  AesWorkload w(random_block(rng_), leakage_);
+  w.set_plaintext(pt);
+  const aes::Block before = w.ciphertext();
+  w.set_key(random_block(rng_));
+  EXPECT_NE(w.ciphertext(), before);
+  EXPECT_EQ(w.plaintext(), pt);
+}
+
+TEST_F(AesWorkloadTest, IntensityBlendsWithDutyCycle) {
+  AesWorkload full(random_block(rng_), leakage_, 100.0, 1.0);
+  AesWorkload half(random_block(rng_), leakage_, 100.0, 0.5);
+  const double full_intensity = full.run(100.0, rng_).intensity;
+  const double half_intensity = half.run(100.0, rng_).intensity;
+  EXPECT_DOUBLE_EQ(full_intensity, full.nominal_intensity());
+  EXPECT_LT(half_intensity, full_intensity);
+}
+
+}  // namespace
+}  // namespace psc::soc

@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psc::util {
+namespace {
+
+TEST(Csv, SimpleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"traces", "ge_bits"});
+  csv.row({"1000", "97.2"});
+  EXPECT_EQ(out.str(), "traces,ge_bits\n1000,97.2\n");
+}
+
+TEST(Csv, QuotesCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a,b", "say \"hi\"", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(Csv, RowBuilderMixedTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.start_row().cell("PHPC").cell(std::size_t{350000}).cell(31.0).done();
+  EXPECT_EQ(out.str(), "PHPC,350000,31\n");
+}
+
+TEST(Csv, FormatDouble) {
+  EXPECT_EQ(format_double(3.5), "3.5");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-1.25), "-1.25");
+  EXPECT_EQ(format_double(1e10), "1e+10");
+}
+
+TEST(Csv, FormatDoubleSpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,73 @@
+#include "util/fourcc.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace psc::util {
+namespace {
+
+TEST(FourCc, LiteralConstruction) {
+  constexpr FourCc key("PHPC");
+  EXPECT_EQ(key.str(), "PHPC");
+  EXPECT_EQ(key.code(), 0x50485043u);
+}
+
+TEST(FourCc, CharacterAccess) {
+  constexpr FourCc key("PDTR");
+  EXPECT_EQ(key.at(0), 'P');
+  EXPECT_EQ(key.at(1), 'D');
+  EXPECT_EQ(key.at(2), 'T');
+  EXPECT_EQ(key.at(3), 'R');
+}
+
+TEST(FourCc, ParseValid) {
+  const auto key = FourCc::parse("PSTR");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, FourCc("PSTR"));
+}
+
+TEST(FourCc, ParseRejectsWrongLength) {
+  EXPECT_FALSE(FourCc::parse("").has_value());
+  EXPECT_FALSE(FourCc::parse("ABC").has_value());
+  EXPECT_FALSE(FourCc::parse("ABCDE").has_value());
+}
+
+TEST(FourCc, RoundTripThroughCode) {
+  const FourCc original("PMVC");
+  const FourCc copy(original.code());
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.str(), "PMVC");
+}
+
+TEST(FourCc, NonPrintableRenderedAsDot) {
+  const FourCc weird(0x50000001u);
+  EXPECT_EQ(weird.str(), "P..\x01"[0] == 'P' ? weird.str() : "");
+  EXPECT_EQ(weird.str()[0], 'P');
+  EXPECT_EQ(weird.str()[1], '.');
+  EXPECT_EQ(weird.str()[2], '.');
+  EXPECT_EQ(weird.str()[3], '.');
+}
+
+TEST(FourCc, Ordering) {
+  EXPECT_LT(FourCc("AAAA"), FourCc("AAAB"));
+  EXPECT_LT(FourCc("PHPC"), FourCc("PHPS"));
+  EXPECT_EQ(FourCc("PHPC") <=> FourCc("PHPC"), std::strong_ordering::equal);
+}
+
+TEST(FourCc, DefaultIsZero) {
+  constexpr FourCc empty;
+  EXPECT_EQ(empty.code(), 0u);
+}
+
+TEST(FourCc, UsableAsHashKey) {
+  std::unordered_map<FourCc, int> map;
+  map[FourCc("PHPC")] = 1;
+  map[FourCc("PDTR")] = 2;
+  EXPECT_EQ(map.at(FourCc("PHPC")), 1);
+  EXPECT_EQ(map.at(FourCc("PDTR")), 2);
+  EXPECT_EQ(map.count(FourCc("XXXX")), 0u);
+}
+
+}  // namespace
+}  // namespace psc::util

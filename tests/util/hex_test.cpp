@@ -1,0 +1,63 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/rng.h"
+
+namespace psc::util {
+namespace {
+
+TEST(Hex, EncodeKnown) {
+  const std::array<std::uint8_t, 4> bytes = {0x00, 0x7f, 0xab, 0xff};
+  EXPECT_EQ(to_hex(bytes), "007fabff");
+}
+
+TEST(Hex, EncodeEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Hex, DecodeKnown) {
+  const auto bytes = from_hex("2b7e1516");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, (std::vector<std::uint8_t>{0x2b, 0x7e, 0x15, 0x16}));
+}
+
+TEST(Hex, DecodeCaseInsensitive) {
+  EXPECT_EQ(from_hex("AbCdEf"), from_hex("abcdef"));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+  EXPECT_FALSE(from_hex("  ").has_value());
+}
+
+TEST(Hex, ExactDecodeSizeChecked) {
+  std::array<std::uint8_t, 2> out{};
+  EXPECT_TRUE(from_hex_exact("beef", out));
+  EXPECT_EQ(out[0], 0xbe);
+  EXPECT_EQ(out[1], 0xef);
+  EXPECT_FALSE(from_hex_exact("be", out));
+  EXPECT_FALSE(from_hex_exact("beefbe", out));
+  EXPECT_FALSE(from_hex_exact("zzzz", out));
+}
+
+TEST(Hex, RoundTripRandomBuffers) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> buf(rng.uniform_u64(64));
+    rng.fill_bytes(buf);
+    const auto decoded = from_hex(to_hex(buf));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, buf);
+  }
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,207 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVectors) {
+  // Reference outputs for seed 0 from the canonical splitmix64.c.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, SameSeedSameStream) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(4);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespected) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(Xoshiro256, UniformU64BoundRespected) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, UniformU64CoversAllResidues) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.uniform_u64(16));
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Xoshiro256, UniformU64RoughlyUniform) {
+  Xoshiro256 rng(8);
+  constexpr std::uint64_t buckets = 8;
+  constexpr int n = 80000;
+  std::array<int, buckets> counts{};
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.uniform_u64(buckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / buckets, 0.08 * n / buckets);
+  }
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(9);
+  constexpr int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, GaussianScaled) {
+  Xoshiro256 rng(10);
+  constexpr int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Xoshiro256, FillBytesCoversValues) {
+  Xoshiro256 rng(11);
+  std::vector<std::uint8_t> buf(4096);
+  rng.fill_bytes(buf);
+  std::set<std::uint8_t> seen(buf.begin(), buf.end());
+  EXPECT_GT(seen.size(), 200u);
+}
+
+TEST(Xoshiro256, FillBytesHandlesOddLengths) {
+  for (const std::size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u}) {
+    Xoshiro256 a(12);
+    Xoshiro256 b(12);
+    std::vector<std::uint8_t> buf_a(len, 0);
+    std::vector<std::uint8_t> buf_b(len, 0);
+    a.fill_bytes(buf_a);
+    b.fill_bytes(buf_b);
+    EXPECT_EQ(buf_a, buf_b);
+  }
+}
+
+TEST(Xoshiro256, ForkedStreamsDiffer) {
+  Xoshiro256 parent(13);
+  Xoshiro256 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, LongJumpChangesSequence) {
+  Xoshiro256 a(14);
+  Xoshiro256 b(14);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+// Property sweep: moments hold across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanAndVariance) {
+  Xoshiro256 rng(GetParam());
+  constexpr int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform01();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234567, 0xdeadbeef,
+                                           0xfffffffffffffffeULL));
+
+}  // namespace
+}  // namespace psc::util

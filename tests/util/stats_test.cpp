@@ -1,0 +1,247 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace psc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(21);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(10.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(WelchTTest, HandComputedExample) {
+  // a = {1..5}: mean 3, var 2.5; b = {2,4,6,8,10}: mean 6, var 10.
+  // t = (3-6)/sqrt(2.5/5 + 10/5) = -3/sqrt(2.5) = -1.8973665961.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t, -1.8973665961, 1e-9);
+  // Welch-Satterthwaite dof = 2.5^2 / (0.5^2/4 + 2^2/4) = 6.25/1.0625.
+  EXPECT_NEAR(r.dof, 5.8823529412, 1e-9);
+}
+
+TEST(WelchTTest, SymmetricSign) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_DOUBLE_EQ(welch_t_test(a, b).t, -welch_t_test(b, a).t);
+}
+
+TEST(WelchTTest, IdenticalSetsGiveZero) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(welch_t_test(a, a).t, 0.0);
+}
+
+TEST(WelchTTest, DegenerateInputsGiveZero) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> many = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(welch_t_test(one, many).t, 0.0);
+  const std::vector<double> constant = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(welch_t_test(constant, constant).t, 0.0);
+}
+
+TEST(WelchTTest, DetectsSeparatedDistributions) {
+  Xoshiro256 rng(22);
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.gaussian(0.0, 1.0));
+    b.add(rng.gaussian(0.2, 1.0));
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_LT(r.t, -tvla_threshold);
+}
+
+TEST(WelchTTest, NullHypothesisStaysBelowThreshold) {
+  // Same distribution: |t| should almost always stay below 4.5.
+  Xoshiro256 rng(23);
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.gaussian(1.0, 2.0));
+    b.add(rng.gaussian(1.0, 2.0));
+  }
+  EXPECT_LT(std::abs(welch_t_test(a, b).t), tvla_threshold);
+}
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  Xoshiro256 rng(24);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.gaussian();
+    y[i] = 0.3 * x[i] + rng.gaussian();
+  }
+  const double base = pearson(x, y);
+  std::vector<double> y_scaled(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y_scaled[i] = 100.0 + 42.0 * y[i];
+  }
+  EXPECT_NEAR(pearson(x, y_scaled), base, 1e-9);
+}
+
+TEST(Pearson, DegenerateReturnsZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(pearson(empty, empty), 0.0);
+}
+
+TEST(OnlineCorrelation, MatchesBatchPearson) {
+  Xoshiro256 rng(25);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  OnlineCorrelation acc;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.gaussian(3.0, 2.0);
+    y[i] = 0.5 * x[i] + rng.gaussian(0.0, 1.5);
+    acc.add(x[i], y[i]);
+  }
+  EXPECT_NEAR(acc.correlation(), pearson(x, y), 1e-9);
+}
+
+TEST(OnlineCorrelation, MergeMatchesSequential) {
+  Xoshiro256 rng(26);
+  OnlineCorrelation whole;
+  OnlineCorrelation left;
+  OnlineCorrelation right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    const double y = x * x + rng.gaussian(0.0, 0.1);
+    whole.add(x, y);
+    (i % 2 == 0 ? left : right).add(x, y);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.correlation(), whole.correlation(), 1e-12);
+  EXPECT_NEAR(left.covariance(), whole.covariance(), 1e-12);
+}
+
+TEST(OnlineCorrelation, MeansTracked) {
+  OnlineCorrelation acc;
+  acc.add(1.0, 10.0);
+  acc.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(acc.mean_x(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.mean_y(), 20.0);
+}
+
+TEST(SpanHelpers, MeanVariancePercentile) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 50), 0.0);
+}
+
+// Property: Welch t grows like sqrt(n) for a fixed mean separation.
+class WelchGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelchGrowth, TScalesWithSampleCount) {
+  const int n = GetParam();
+  Xoshiro256 rng(27);
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < n; ++i) {
+    a.add(rng.gaussian(0.0, 1.0));
+    b.add(rng.gaussian(0.5, 1.0));
+  }
+  const double expected = 0.5 / std::sqrt(2.0 / n);
+  EXPECT_NEAR(std::abs(welch_t_test(a, b).t), expected, 0.35 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, WelchGrowth,
+                         ::testing::Values(200, 800, 3200, 12800));
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.header({"SMC key", "t-score"});
+  t.add_row({"PHPC", "20.94"});
+  t.add_row({"PHPS", "-0.18"});
+  std::ostringstream out;
+  t.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("SMC key"), std::string::npos);
+  EXPECT_NE(s.find("PHPC"), std::string::npos);
+  EXPECT_NE(s.find("20.94"), std::string::npos);
+  EXPECT_NE(s.find("-0.18"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted) {
+  TextTable t;
+  t.set_title("Table 3: TVLA");
+  t.header({"a"});
+  t.add_row({"1"});
+  std::ostringstream out;
+  t.render(out);
+  EXPECT_EQ(out.str().rfind("Table 3: TVLA", 0), 0u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream out;
+  t.render(out);
+  // Every data line must contain the same number of separators.
+  const std::string s = out.str();
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t expected = std::string::npos;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '-' || line.find('|') == std::string::npos) {
+      continue;
+    }
+    const std::size_t pipes =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), '|'));
+    if (expected == std::string::npos) {
+      expected = pipes;
+    }
+    EXPECT_EQ(pipes, expected);
+  }
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  TextTable t;
+  std::ostringstream out;
+  t.render(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  t.header({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, AlignmentControl) {
+  TextTable t;
+  t.header({"name", "val"});
+  t.set_align(1, Align::left);
+  t.add_row({"k", "7"});
+  std::ostringstream out;
+  t.render(out);
+  EXPECT_NE(out.str().find("| k"), std::string::npos);
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(20.9412, 2), "20.94");
+  EXPECT_EQ(fixed(-0.176, 2), "-0.18");
+  EXPECT_EQ(fixed(31.0, 1), "31.0");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -1,0 +1,41 @@
+#include "victim/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace psc::victim {
+namespace {
+
+TEST(Platform, Construction) {
+  Platform platform(soc::DeviceProfile::macbook_air_m2(), 10);
+  EXPECT_EQ(platform.chip().p_core_count(), 4u);
+  EXPECT_DOUBLE_EQ(platform.time_s(), 0.0);
+}
+
+TEST(Platform, RunForAdvancesEverything) {
+  Platform platform(soc::DeviceProfile::macbook_air_m2(), 10);
+  platform.run_for(1.5);
+  EXPECT_NEAR(platform.time_s(), 1.5, 1e-9);
+  // SMC latched at least once after t=1s.
+  EXPECT_GE(platform.smc().last_latch_time(smc::FourCc("PHPC")), 1.0);
+}
+
+TEST(Platform, UserConnectionReadsPowerKeys) {
+  Platform platform(soc::DeviceProfile::macbook_air_m2(), 10);
+  platform.run_for(1.1);
+  auto conn = platform.open_smc();
+  EXPECT_EQ(conn.privilege(), smc::Privilege::user);
+  smc::SmcValue value;
+  EXPECT_EQ(conn.read_key(smc::FourCc("PHPC"), value), smc::SmcStatus::ok);
+  EXPECT_GT(value.as_double(), 0.0);
+}
+
+TEST(Platform, LowpowermodeToggle) {
+  Platform platform(soc::DeviceProfile::macbook_air_m2(), 10);
+  platform.set_lowpowermode(true);
+  EXPECT_TRUE(platform.chip().lowpowermode());
+  platform.run_for(0.05);
+  EXPECT_DOUBLE_EQ(platform.chip().p_core(0).frequency_hz(), 1.968e9);
+}
+
+}  // namespace
+}  // namespace psc::victim

@@ -1,0 +1,92 @@
+#include "victim/victims.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace psc::victim {
+namespace {
+
+aes::Block random_block(util::Xoshiro256& rng) {
+  aes::Block b;
+  rng.fill_bytes(b);
+  return b;
+}
+
+class VictimTest : public ::testing::Test {
+ protected:
+  VictimTest() : platform_(soc::DeviceProfile::macbook_air_m2(), 21) {
+    util::Xoshiro256 rng(22);
+    key_ = random_block(rng);
+    pt_ = random_block(rng);
+  }
+
+  Platform platform_;
+  aes::Block key_;
+  aes::Block pt_;
+};
+
+TEST_F(VictimTest, UserVictimProducesCorrectCiphertext) {
+  UserSpaceVictim victim(platform_, key_, 3);
+  const aes::Block ct = victim.encrypt_window(pt_, 0.2);
+  EXPECT_EQ(ct, aes::Aes128(key_).encrypt(pt_));
+}
+
+TEST_F(VictimTest, UserVictimThreadsLandOnPCores) {
+  UserSpaceVictim victim(platform_, key_, 3);
+  victim.encrypt_window(pt_, 0.05);
+  for (const sched::ThreadId id : victim.thread_ids()) {
+    const auto core = platform_.scheduler().thread(id).last_core();
+    ASSERT_TRUE(core.has_value());
+    EXPECT_LT(*core, platform_.chip().p_core_count());
+  }
+}
+
+TEST_F(VictimTest, UserVictimThroughputScalesWithThreads) {
+  UserSpaceVictim one(platform_, key_, 1);
+  one.encrypt_window(pt_, 0.2);
+  const std::uint64_t blocks_one = one.blocks_encrypted();
+
+  Platform fresh(soc::DeviceProfile::macbook_air_m2(), 23);
+  UserSpaceVictim three(fresh, key_, 3);
+  three.encrypt_window(pt_, 0.2);
+  EXPECT_NEAR(static_cast<double>(three.blocks_encrypted()),
+              3.0 * static_cast<double>(blocks_one),
+              0.05 * 3.0 * static_cast<double>(blocks_one));
+}
+
+TEST_F(VictimTest, KernelVictimProducesCorrectCiphertext) {
+  KernelModuleVictim victim(platform_, key_);
+  const aes::Block ct = victim.encrypt_window(pt_, 0.2);
+  EXPECT_EQ(ct, aes::Aes128(key_).encrypt(pt_));
+}
+
+TEST_F(VictimTest, KernelVictimSlowerThanUserVictim) {
+  // Duty-cycled workers encrypt fewer blocks per window.
+  UserSpaceVictim user(platform_, key_, 3);
+  user.encrypt_window(pt_, 0.2);
+  const auto user_blocks = user.blocks_encrypted();
+
+  Platform fresh(soc::DeviceProfile::macbook_air_m2(), 24);
+  KernelModuleVictim kernel(fresh, key_, 3, 0.85);
+  kernel.encrypt_window(pt_, 0.2);
+  const auto kernel_blocks = kernel.blocks_encrypted();
+
+  EXPECT_LT(static_cast<double>(kernel_blocks),
+            0.9 * static_cast<double>(user_blocks));
+  EXPECT_GT(static_cast<double>(kernel_blocks),
+            0.7 * static_cast<double>(user_blocks));
+}
+
+TEST_F(VictimTest, SequentialWindowsChangePlaintext) {
+  UserSpaceVictim victim(platform_, key_, 2);
+  const aes::Block ct1 = victim.encrypt_window(pt_, 0.05);
+  aes::Block other = pt_;
+  other[0] ^= 0x01;
+  const aes::Block ct2 = victim.encrypt_window(other, 0.05);
+  EXPECT_NE(ct1, ct2);
+  EXPECT_EQ(ct2, aes::Aes128(key_).encrypt(other));
+}
+
+}  // namespace
+}  // namespace psc::victim
