@@ -32,6 +32,7 @@ int main() {
         .include_pcpu = false,
         .seed = bench::bench_seed() + threads,
     };
+    bench::apply_parallel_env(tvla_config);
     const auto tvla = run_tvla_campaign(tvla_config);
     const double t = std::abs(tvla.find("PHPC")->matrix.score(
         core::PlaintextClass::all_zeros, core::PlaintextClass::all_ones));
@@ -45,6 +46,7 @@ int main() {
         .checkpoints = {},
         .seed = bench::bench_seed() + threads,
     };
+    bench::apply_parallel_env(cpa_config);
     const auto cpa = run_cpa_campaign(cpa_config);
     const auto& final = cpa.keys[0].final_results[0];
 

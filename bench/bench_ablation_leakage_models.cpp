@@ -28,6 +28,7 @@ std::array<double, 3> final_ge(const psc::soc::DeviceProfile& profile,
       .checkpoints = {},
       .seed = seed,
   };
+  bench::apply_parallel_env(config);
   const auto result = run_cpa_campaign(config);
   return {result.keys[0].final_results[0].ge_bits,
           result.keys[0].final_results[1].ge_bits,

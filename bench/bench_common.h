@@ -8,6 +8,11 @@
 //   PSC_QUICK=1     cut trace counts ~10x for smoke runs
 //   PSC_TRACES=N    override the CPA trace count explicitly
 //   PSC_SEED=N      change the campaign seed
+//   PSC_WORKERS=N   threads for the sharded campaign pipeline (default 1)
+//   PSC_SHARDS=N    shard count (default: 8 when PSC_WORKERS > 1, else 1;
+//                   results are a pure function of seed + shards, so any
+//                   worker count reproduces the same numbers for a fixed
+//                   shard count, and shards=1 matches the sequential run)
 #pragma once
 
 #include <cstdio>
@@ -28,6 +33,30 @@ inline std::size_t scaled(std::size_t paper_scale) {
 
 inline std::uint64_t bench_seed() {
   return util::env_size("PSC_SEED", 42);
+}
+
+inline std::size_t bench_workers() {
+  const std::size_t workers = util::env_size("PSC_WORKERS", 1);
+  return workers == 0 ? 1 : workers;
+}
+
+inline std::size_t bench_shards() {
+  return util::env_size("PSC_SHARDS", bench_workers() > 1 ? 8 : 1);
+}
+
+// Applies the PSC_WORKERS / PSC_SHARDS execution plan to a campaign
+// config. Announces any non-sequential plan: a shard count > 1 replaces
+// the sequential RNG stream with the per-shard partition, so the numbers
+// differ from (while statistically matching) a sequential run.
+template <typename CampaignConfig>
+inline void apply_parallel_env(CampaignConfig& config) {
+  config.workers = bench_workers();
+  config.shards = bench_shards();
+  if (config.workers > 1 || config.shards > 1) {
+    std::cout << "parallel plan: " << config.workers << " worker(s), "
+              << config.shards << " shard(s) — results reproduce for this "
+              << "(seed, shards) pair under any worker count\n";
+  }
 }
 
 inline void banner(const std::string& experiment_id,

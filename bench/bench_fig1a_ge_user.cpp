@@ -27,6 +27,7 @@ int main() {
   };
   m2_config.checkpoints =
       core::log_spaced_checkpoints(10000, m2_config.trace_count, 10);
+  bench::apply_parallel_env(m2_config);
   std::cout << "M2 campaign: " << m2_config.trace_count << " traces..."
             << std::flush;
   const auto m2 = run_cpa_campaign(m2_config);

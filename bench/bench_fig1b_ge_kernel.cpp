@@ -27,6 +27,7 @@ int main() {
   };
   kernel_config.checkpoints =
       core::log_spaced_checkpoints(10000, kernel_config.trace_count, 10);
+  bench::apply_parallel_env(kernel_config);
   std::cout << "kernel campaign: " << kernel_config.trace_count
             << " traces..." << std::flush;
   const auto kernel = run_cpa_campaign(kernel_config);

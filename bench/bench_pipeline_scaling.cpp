@@ -1,0 +1,91 @@
+// Pipeline scaling micro-bench: acquisition->accumulation throughput of
+// the sharded CPA campaign versus worker count, as machine-readable JSON
+// so successive commits have a perf trajectory to compare against.
+//
+// The shard count is pinned (default 8) while workers vary, so every run
+// must produce bit-identical campaign results — the bench cross-checks
+// that (`identical_results`) while measuring wall-clock traces/sec.
+//
+//   ./bench_pipeline_scaling
+//   PSC_TRACES=N       trace count per campaign      (default 200000)
+//   PSC_SHARDS=N       pinned shard count            (default 8)
+//   PSC_MAX_WORKERS=N  highest worker count measured (default 8)
+//   PSC_SEED=N         campaign seed
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/campaigns.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace psc;
+
+  const std::size_t traces = util::env_size("PSC_TRACES", 200'000);
+  const std::size_t shards = util::env_size("PSC_SHARDS", 8);
+  const std::size_t max_workers = util::env_size("PSC_MAX_WORKERS", 8);
+
+  core::CpaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = traces,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {},
+      .seed = bench::bench_seed(),
+      .workers = 1,
+      .shards = shards,
+  };
+
+  std::vector<std::size_t> worker_counts;
+  for (std::size_t w = 1; w <= max_workers; w *= 2) {
+    worker_counts.push_back(w);
+  }
+
+  bool identical = true;
+  double reference_ge = 0.0;
+  std::array<int, 16> reference_ranks{};
+  std::string rows;
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    config.workers = worker_counts[i];
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = run_cpa_campaign(config);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    const auto& final = result.keys[0].final_results[0];
+    if (i == 0) {
+      reference_ge = final.ge_bits;
+      reference_ranks = final.true_ranks;
+    } else if (final.ge_bits != reference_ge ||
+               final.true_ranks != reference_ranks) {
+      identical = false;
+    }
+    if (!rows.empty()) {
+      rows += ",";
+    }
+    rows += "{\"workers\":" + std::to_string(config.workers) +
+            ",\"seconds\":" + util::format_double(seconds) +
+            ",\"traces_per_sec\":" +
+            util::format_double(static_cast<double>(traces) / seconds) +
+            ",\"ge_bits\":" + util::format_double(final.ge_bits) + "}";
+    std::cerr << "workers=" << config.workers << " " << seconds << "s ("
+              << static_cast<double>(traces) / seconds << " traces/s)\n";
+  }
+
+  // stdout carries exactly one JSON object; progress goes to stderr.
+  std::cout << "{\"bench\":\"pipeline_scaling\","
+            << "\"device\":\"macbook_air_m2\","
+            << "\"channel\":\"PHPC\","
+            << "\"traces\":" << traces << ","
+            << "\"shards\":" << shards << ","
+            << "\"seed\":" << bench::bench_seed() << ","
+            << "\"identical_results\":" << (identical ? "true" : "false")
+            << ","
+            << "\"results\":[" << rows << "]}\n";
+  return identical ? 0 : 1;
+}

@@ -18,6 +18,7 @@ int main() {
       .include_pcpu = false,
       .seed = bench::bench_seed(),
   };
+  bench::apply_parallel_env(config);
   std::cout << "traces per (class, collection): " << config.traces_per_set
             << "  (paper: 10k per class)\n\n";
   const auto result = run_tvla_campaign(config);

@@ -27,6 +27,7 @@ int main() {
       .checkpoints = {},
       .seed = bench::bench_seed(),
   };
+  bench::apply_parallel_env(m2_config);
   std::cout << "collecting " << m2_traces << " M2 traces..." << std::flush;
   const auto m2 = run_cpa_campaign(m2_config);
   std::cout << " done\n";
@@ -40,6 +41,7 @@ int main() {
       .checkpoints = {},
       .seed = bench::bench_seed() + 1,
   };
+  bench::apply_parallel_env(m1_config);
   std::cout << "collecting " << m1_traces << " M1 traces..." << std::flush;
   const auto m1 = run_cpa_campaign(m1_config);
   std::cout << " done\n\n";

@@ -22,6 +22,7 @@ int main() {
       .include_pcpu = true,
       .seed = bench::bench_seed() + 6,
   };
+  bench::apply_parallel_env(pcpu_config);
   const auto pcpu_result = run_tvla_campaign(pcpu_config);
   const auto* pcpu = pcpu_result.find("PCPU");
 

@@ -3,7 +3,9 @@
 // service, reads the PHPC SMC key after each measurement window, and runs
 // CPA with the Rd0-HW model until key bytes surface.
 //
-//   ./aes_key_recovery [traces]         (default 300000)
+//   ./aes_key_recovery [traces] [workers]   (default 300000 traces, 1
+//                                            worker; workers > 1 runs the
+//                                            sharded pipeline)
 #include <cstdlib>
 #include <iostream>
 
@@ -19,11 +21,13 @@ int main(int argc, char** argv) {
 
   const std::size_t traces =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+  const std::size_t workers =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
   std::cout << "victim : user-space AES-128 service, 3 P-core threads, M2\n"
             << "channel: PHPC (P-cluster power, read as unprivileged user)\n"
             << "attack : known-plaintext CPA, Rd0-HW model, " << traces
-            << " traces\n\n";
+            << " traces, " << workers << " worker(s)\n\n";
 
   core::CpaCampaignConfig config{
       .profile = soc::DeviceProfile::macbook_air_m2(),
@@ -33,6 +37,10 @@ int main(int argc, char** argv) {
       .keys = {smc::FourCc("PHPC")},
       .checkpoints = core::log_spaced_checkpoints(traces / 32, traces, 6),
       .seed = 2024,
+      .workers = workers,
+      // Pinned shard count: results depend only on the seed, so any
+      // worker count reproduces the same numbers.
+      .shards = 8,
   };
   const auto result = run_cpa_campaign(config);
   const auto& key_result = *result.find(smc::FourCc("PHPC"));

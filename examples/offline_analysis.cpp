@@ -1,19 +1,20 @@
 // offline_analysis: capture once, analyze later. Collects a trace set
-// through the attack pipeline, persists it as CSV (the format a real
-// logging attacker would keep), reloads it, and replays CPA and TVLA from
-// the file — demonstrating that analysis is decoupled from collection.
+// through the pluggable acquisition layer (core::LiveTraceSource),
+// persists it as CSV (the format a real logging attacker would keep),
+// reloads it, and replays CPA from the file through the *same* analysis
+// path via core::ReplayTraceSource — the two ModelResults are
+// bit-identical, demonstrating that analysis is fully decoupled from
+// collection.
 //
 //   ./offline_analysis [traces] [path]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
 
-#include "core/cpa.h"
 #include "core/guessing_entropy.h"
-#include "core/trace.h"
+#include "core/trace_source.h"
 #include "util/hex.h"
-#include "victim/fast_trace.h"
 
 int main(int argc, char** argv) {
   using namespace psc;
@@ -26,17 +27,12 @@ int main(int argc, char** argv) {
   util::Xoshiro256 rng(2025);
   aes::Block victim_key;
   rng.fill_bytes(victim_key);
-  victim::FastTraceSource source(soc::DeviceProfile::macbook_air_m2(),
-                                 victim_key,
-                                 victim::VictimModel::user_space(), 1);
+  core::LiveTraceSource source(
+      {.profile = soc::DeviceProfile::macbook_air_m2(),
+       .victim = victim::VictimModel::user_space()},
+      victim_key, 1);
 
-  core::TraceSet set(source.keys());
-  for (std::size_t i = 0; i < traces; ++i) {
-    aes::Block pt;
-    rng.fill_bytes(pt);
-    const auto sample = source.collect(pt);
-    set.add({sample.plaintext, sample.ciphertext, sample.smc_values});
-  }
+  const core::TraceSet set = core::capture_trace_set(source, traces, rng);
   {
     std::ofstream out(path);
     set.save_csv(out);
@@ -46,20 +42,14 @@ int main(int argc, char** argv) {
 
   // --- Analysis phase (possibly days later, on another machine).
   std::ifstream in(path);
-  const core::TraceSet loaded = core::TraceSet::load_csv(in);
-  std::cout << "reloaded " << loaded.size() << " traces\n\n";
+  auto loaded = std::make_shared<core::TraceSet>(core::TraceSet::load_csv(in));
+  std::cout << "reloaded " << loaded->size() << " traces\n\n";
 
-  const auto phpc = loaded.key_index(util::FourCc("PHPC"));
-  if (!phpc) {
-    std::cerr << "no PHPC column in capture\n";
-    return 1;
-  }
-
-  core::CpaEngine engine({power::PowerModel::rd0_hw});
-  for (std::size_t i = 0; i < loaded.size(); ++i) {
-    engine.add_trace(loaded[i].plaintext, loaded[i].ciphertext,
-                     loaded[i].values[*phpc]);
-  }
+  core::ReplayTraceSource replay(loaded);
+  util::Xoshiro256 unused_rng(0);  // replay returns its recorded plaintexts
+  const core::CpaEngine engine = core::accumulate_cpa(
+      replay, util::FourCc("PHPC"), {power::PowerModel::rd0_hw},
+      /*count=*/0, unused_rng);
   const auto result = engine.analyze(power::PowerModel::rd0_hw,
                                      aes::Aes128::expand_key(victim_key));
 

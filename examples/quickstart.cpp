@@ -6,9 +6,9 @@
 #include <algorithm>
 #include <iostream>
 
+#include "core/trace_source.h"
 #include "core/tvla.h"
 #include "util/table.h"
-#include "victim/fast_trace.h"
 #include "victim/platform.h"
 #include "victim/victims.h"
 
@@ -46,12 +46,14 @@ int main() {
                                  0x09, 0xcf, 0x4f, 0x3c};
 
   // 4. Miniature TVLA: does PHPC distinguish what the victim encrypts?
-  //    (The fast trace source is statistically equivalent to driving the
-  //    full platform; see DESIGN.md section 6.)
-  victim::FastTraceSource source(soc::DeviceProfile::macbook_air_m2(),
-                                 secret_key,
-                                 victim::VictimModel::user_space(),
-                                 /*seed=*/2);
+  //    Acquisition goes through the pluggable trace-source layer (the
+  //    live source is statistically equivalent to driving the full
+  //    platform; see DESIGN.md section 6 — swap in a ReplayTraceSource to
+  //    run the same assessment from a CSV capture).
+  core::LiveTraceSource source(
+      {.profile = soc::DeviceProfile::macbook_air_m2(),
+       .victim = victim::VictimModel::user_space()},
+      secret_key, /*seed=*/2);
   const std::size_t phpc =
       static_cast<std::size_t>(std::find(source.keys().begin(),
                                          source.keys().end(),
@@ -65,7 +67,7 @@ int main() {
     for (const auto cls : core::all_plaintext_classes) {
       for (int i = 0; i < traces_per_set; ++i) {
         const aes::Block pt = core::class_plaintext(cls, rng);
-        tvla.add(cls, primed, source.collect(pt).smc_values[phpc]);
+        tvla.add(cls, primed, source.collect(pt).values[phpc]);
       }
     }
   }

@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 
 namespace psc::core {
+
+namespace {
+
+// Per-shard acquisition batch size: traces are staged in column form and
+// handed to the engines through their batch interface, keeping the
+// acquire and accumulate halves of the loop separable; the cap bounds the
+// staging buffers' memory.
+constexpr std::size_t acquisition_batch = 1024;
+
+}  // namespace
 
 const TvlaChannelResult* TvlaCampaignResult::find(
     const std::string& channel) const noexcept {
@@ -20,37 +32,54 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
   aes::Block victim_key;
   rng.fill_bytes(victim_key);
 
-  victim::FastTraceSource source(config.profile, victim_key, config.victim,
-                                 rng(), config.mitigation);
+  const LiveSourceConfig source_config{
+      .profile = config.profile,
+      .victim = config.victim,
+      .mitigation = config.mitigation,
+      .include_pcpu = config.include_pcpu,
+  };
+  const std::vector<util::FourCc> channels =
+      LiveTraceSource::channel_names(source_config);
 
-  const auto& keys = source.keys();
-  std::vector<TvlaAccumulator> accumulators(keys.size() +
-                                            (config.include_pcpu ? 1 : 0));
+  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  const std::size_t shards = runner.shards();
 
-  for (const bool primed : {false, true}) {
-    for (const PlaintextClass cls : all_plaintext_classes) {
-      for (std::size_t t = 0; t < config.traces_per_set; ++t) {
-        const aes::Block pt = class_plaintext(cls, rng);
-        const auto sample = source.collect(pt);
-        for (std::size_t k = 0; k < keys.size(); ++k) {
-          accumulators[k].add(cls, primed, sample.smc_values[k]);
-        }
-        if (config.include_pcpu) {
-          accumulators.back().add(cls, primed,
-                                  static_cast<double>(sample.pcpu_mj));
+  const auto partials = runner.map([&](std::size_t s) {
+    // A single-shard run continues the campaign stream so the sharded
+    // pipeline reproduces the sequential implementation bit-for-bit;
+    // multi-shard runs give each shard its own split stream.
+    util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
+    LiveTraceSource source(source_config, victim_key, shard_rng());
+    const std::size_t per_set =
+        shard_size(config.traces_per_set, shards, s);
+
+    std::vector<TvlaAccumulator> accumulators(channels.size());
+    for (const bool primed : {false, true}) {
+      for (const PlaintextClass cls : all_plaintext_classes) {
+        for (std::size_t t = 0; t < per_set; ++t) {
+          const aes::Block pt = class_plaintext(cls, shard_rng);
+          const TraceRecord record = source.collect(pt);
+          for (std::size_t c = 0; c < channels.size(); ++c) {
+            accumulators[c].add(cls, primed, record.values[c]);
+          }
         }
       }
+    }
+    return accumulators;
+  });
+
+  std::vector<TvlaAccumulator> merged(channels.size());
+  for (const auto& partial : partials) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      merged[c].merge(partial[c]);
     }
   }
 
   TvlaCampaignResult result;
   result.victim_key = victim_key;
   result.traces_per_set = config.traces_per_set;
-  for (std::size_t k = 0; k < keys.size(); ++k) {
-    result.channels.push_back({keys[k].str(), accumulators[k].matrix()});
-  }
-  if (config.include_pcpu) {
-    result.channels.push_back({"PCPU", accumulators.back().matrix()});
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    result.channels.push_back({channels[c].str(), merged[c].matrix()});
   }
   return result;
 }
@@ -69,13 +98,19 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   aes::Block victim_key;
   rng.fill_bytes(victim_key);
 
-  victim::FastTraceSource source(config.profile, victim_key, config.victim,
-                                 rng(), config.mitigation);
+  const LiveSourceConfig source_config{
+      .profile = config.profile,
+      .victim = config.victim,
+      .mitigation = config.mitigation,
+      .include_pcpu = false,
+  };
+  const std::vector<util::FourCc> channels =
+      LiveTraceSource::channel_names(source_config);
 
   // Resolve the key set: all data-dependent keys except the PHPS estimate.
   std::vector<smc::FourCc> attack_keys = config.keys;
   if (attack_keys.empty()) {
-    for (const smc::FourCc key : source.keys()) {
+    for (const smc::FourCc key : channels) {
       if (key != smc::FourCc("PHPS")) {
         attack_keys.push_back(key);
       }
@@ -83,20 +118,13 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   }
   std::vector<std::size_t> key_columns;
   for (const smc::FourCc key : attack_keys) {
-    const auto& all = source.keys();
-    const auto it = std::find(all.begin(), all.end(), key);
-    if (it == all.end()) {
+    const auto it = std::find(channels.begin(), channels.end(), key);
+    if (it == channels.end()) {
       throw std::invalid_argument("run_cpa_campaign: key not provided by "
                                   "this device: " +
                                   key.str());
     }
-    key_columns.push_back(static_cast<std::size_t>(it - all.begin()));
-  }
-
-  std::vector<CpaEngine> engines;
-  engines.reserve(attack_keys.size());
-  for (std::size_t k = 0; k < attack_keys.size(); ++k) {
-    engines.emplace_back(config.models);
+    key_columns.push_back(static_cast<std::size_t>(it - channels.begin()));
   }
 
   CpaCampaignResult result;
@@ -109,45 +137,96 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
     result.keys[k].curves.resize(config.models.size());
   }
 
+  // Checkpoint schedule: ascending unique counts within (0, trace_count];
+  // the final count is always evaluated. Each checkpoint is a merge
+  // barrier of the sharded pipeline.
   std::vector<std::size_t> checkpoints = config.checkpoints;
   std::sort(checkpoints.begin(), checkpoints.end());
   checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
                     checkpoints.end());
-  std::size_t next_checkpoint = 0;
+  checkpoints.erase(
+      std::remove_if(checkpoints.begin(), checkpoints.end(),
+                     [&](std::size_t c) {
+                       return c == 0 || c > config.trace_count;
+                     }),
+      checkpoints.end());
+  if (checkpoints.empty() || checkpoints.back() != config.trace_count) {
+    checkpoints.push_back(config.trace_count);
+  }
 
-  auto snapshot = [&](std::size_t traces) {
-    for (std::size_t k = 0; k < engines.size(); ++k) {
+  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  const std::size_t shards = runner.shards();
+
+  // Persistent per-shard acquisition state, advanced segment by segment
+  // between checkpoint barriers. Built lazily inside the worker pool so
+  // device calibration also runs in parallel.
+  struct ShardState {
+    util::Xoshiro256 rng;
+    std::unique_ptr<LiveTraceSource> source;
+    std::vector<CpaEngine> engines;  // one per attacked key
+    std::size_t produced = 0;        // traces fed so far
+  };
+  std::vector<std::optional<ShardState>> states(shards);
+
+  for (const std::size_t checkpoint : checkpoints) {
+    runner.for_each([&](std::size_t s) {
+      if (!states[s]) {
+        ShardState state{.rng = shards == 1 ? rng : rng.split(s)};
+        state.source = std::make_unique<LiveTraceSource>(
+            source_config, victim_key, state.rng());
+        state.engines.reserve(attack_keys.size());
+        for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+          state.engines.emplace_back(config.models);
+        }
+        states[s].emplace(std::move(state));
+      }
+      ShardState& state = *states[s];
+      const std::size_t target = shard_size(checkpoint, shards, s);
+
+      std::vector<aes::Block> pts;
+      std::vector<aes::Block> cts;
+      std::vector<std::vector<double>> columns(key_columns.size());
+      aes::Block pt;
+      while (state.produced < target) {
+        const std::size_t chunk =
+            std::min(acquisition_batch, target - state.produced);
+        pts.clear();
+        cts.clear();
+        for (auto& column : columns) {
+          column.clear();
+        }
+        for (std::size_t t = 0; t < chunk; ++t) {
+          state.rng.fill_bytes(pt);
+          const TraceRecord record = state.source->collect(pt);
+          pts.push_back(record.plaintext);
+          cts.push_back(record.ciphertext);
+          for (std::size_t k = 0; k < key_columns.size(); ++k) {
+            columns[k].push_back(record.values[key_columns[k]]);
+          }
+        }
+        for (std::size_t k = 0; k < state.engines.size(); ++k) {
+          state.engines[k].add_trace_batch(pts, cts, columns[k]);
+        }
+        state.produced += chunk;
+      }
+    });
+
+    // Merge barrier: fold shard snapshots in shard order and analyze the
+    // combined engine at this checkpoint.
+    for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+      CpaEngine combined = states[0]->engines[k].snapshot();
+      for (std::size_t s = 1; s < shards; ++s) {
+        combined.merge(states[s]->engines[k]);
+      }
       for (std::size_t m = 0; m < config.models.size(); ++m) {
         const ModelResult res =
-            engines[k].analyze(config.models[m], result.round_keys);
+            combined.analyze(config.models[m], result.round_keys);
         result.keys[k].curves[m].push_back(
-            {traces, res.ge_bits, res.mean_rank, res.recovered_bytes});
+            {checkpoint, res.ge_bits, res.mean_rank, res.recovered_bytes});
+        if (checkpoint == config.trace_count) {
+          result.keys[k].final_results.push_back(res);
+        }
       }
-    }
-  };
-
-  aes::Block pt;
-  for (std::size_t t = 1; t <= config.trace_count; ++t) {
-    rng.fill_bytes(pt);
-    const auto sample = source.collect(pt);
-    for (std::size_t k = 0; k < engines.size(); ++k) {
-      engines[k].add_trace(sample.plaintext, sample.ciphertext,
-                           sample.smc_values[key_columns[k]]);
-    }
-    while (next_checkpoint < checkpoints.size() &&
-           t == checkpoints[next_checkpoint]) {
-      snapshot(t);
-      ++next_checkpoint;
-    }
-  }
-  if (checkpoints.empty() || checkpoints.back() != config.trace_count) {
-    snapshot(config.trace_count);
-  }
-
-  for (std::size_t k = 0; k < engines.size(); ++k) {
-    for (const power::PowerModel model : config.models) {
-      result.keys[k].final_results.push_back(
-          engines[k].analyze(model, result.round_keys));
     }
   }
   return result;

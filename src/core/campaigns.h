@@ -2,6 +2,13 @@
 // paper's measurement pipelines against the simulated platform and
 // returns the data its table/figure reports. The bench binaries are thin
 // wrappers over these.
+//
+// Campaigns run on the sharded pipeline (core/parallel.h): the trace
+// budget splits into shards, each with its own RNG stream and trace source
+// (core/trace_source.h); shard engines merge in shard order. Results are a
+// pure function of (seed, shards) — any worker count gives bit-identical
+// output, and shards = 1 reproduces the original sequential loop
+// bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +16,8 @@
 #include <vector>
 
 #include "core/cpa.h"
+#include "core/parallel.h"
+#include "core/trace_source.h"
 #include "core/tvla.h"
 #include "smc/key_database.h"
 #include "soc/device_profile.h"
@@ -29,6 +38,10 @@ struct TvlaCampaignConfig {
   // Firmware countermeasure applied to the SMC channel (section 5).
   smc::MitigationPolicy mitigation = smc::MitigationPolicy::none();
   std::uint64_t seed = 1;
+  // Sharded execution (see core/parallel.h): workers = thread count,
+  // shards = partial-state count (0 = one per worker; 1 = sequential).
+  std::size_t workers = 1;
+  std::size_t shards = 0;
 };
 
 struct TvlaChannelResult {
@@ -62,6 +75,10 @@ struct CpaCampaignConfig {
   // Firmware countermeasure applied to the SMC channel (section 5).
   smc::MitigationPolicy mitigation = smc::MitigationPolicy::none();
   std::uint64_t seed = 1;
+  // Sharded execution (see core/parallel.h): workers = thread count,
+  // shards = partial-state count (0 = one per worker; 1 = sequential).
+  std::size_t workers = 1;
+  std::size_t shards = 0;
 };
 
 struct GeCurvePoint {

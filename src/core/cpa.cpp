@@ -99,6 +99,40 @@ void CpaEngine::add_trace(const aes::Block& plaintext,
   }
 }
 
+void CpaEngine::add_trace_batch(std::span<const aes::Block> plaintexts,
+                                std::span<const aes::Block> ciphertexts,
+                                std::span<const double> values) {
+  if (plaintexts.size() != ciphertexts.size() ||
+      plaintexts.size() != values.size()) {
+    throw std::invalid_argument("CpaEngine::add_trace_batch: span length "
+                                "mismatch");
+  }
+  for (std::size_t t = 0; t < plaintexts.size(); ++t) {
+    add_trace(plaintexts[t], ciphertexts[t], values[t]);
+  }
+}
+
+void CpaEngine::merge(const CpaEngine& other) {
+  if (models_ != other.models_) {
+    throw std::invalid_argument("CpaEngine::merge: model lists differ");
+  }
+  n_ += other.n_;
+  sum_t_ += other.sum_t_;
+  sum_tt_ += other.sum_tt_;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t v = 0; v < 256; ++v) {
+      pt_hist_[i].count[v] += other.pt_hist_[i].count[v];
+      pt_hist_[i].sum[v] += other.pt_hist_[i].sum[v];
+      ct_hist_[i].count[v] += other.ct_hist_[i].count[v];
+      ct_hist_[i].sum[v] += other.ct_hist_[i].sum[v];
+    }
+  }
+  for (std::size_t b = 0; b < pair_count_.size(); ++b) {
+    pair_count_[b] += other.pair_count_[b];
+    pair_sum_[b] += other.pair_sum_[b];
+  }
+}
+
 ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
                                     std::size_t byte_index) const {
   if (!has_model(model)) {

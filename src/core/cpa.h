@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aes/aes128.h"
@@ -62,6 +63,26 @@ class CpaEngine {
   // value.
   void add_trace(const aes::Block& plaintext, const aes::Block& ciphertext,
                  double value) noexcept;
+
+  // Feeds a batch of traces in column form; throws std::invalid_argument
+  // unless the spans have equal length. Exactly equivalent to calling
+  // add_trace per element, in order — the accumulation arithmetic is
+  // identical, so batch and loop feeding produce bit-identical state.
+  void add_trace_batch(std::span<const aes::Block> plaintexts,
+                       std::span<const aes::Block> ciphertexts,
+                       std::span<const double> values);
+
+  // Absorbs another engine's accumulator state, as if its traces had been
+  // fed here after this engine's own. Both engines must have been built
+  // with the same model list. This is the merge step of the sharded
+  // pipeline: K shard engines merged in shard order equal one engine fed
+  // the concatenated trace stream.
+  void merge(const CpaEngine& other);
+
+  // Cheap copy of the accumulator state for mid-campaign GE checkpoints:
+  // shard snapshots taken at the same logical trace count merge into the
+  // exact engine a sequential run would have held at that count.
+  CpaEngine snapshot() const { return *this; }
 
   std::size_t trace_count() const noexcept { return n_; }
 

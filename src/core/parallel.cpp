@@ -1,0 +1,26 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+namespace psc::core {
+
+std::size_t shard_size(std::size_t total, std::size_t shards,
+                       std::size_t s) noexcept {
+  if (shards == 0 || s >= shards) {
+    return 0;
+  }
+  return total / shards + (s < total % shards ? 1 : 0);
+}
+
+std::size_t shard_begin(std::size_t total, std::size_t shards,
+                        std::size_t s) noexcept {
+  if (shards == 0) {
+    return 0;
+  }
+  if (s > shards) {
+    s = shards;
+  }
+  return s * (total / shards) + std::min(s, total % shards);
+}
+
+}  // namespace psc::core

@@ -1,0 +1,125 @@
+// Sharded campaign orchestration.
+//
+// A campaign's trace budget is divided into independent *shards*, each
+// owning a deterministic RNG stream (util::Xoshiro256::split) and its own
+// trace source; shard engines accumulate partial state that is merged in
+// shard order. Two knobs with distinct roles:
+//
+//   shards  determine the RESULT: campaign output is a pure function of
+//           (seed, shard count). shards == 1 reproduces the sequential
+//           pipeline bit-for-bit.
+//   workers determine the EXECUTION: how many threads run the shards. Any
+//           worker count yields bit-identical results for a fixed shard
+//           count, because per-shard work is self-contained and merges
+//           happen in shard order on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace psc::core {
+
+struct ShardPlan {
+  std::size_t workers = 1;
+  // 0 = one shard per worker.
+  std::size_t shards = 0;
+
+  std::size_t resolved_workers() const noexcept {
+    return workers == 0 ? 1 : workers;
+  }
+  std::size_t resolved_shards() const noexcept {
+    return shards == 0 ? resolved_workers() : shards;
+  }
+};
+
+// Near-equal contiguous partition of `total` items into `shards` pieces:
+// piece s gets total/shards items plus one of the first total%shards
+// remainders. Sizes sum to exactly `total` — the property the checkpoint
+// scheduler relies on: a global checkpoint at c traces partitions into
+// per-shard targets shard_size(c, shards, s) that sum to exactly c.
+std::size_t shard_size(std::size_t total, std::size_t shards,
+                       std::size_t s) noexcept;
+std::size_t shard_begin(std::size_t total, std::size_t shards,
+                        std::size_t s) noexcept;
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(ShardPlan plan) noexcept : plan_(plan) {}
+
+  std::size_t shards() const noexcept { return plan_.resolved_shards(); }
+  std::size_t workers() const noexcept { return plan_.resolved_workers(); }
+
+  // Invokes fn(shard_index) once per shard across the worker pool and
+  // returns the results ordered by shard index, so downstream merges are
+  // deterministic regardless of which worker finished first. If shard jobs
+  // throw, the exception of the lowest-indexed failing shard is rethrown
+  // after all workers have joined.
+  template <typename Fn>
+  auto map(Fn&& fn) {
+    using Partial = std::invoke_result_t<Fn&, std::size_t>;
+    const std::size_t n = shards();
+    std::vector<std::optional<Partial>> slots(n);
+    const std::size_t pool = std::min(workers(), n);
+    if (pool <= 1) {
+      for (std::size_t s = 0; s < n; ++s) {
+        slots[s].emplace(fn(s));
+      }
+    } else {
+      std::vector<std::exception_ptr> errors(n);
+      std::atomic<std::size_t> next{0};
+      auto work = [&]() {
+        while (true) {
+          const std::size_t s = next.fetch_add(1);
+          if (s >= n) {
+            return;
+          }
+          try {
+            slots[s].emplace(fn(s));
+          } catch (...) {
+            errors[s] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> threads;
+      threads.reserve(pool);
+      for (std::size_t w = 0; w < pool; ++w) {
+        threads.emplace_back(work);
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+      for (const auto& error : errors) {
+        if (error) {
+          std::rethrow_exception(error);
+        }
+      }
+    }
+    std::vector<Partial> out;
+    out.reserve(n);
+    for (auto& slot : slots) {
+      out.push_back(std::move(*slot));
+    }
+    return out;
+  }
+
+  // map() for shard jobs that mutate external per-shard state instead of
+  // returning a value (e.g. advancing persistent shard engines between
+  // checkpoint barriers).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    map([&fn](std::size_t s) {
+      fn(s);
+      return 0;
+    });
+  }
+
+ private:
+  ShardPlan plan_;
+};
+
+}  // namespace psc::core

@@ -48,7 +48,9 @@ void TraceSet::save_csv(std::ostream& out) const {
     row.cell(util::to_hex(r.plaintext));
     row.cell(util::to_hex(r.ciphertext));
     for (const double v : r.values) {
-      row.cell(v);
+      // Shortest-round-trip formatting: a reloaded capture feeds the
+      // analysis engines bit-identical values.
+      row.cell(util::format_double_exact(v));
     }
     row.done();
   }

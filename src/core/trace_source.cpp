@@ -1,0 +1,156 @@
+#include "core/trace_source.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "smc/key_database.h"
+
+namespace psc::core {
+
+void TraceSource::collect_batch(std::size_t count, util::Xoshiro256& rng,
+                                std::vector<TraceRecord>& out) {
+  out.reserve(out.size() + count);
+  aes::Block pt;
+  for (std::size_t t = 0; t < count; ++t) {
+    rng.fill_bytes(pt);
+    out.push_back(collect(pt));
+  }
+}
+
+// ---------- LiveTraceSource ----------
+
+LiveTraceSource::LiveTraceSource(const LiveSourceConfig& config,
+                                 const aes::Block& victim_key,
+                                 std::uint64_t seed)
+    : source_(config.profile, victim_key, config.victim, seed,
+              config.mitigation),
+      keys_(source_.keys()),
+      include_pcpu_(config.include_pcpu) {
+  if (include_pcpu_) {
+    keys_.push_back(util::FourCc("PCPU"));
+  }
+}
+
+std::vector<util::FourCc> LiveTraceSource::channel_names(
+    const LiveSourceConfig& config) {
+  const smc::KeyDatabase database = smc::apply_mitigations(
+      smc::KeyDatabase::for_device(config.profile.name), config.mitigation);
+  std::vector<util::FourCc> keys = database.workload_dependent_keys();
+  if (config.include_pcpu) {
+    keys.push_back(util::FourCc("PCPU"));
+  }
+  return keys;
+}
+
+TraceRecord LiveTraceSource::collect(const aes::Block& plaintext) {
+  victim::FastTraceSource::TraceSample sample = source_.collect(plaintext);
+  TraceRecord record;
+  record.plaintext = sample.plaintext;
+  record.ciphertext = sample.ciphertext;
+  record.values = std::move(sample.smc_values);
+  if (include_pcpu_) {
+    record.values.push_back(static_cast<double>(sample.pcpu_mj));
+  }
+  return record;
+}
+
+// ---------- ReplayTraceSource ----------
+
+ReplayTraceSource::ReplayTraceSource(std::shared_ptr<const TraceSet> set)
+    : ReplayTraceSource(std::move(set), 0,
+                        std::numeric_limits<std::size_t>::max()) {}
+
+ReplayTraceSource::ReplayTraceSource(std::shared_ptr<const TraceSet> set,
+                                     std::size_t begin, std::size_t count)
+    : set_(std::move(set)) {
+  if (!set_) {
+    throw std::invalid_argument("ReplayTraceSource: null trace set");
+  }
+  pos_ = std::min(begin, set_->size());
+  end_ = count > set_->size() - pos_ ? set_->size() : pos_ + count;
+}
+
+const std::vector<util::FourCc>& ReplayTraceSource::keys() const noexcept {
+  return set_->keys();
+}
+
+TraceRecord ReplayTraceSource::collect(const aes::Block& /*plaintext*/) {
+  if (pos_ >= end_) {
+    throw std::out_of_range("ReplayTraceSource: trace set exhausted");
+  }
+  return (*set_)[pos_++];
+}
+
+std::optional<std::size_t> ReplayTraceSource::remaining() const noexcept {
+  return end_ - pos_;
+}
+
+// ---------- SyntheticTraceSource ----------
+
+SyntheticTraceSource::SyntheticTraceSource(const SyntheticSourceConfig& config,
+                                           const aes::Block& victim_key,
+                                           std::uint64_t seed)
+    : cipher_(victim_key),
+      evaluator_(config.leakage),
+      noise_(config.noise_sigma),
+      rng_(seed),
+      gain_(config.gain),
+      keys_({config.channel}) {}
+
+TraceRecord SyntheticTraceSource::collect(const aes::Block& plaintext) {
+  TraceRecord record;
+  record.plaintext = plaintext;
+  aes::RoundTrace trace;
+  record.ciphertext = cipher_.encrypt_trace(plaintext, trace);
+  const double value =
+      gain_ * evaluator_.energy_deviation(plaintext, trace);
+  record.values.push_back(noise_.apply(value, rng_));
+  return record;
+}
+
+// ---------- helpers ----------
+
+TraceSet capture_trace_set(TraceSource& source, std::size_t count,
+                           util::Xoshiro256& rng) {
+  TraceSet set(source.keys());
+  aes::Block pt;
+  for (std::size_t t = 0; t < count; ++t) {
+    rng.fill_bytes(pt);
+    set.add(source.collect(pt));
+  }
+  return set;
+}
+
+CpaEngine accumulate_cpa(TraceSource& source, util::FourCc key,
+                         const std::vector<power::PowerModel>& models,
+                         std::size_t count, util::Xoshiro256& rng) {
+  const auto& keys = source.keys();
+  const auto it = std::find(keys.begin(), keys.end(), key);
+  if (it == keys.end()) {
+    throw std::invalid_argument("accumulate_cpa: source has no channel " +
+                                key.str());
+  }
+  const auto column = static_cast<std::size_t>(it - keys.begin());
+  if (count == 0) {
+    const auto remaining = source.remaining();
+    if (!remaining) {
+      throw std::invalid_argument(
+          "accumulate_cpa: count = 0 (everything remaining) requires a "
+          "finite source");
+    }
+    count = *remaining;
+  }
+
+  CpaEngine engine(models);
+  aes::Block pt;
+  for (std::size_t t = 0; t < count; ++t) {
+    rng.fill_bytes(pt);
+    const TraceRecord record = source.collect(pt);
+    engine.add_trace(record.plaintext, record.ciphertext,
+                     record.values[column]);
+  }
+  return engine;
+}
+
+}  // namespace psc::core

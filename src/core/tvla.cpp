@@ -96,6 +96,21 @@ void TvlaAccumulator::add(PlaintextClass cls, bool primed,
   sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].add(value);
 }
 
+void TvlaAccumulator::add_batch(PlaintextClass cls, bool primed,
+                                std::span<const double> values) noexcept {
+  for (const double v : values) {
+    add(cls, primed, v);
+  }
+}
+
+void TvlaAccumulator::merge(const TvlaAccumulator& other) noexcept {
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    for (std::size_t collection = 0; collection < 2; ++collection) {
+      sets_[cls][collection].merge(other.sets_[cls][collection]);
+    }
+  }
+}
+
 std::size_t TvlaAccumulator::count(PlaintextClass cls,
                                    bool primed) const noexcept {
   return sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].count();

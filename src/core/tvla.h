@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "aes/aes128.h"
@@ -78,6 +79,16 @@ struct TvlaMatrix {
 class TvlaAccumulator {
  public:
   void add(PlaintextClass cls, bool primed, double value) noexcept;
+
+  // Feeds a batch of values for one (class, collection); equivalent to
+  // adding each value in order.
+  void add_batch(PlaintextClass cls, bool primed,
+                 std::span<const double> values) noexcept;
+
+  // Absorbs another accumulator's partial state (Chan et al. moment
+  // merging), as if its samples had been added here. The merge step of the
+  // sharded TVLA pipeline.
+  void merge(const TvlaAccumulator& other) noexcept;
 
   std::size_t count(PlaintextClass cls, bool primed) const noexcept;
 

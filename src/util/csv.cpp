@@ -44,6 +44,22 @@ std::string format_double(double value) {
   return std::string(buf, ptr);
 }
 
+std::string format_double_exact(double value) {
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "inf" : "-inf";
+  }
+  char buf[32];
+  // Precision-less to_chars emits the shortest string that round-trips.
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) {
+    return "0";
+  }
+  return std::string(buf, ptr);
+}
+
 void CsvWriter::row(std::initializer_list<std::string_view> cells) {
   std::vector<std::string> rendered;
   rendered.reserve(cells.size());

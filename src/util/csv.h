@@ -44,8 +44,13 @@ class CsvWriter {
   std::ostream* out_;
 };
 
-// Formats a double with enough digits to round-trip but without noise
-// ("3.5", "0.004123").
+// Formats a double with 10 significant digits — plot-friendly, but not
+// guaranteed to parse back to the same bits ("3.5", "0.004123").
 std::string format_double(double value);
+
+// Shortest decimal representation that parses back to exactly the same
+// double. Used wherever a CSV must round-trip losslessly (trace capture
+// files replayed through the analysis pipeline).
+std::string format_double_exact(double value);
 
 }  // namespace psc::util

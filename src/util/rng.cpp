@@ -101,6 +101,24 @@ Xoshiro256 Xoshiro256::fork() noexcept {
   return Xoshiro256((*this)());
 }
 
+Xoshiro256 Xoshiro256::split(std::uint64_t stream_id) const noexcept {
+  // Hash the full 256-bit state and the stream id down to a 64-bit child
+  // seed with the SplitMix64 finalizer; Xoshiro256's own seeding expands it
+  // back to 256 bits. The finalizer's avalanche keeps children of adjacent
+  // ids (0, 1, 2, ...) decorrelated.
+  auto mix = [](std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t acc = 0x243f6a8885a308d3ULL;  // pi's fraction: arbitrary
+  for (const std::uint64_t word : state_) {
+    acc = mix(acc ^ word) + 0x9e3779b97f4a7c15ULL;
+  }
+  acc = mix(acc ^ (stream_id + 0x9e3779b97f4a7c15ULL));
+  return Xoshiro256(acc);
+}
+
 void Xoshiro256::long_jump() noexcept {
   static constexpr std::array<std::uint64_t, 4> kLongJump = {
       0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,

@@ -79,6 +79,14 @@ class Xoshiro256 {
   // statistically independent for all practical purposes.
   Xoshiro256 fork() noexcept;
 
+  // Deterministic stream splitting: derives the child generator identified
+  // by `stream_id` from the current state *without advancing it*. Distinct
+  // ids yield statistically independent streams, and the same id always
+  // yields the same stream — the primitive the parallel campaign runner's
+  // per-shard reproducibility rests on (shard results are a pure function
+  // of the campaign seed and the shard index, not of scheduling order).
+  Xoshiro256 split(std::uint64_t stream_id) const noexcept;
+
   // Jump function equivalent to 2^192 calls; used to create widely
   // separated parallel streams from one seed.
   void long_jump() noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace psc::util {
@@ -18,6 +19,12 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+}
+
+void RunningStats::add_batch(std::span<const double> xs) noexcept {
+  for (const double x : xs) {
+    add(x);
+  }
 }
 
 void RunningStats::merge(const RunningStats& other) noexcept {
@@ -107,6 +114,17 @@ void OnlineCorrelation::add(double x, double y) noexcept {
   sum_xx_ += x * x;
   sum_yy_ += y * y;
   sum_xy_ += x * y;
+}
+
+void OnlineCorrelation::add_batch(std::span<const double> xs,
+                                  std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument(
+        "OnlineCorrelation::add_batch: span length mismatch");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    add(xs[i], ys[i]);
+  }
 }
 
 void OnlineCorrelation::merge(const OnlineCorrelation& other) noexcept {

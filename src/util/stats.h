@@ -15,6 +15,9 @@ class RunningStats {
   // Adds one observation.
   void add(double x) noexcept;
 
+  // Adds a batch of observations; equivalent to adding each in order.
+  void add_batch(std::span<const double> xs) noexcept;
+
   // Merges another accumulator into this one, as if all of its samples had
   // been added here.
   void merge(const RunningStats& other) noexcept;
@@ -67,6 +70,9 @@ double pearson(std::span<const double> x, std::span<const double> y) noexcept;
 class OnlineCorrelation {
  public:
   void add(double x, double y) noexcept;
+  // Adds a batch of paired observations; throws std::invalid_argument
+  // unless the spans have equal length.
+  void add_batch(std::span<const double> xs, std::span<const double> ys);
   void merge(const OnlineCorrelation& other) noexcept;
 
   std::size_t count() const noexcept { return n_; }

@@ -198,6 +198,120 @@ TEST(CpaEngine, NoSignalMeansNoRecovery) {
   EXPECT_LE(result.recovered_bytes, 2);
 }
 
+// Sharded-pipeline property: one engine fed N traces must equal K shard
+// engines fed N/K traces each and merged, for every model and byte.
+class CpaMergeEquivalence
+    : public ::testing::TestWithParam<power::PowerModel> {};
+
+TEST_P(CpaMergeEquivalence, ShardsMergeToMonolithicResult) {
+  const power::PowerModel model = GetParam();
+  util::Xoshiro256 rng(41);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+
+  constexpr std::size_t n_traces = 4096;
+  constexpr std::size_t n_shards = 4;
+  CpaEngine monolithic({model});
+  std::vector<CpaEngine> shards;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards.emplace_back(std::vector<power::PowerModel>{model});
+  }
+
+  aes::RoundTrace trace;
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    const aes::Block pt = random_block(rng);
+    const aes::Block ct = cipher.encrypt_trace(pt, trace);
+    const double leak = aes::hamming_weight(trace.post_add_round_key[0]) +
+                        rng.gaussian(0.0, 3.0);
+    monolithic.add_trace(pt, ct, leak);
+    shards[t % n_shards].add_trace(pt, ct, leak);
+  }
+
+  CpaEngine merged = shards[0].snapshot();
+  for (std::size_t s = 1; s < n_shards; ++s) {
+    merged.merge(shards[s]);
+  }
+  EXPECT_EQ(merged.trace_count(), monolithic.trace_count());
+
+  for (std::size_t byte_index = 0; byte_index < 16; ++byte_index) {
+    const ByteRanking mono = monolithic.analyze_byte(model, byte_index);
+    const ByteRanking shard = merged.analyze_byte(model, byte_index);
+    for (int g = 0; g < 256; ++g) {
+      ASSERT_NEAR(shard.correlation[static_cast<std::size_t>(g)],
+                  mono.correlation[static_cast<std::size_t>(g)], 1e-12)
+          << power::power_model_name(model) << " byte " << byte_index
+          << " guess " << g;
+    }
+  }
+
+  const ModelResult mono_result = monolithic.analyze(model,
+                                                     cipher.round_keys());
+  const ModelResult merged_result = merged.analyze(model,
+                                                   cipher.round_keys());
+  EXPECT_EQ(merged_result.true_ranks, mono_result.true_ranks);
+  EXPECT_EQ(merged_result.best_round_key, mono_result.best_round_key);
+  EXPECT_NEAR(merged_result.ge_bits, mono_result.ge_bits, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CpaMergeEquivalence,
+                         ::testing::ValuesIn(power::all_power_models));
+
+TEST(CpaEngine, BatchFeedEqualsLoopFeedBitForBit) {
+  util::Xoshiro256 rng(42);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+
+  constexpr std::size_t n_traces = 1000;
+  std::vector<aes::Block> pts(n_traces);
+  std::vector<aes::Block> cts(n_traces);
+  std::vector<double> values(n_traces);
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    pts[t] = random_block(rng);
+    cts[t] = cipher.encrypt(pts[t]);
+    values[t] = rng.gaussian(2.0, 1.0);
+  }
+
+  CpaEngine looped({power::PowerModel::rd0_hw});
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    looped.add_trace(pts[t], cts[t], values[t]);
+  }
+  CpaEngine batched({power::PowerModel::rd0_hw});
+  batched.add_trace_batch(pts, cts, values);
+
+  EXPECT_EQ(batched.trace_count(), looped.trace_count());
+  const ByteRanking a = looped.analyze_byte(power::PowerModel::rd0_hw, 3);
+  const ByteRanking b = batched.analyze_byte(power::PowerModel::rd0_hw, 3);
+  for (int g = 0; g < 256; ++g) {
+    ASSERT_DOUBLE_EQ(a.correlation[static_cast<std::size_t>(g)],
+                     b.correlation[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST(CpaEngine, MergeRejectsMismatchedModelLists) {
+  CpaEngine a({power::PowerModel::rd0_hw});
+  CpaEngine b({power::PowerModel::rd10_hw});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CpaEngine, MergeIntoEmptyEngineEqualsCopy) {
+  util::Xoshiro256 rng(43);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+  CpaEngine fed({power::PowerModel::rd0_hw});
+  for (int t = 0; t < 500; ++t) {
+    const aes::Block pt = random_block(rng);
+    fed.add_trace(pt, cipher.encrypt(pt), rng.gaussian(0.0, 1.0));
+  }
+  CpaEngine empty({power::PowerModel::rd0_hw});
+  empty.merge(fed);
+  const ByteRanking a = fed.analyze_byte(power::PowerModel::rd0_hw, 0);
+  const ByteRanking b = empty.analyze_byte(power::PowerModel::rd0_hw, 0);
+  for (int g = 0; g < 256; ++g) {
+    ASSERT_DOUBLE_EQ(a.correlation[static_cast<std::size_t>(g)],
+                     b.correlation[static_cast<std::size_t>(g)]);
+  }
+}
+
 TEST(CpaEngine, EmptyEngineReturnsZeroCorrelations) {
   CpaEngine engine({power::PowerModel::rd0_hw});
   const ByteRanking ranking =

@@ -1,0 +1,250 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/campaigns.h"
+#include "core/guessing_entropy.h"
+
+namespace psc::core {
+namespace {
+
+TEST(ShardPartition, SizesSumToTotalAndDifferByAtMostOne) {
+  for (const std::size_t total : {0u, 1u, 7u, 100u, 1001u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u, 13u}) {
+      std::size_t sum = 0;
+      std::size_t lo = total;
+      std::size_t hi = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t size = shard_size(total, shards, s);
+        EXPECT_EQ(shard_begin(total, shards, s), sum);
+        sum += size;
+        lo = std::min(lo, size);
+        hi = std::max(hi, size);
+      }
+      EXPECT_EQ(sum, total) << total << "/" << shards;
+      EXPECT_LE(hi - lo, 1u) << total << "/" << shards;
+      EXPECT_EQ(shard_begin(total, shards, shards), total);
+    }
+  }
+}
+
+TEST(ShardPartition, CheckpointPartitionsAreMonotone) {
+  // A shard's target for checkpoint c never decreases with c — the
+  // invariant the segment scheduler needs to advance shard engines.
+  constexpr std::size_t shards = 5;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::size_t prev = 0;
+    for (std::size_t c = 0; c <= 100; ++c) {
+      const std::size_t target = shard_size(c, shards, s);
+      EXPECT_GE(target, prev);
+      prev = target;
+    }
+  }
+}
+
+TEST(ShardPlan, Resolution) {
+  EXPECT_EQ(ShardPlan{}.resolved_workers(), 1u);
+  EXPECT_EQ(ShardPlan{}.resolved_shards(), 1u);
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards(), 4u);
+  EXPECT_EQ((ShardPlan{.workers = 4, .shards = 9}).resolved_shards(), 9u);
+  EXPECT_EQ((ShardPlan{.workers = 0, .shards = 0}).resolved_shards(), 1u);
+}
+
+TEST(ParallelRunner, MapReturnsResultsInShardOrder) {
+  ParallelRunner runner({.workers = 4, .shards = 13});
+  const auto out = runner.map([](std::size_t s) { return 3 * s + 1; });
+  ASSERT_EQ(out.size(), 13u);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    EXPECT_EQ(out[s], 3 * s + 1);
+  }
+}
+
+TEST(ParallelRunner, SequentialAndParallelMapAgree) {
+  ParallelRunner sequential({.workers = 1, .shards = 8});
+  ParallelRunner parallel({.workers = 8, .shards = 8});
+  auto job = [](std::size_t s) {
+    // Deterministic per-shard computation with its own split stream.
+    util::Xoshiro256 rng = util::Xoshiro256(77).split(s);
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      acc += rng.uniform01();
+    }
+    return acc;
+  };
+  const auto a = sequential.map(job);
+  const auto b = parallel.map(job);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a[s], b[s]);
+  }
+}
+
+TEST(ParallelRunner, PropagatesLowestShardException) {
+  ParallelRunner runner({.workers = 4, .shards = 8});
+  try {
+    runner.for_each([](std::size_t s) {
+      if (s == 3 || s == 6) {
+        throw std::runtime_error("shard " + std::to_string(s));
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 3");
+  }
+}
+
+// ---------- campaign-level invariance ----------
+
+// The headline guarantee of the sharded pipeline: for a fixed shard count,
+// the worker count is pure execution detail — recovered key bytes,
+// true-rank vectors, correlations and GE curves are bit-identical.
+TEST(ParallelCpaCampaign, WorkerCountDoesNotChangeResults) {
+  CpaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = 24000,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {8000},
+      .seed = 91,
+      .workers = 1,
+      .shards = 4,
+  };
+  const auto serial = run_cpa_campaign(config);
+  config.workers = 4;
+  const auto parallel = run_cpa_campaign(config);
+
+  EXPECT_EQ(serial.victim_key, parallel.victim_key);
+  ASSERT_EQ(serial.keys.size(), parallel.keys.size());
+  const auto& a = serial.keys[0];
+  const auto& b = parallel.keys[0];
+  ASSERT_EQ(a.curves[0].size(), b.curves[0].size());
+  for (std::size_t p = 0; p < a.curves[0].size(); ++p) {
+    EXPECT_EQ(a.curves[0][p].traces, b.curves[0][p].traces);
+    EXPECT_DOUBLE_EQ(a.curves[0][p].ge_bits, b.curves[0][p].ge_bits);
+    EXPECT_DOUBLE_EQ(a.curves[0][p].mean_rank, b.curves[0][p].mean_rank);
+    EXPECT_EQ(a.curves[0][p].recovered_bytes, b.curves[0][p].recovered_bytes);
+  }
+  EXPECT_EQ(a.final_results[0].true_ranks, b.final_results[0].true_ranks);
+  EXPECT_EQ(a.final_results[0].best_round_key,
+            b.final_results[0].best_round_key);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (int g = 0; g < 256; ++g) {
+      ASSERT_DOUBLE_EQ(
+          a.final_results[0].bytes[i].correlation[static_cast<std::size_t>(g)],
+          b.final_results[0].bytes[i].correlation[static_cast<std::size_t>(g)])
+          << "byte " << i << " guess " << g;
+    }
+  }
+}
+
+TEST(ParallelTvlaCampaign, WorkerCountDoesNotChangeResults) {
+  TvlaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .traces_per_set = 1500,
+      .include_pcpu = true,
+      .seed = 92,
+      .workers = 1,
+      .shards = 3,
+  };
+  const auto serial = run_tvla_campaign(config);
+  config.workers = 3;
+  const auto parallel = run_tvla_campaign(config);
+
+  ASSERT_EQ(serial.channels.size(), parallel.channels.size());
+  for (std::size_t c = 0; c < serial.channels.size(); ++c) {
+    EXPECT_EQ(serial.channels[c].channel, parallel.channels[c].channel);
+    for (const PlaintextClass row : all_plaintext_classes) {
+      for (const PlaintextClass col : all_plaintext_classes) {
+        ASSERT_DOUBLE_EQ(serial.channels[c].matrix.score(row, col),
+                         parallel.channels[c].matrix.score(row, col))
+            << serial.channels[c].channel;
+      }
+    }
+  }
+}
+
+// Sharding changes the exact trace streams but must not change the
+// statistical outcome: a sharded campaign still extracts the key material
+// a sequential campaign does.
+TEST(ParallelCpaCampaign, ShardedCampaignStillConverges) {
+  CpaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = 40000,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {10000},
+      .seed = 13,
+      .workers = 2,
+      .shards = 8,
+  };
+  const auto result = run_cpa_campaign(config);
+  const auto& curve = result.keys[0].curves[0];
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_GT(curve[0].ge_bits, curve[1].ge_bits);
+  EXPECT_LT(curve[1].ge_bits, random_guess_ge_bits() - 5.0);
+}
+
+TEST(ParallelTvlaCampaign, ShardedCampaignStillDetectsLeakage) {
+  TvlaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .traces_per_set = 2000,
+      .include_pcpu = true,
+      .seed = 11,
+      .workers = 2,
+      .shards = 4,
+  };
+  const auto result = run_tvla_campaign(config);
+  const auto* phpc = result.find("PHPC");
+  const auto* phps = result.find("PHPS");
+  const auto* pcpu = result.find("PCPU");
+  ASSERT_NE(phpc, nullptr);
+  ASSERT_NE(phps, nullptr);
+  ASSERT_NE(pcpu, nullptr);
+  EXPECT_GE(std::abs(phpc->matrix.score(PlaintextClass::all_zeros,
+                                        PlaintextClass::all_ones)),
+            util::tvla_threshold);
+  EXPECT_TRUE(phps->matrix.no_data_dependence());
+  EXPECT_TRUE(pcpu->matrix.no_data_dependence());
+}
+
+// Default plan (workers = 1, shards = 0) must resolve to the sequential
+// single-shard pipeline, i.e. exactly the pre-sharding campaign behaviour
+// covered by campaigns_test.
+TEST(ParallelCpaCampaign, DefaultPlanIsSingleShard) {
+  CpaCampaignConfig explicit_config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = 6000,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {},
+      .seed = 93,
+      .workers = 1,
+      .shards = 1,
+  };
+  CpaCampaignConfig default_config = explicit_config;
+  default_config.shards = 0;
+  const auto a = run_cpa_campaign(explicit_config);
+  const auto b = run_cpa_campaign(default_config);
+  EXPECT_EQ(a.keys[0].final_results[0].true_ranks,
+            b.keys[0].final_results[0].true_ranks);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (int g = 0; g < 256; ++g) {
+      ASSERT_DOUBLE_EQ(
+          a.keys[0].final_results[0].bytes[i]
+              .correlation[static_cast<std::size_t>(g)],
+          b.keys[0].final_results[0].bytes[i]
+              .correlation[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psc::core

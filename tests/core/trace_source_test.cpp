@@ -1,0 +1,262 @@
+#include "core/trace_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/guessing_entropy.h"
+
+namespace psc::core {
+namespace {
+
+aes::Block random_block(util::Xoshiro256& rng) {
+  aes::Block b;
+  rng.fill_bytes(b);
+  return b;
+}
+
+LiveSourceConfig m2_user_config() {
+  return {
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .mitigation = smc::MitigationPolicy::none(),
+      .include_pcpu = false,
+  };
+}
+
+TEST(LiveTraceSource, ChannelNamesMatchConstructedSource) {
+  LiveSourceConfig config = m2_user_config();
+  util::Xoshiro256 rng(1);
+  const aes::Block key = random_block(rng);
+
+  LiveTraceSource source(config, key, 2);
+  EXPECT_EQ(source.keys(), LiveTraceSource::channel_names(config));
+
+  config.include_pcpu = true;
+  LiveTraceSource with_pcpu(config, key, 2);
+  const auto names = LiveTraceSource::channel_names(config);
+  EXPECT_EQ(with_pcpu.keys(), names);
+  EXPECT_EQ(names.back(), util::FourCc("PCPU"));
+  EXPECT_EQ(names.size(), source.keys().size() + 1);
+}
+
+TEST(LiveTraceSource, MatchesUnderlyingFastTraceSource) {
+  util::Xoshiro256 rng(3);
+  const aes::Block key = random_block(rng);
+
+  LiveTraceSource wrapped(m2_user_config(), key, 7);
+  victim::FastTraceSource direct(soc::DeviceProfile::macbook_air_m2(), key,
+                                 victim::VictimModel::user_space(), 7);
+
+  for (int t = 0; t < 20; ++t) {
+    const aes::Block pt = random_block(rng);
+    const TraceRecord record = wrapped.collect(pt);
+    const auto sample = direct.collect(pt);
+    EXPECT_EQ(record.plaintext, sample.plaintext);
+    EXPECT_EQ(record.ciphertext, sample.ciphertext);
+    ASSERT_EQ(record.values.size(), sample.smc_values.size());
+    for (std::size_t k = 0; k < record.values.size(); ++k) {
+      ASSERT_DOUBLE_EQ(record.values[k], sample.smc_values[k]);
+    }
+  }
+}
+
+TEST(LiveTraceSource, PcpuColumnCarriesIoreportEnergy) {
+  LiveSourceConfig config = m2_user_config();
+  config.include_pcpu = true;
+  util::Xoshiro256 rng(4);
+  const aes::Block key = random_block(rng);
+  LiveTraceSource source(config, key, 5);
+  const TraceRecord record = source.collect(random_block(rng));
+  ASSERT_EQ(record.values.size(), source.keys().size());
+  const double pcpu = record.values.back();
+  EXPECT_GE(pcpu, 0.0);
+  EXPECT_DOUBLE_EQ(pcpu, std::floor(pcpu));  // whole millijoules
+}
+
+// The satellite guarantee of the pluggable acquisition layer: replaying a
+// CSV-persisted capture through the analysis pipeline yields the *same*
+// ModelResult as the live source that produced it.
+TEST(ReplayTraceSource, CsvReplayMatchesLiveAnalysisBitForBit) {
+  util::Xoshiro256 key_rng(10);
+  const aes::Block victim_key = random_block(key_rng);
+  const std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
+  constexpr std::size_t n_traces = 3000;
+
+  // Live path: acquire and accumulate directly.
+  LiveTraceSource live(m2_user_config(), victim_key, 11);
+  util::Xoshiro256 pt_rng_a(12);
+  const CpaEngine live_engine = accumulate_cpa(
+      live, util::FourCc("PHPC"), models, n_traces, pt_rng_a);
+
+  // Capture path: identical source and plaintext stream, persisted to CSV
+  // and reloaded.
+  LiveTraceSource capture_source(m2_user_config(), victim_key, 11);
+  util::Xoshiro256 pt_rng_b(12);
+  const TraceSet captured =
+      capture_trace_set(capture_source, n_traces, pt_rng_b);
+  std::stringstream csv;
+  captured.save_csv(csv);
+  const TraceSet reloaded = TraceSet::load_csv(csv);
+  ASSERT_EQ(reloaded.size(), n_traces);
+
+  ReplayTraceSource replay(std::make_shared<TraceSet>(reloaded));
+  util::Xoshiro256 pt_rng_c(99);  // ignored by replay
+  const CpaEngine replay_engine = accumulate_cpa(
+      replay, util::FourCc("PHPC"), models, 0, pt_rng_c);
+
+  const auto round_keys = aes::Aes128::expand_key(victim_key);
+  const ModelResult live_result =
+      live_engine.analyze(power::PowerModel::rd0_hw, round_keys);
+  const ModelResult replay_result =
+      replay_engine.analyze(power::PowerModel::rd0_hw, round_keys);
+
+  EXPECT_EQ(replay_result.true_ranks, live_result.true_ranks);
+  EXPECT_EQ(replay_result.best_round_key, live_result.best_round_key);
+  EXPECT_DOUBLE_EQ(replay_result.ge_bits, live_result.ge_bits);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (int g = 0; g < 256; ++g) {
+      ASSERT_DOUBLE_EQ(
+          replay_result.bytes[i].correlation[static_cast<std::size_t>(g)],
+          live_result.bytes[i].correlation[static_cast<std::size_t>(g)])
+          << "byte " << i << " guess " << g;
+    }
+  }
+}
+
+TEST(ReplayTraceSource, ExhaustionThrows) {
+  auto set = std::make_shared<TraceSet>(
+      std::vector<util::FourCc>{util::FourCc("PHPC")});
+  util::Xoshiro256 rng(13);
+  set->add({random_block(rng), random_block(rng), {1.0}});
+  ReplayTraceSource replay(set);
+  EXPECT_EQ(replay.remaining(), std::optional<std::size_t>(1));
+  (void)replay.collect(aes::Block{});
+  EXPECT_EQ(replay.remaining(), std::optional<std::size_t>(0));
+  EXPECT_THROW(replay.collect(aes::Block{}), std::out_of_range);
+}
+
+TEST(ReplayTraceSource, ShardViewsPartitionTheSet) {
+  auto set = std::make_shared<TraceSet>(
+      std::vector<util::FourCc>{util::FourCc("PHPC")});
+  util::Xoshiro256 rng(14);
+  for (int i = 0; i < 10; ++i) {
+    set->add({random_block(rng), random_block(rng),
+              {static_cast<double>(i)}});
+  }
+  ReplayTraceSource first(set, 0, 4);
+  ReplayTraceSource second(set, 4, 6);
+  EXPECT_EQ(first.remaining(), std::optional<std::size_t>(4));
+  EXPECT_EQ(second.remaining(), std::optional<std::size_t>(6));
+  EXPECT_DOUBLE_EQ(first.collect(aes::Block{}).values[0], 0.0);
+  EXPECT_DOUBLE_EQ(second.collect(aes::Block{}).values[0], 4.0);
+  // Out-of-range views clamp.
+  ReplayTraceSource tail(set, 8, 100);
+  EXPECT_EQ(tail.remaining(), std::optional<std::size_t>(2));
+}
+
+TEST(SyntheticTraceSource, NoiselessLeakageRecoversFullKey) {
+  util::Xoshiro256 rng(15);
+  const aes::Block victim_key = random_block(rng);
+  // Pure round-0 value leakage: the Rd0-HW model's exact hypothesis.
+  power::LeakageConfig leakage{};
+  leakage.ark_hw_weight[0] = 1.0;
+  leakage.leak_joules_per_bit = 1.0;
+  SyntheticTraceSource source(
+      {.leakage = leakage, .gain = 1.0, .noise_sigma = 0.0}, victim_key, 16);
+
+  const CpaEngine engine =
+      accumulate_cpa(source, util::FourCc("SYNT"),
+                     {power::PowerModel::rd0_hw}, 6000, rng);
+  const ModelResult result = engine.analyze(
+      power::PowerModel::rd0_hw, aes::Aes128::expand_key(victim_key));
+  EXPECT_EQ(result.recovered_bytes, 16);
+  EXPECT_EQ(result.implied_master_key, victim_key);
+}
+
+TEST(SyntheticTraceSource, NoiseDegradesButDefaultProfileStillLeaks) {
+  util::Xoshiro256 rng(17);
+  const aes::Block victim_key = random_block(rng);
+  SyntheticSourceConfig config;  // calibrated Apple-silicon shape
+  config.gain = 1.0 / config.leakage.leak_joules_per_bit;
+  config.noise_sigma = 10.0;
+  SyntheticTraceSource source(config, victim_key, 18);
+  const CpaEngine engine =
+      accumulate_cpa(source, util::FourCc("SYNT"),
+                     {power::PowerModel::rd0_hw}, 30000, rng);
+  const ModelResult result = engine.analyze(
+      power::PowerModel::rd0_hw, aes::Aes128::expand_key(victim_key));
+  EXPECT_LT(result.ge_bits, random_guess_ge_bits() - 5.0);
+}
+
+TEST(TraceSource, DefaultCollectBatchMatchesCollectLoop) {
+  util::Xoshiro256 rng(19);
+  const aes::Block victim_key = random_block(rng);
+  power::LeakageConfig leakage{};
+  leakage.ark_hw_weight[0] = 1.0;
+  leakage.leak_joules_per_bit = 1.0;
+  const SyntheticSourceConfig config{.leakage = leakage};
+
+  SyntheticTraceSource batched_source(config, victim_key, 20);
+  util::Xoshiro256 batch_rng(21);
+  std::vector<TraceRecord> batched;
+  batched_source.collect_batch(50, batch_rng, batched);
+
+  SyntheticTraceSource looped_source(config, victim_key, 20);
+  util::Xoshiro256 loop_rng(21);
+  ASSERT_EQ(batched.size(), 50u);
+  aes::Block pt;
+  for (const TraceRecord& record : batched) {
+    loop_rng.fill_bytes(pt);
+    const TraceRecord expected = looped_source.collect(pt);
+    EXPECT_EQ(record.plaintext, expected.plaintext);
+    EXPECT_EQ(record.ciphertext, expected.ciphertext);
+    ASSERT_EQ(record.values.size(), expected.values.size());
+    EXPECT_DOUBLE_EQ(record.values[0], expected.values[0]);
+  }
+}
+
+TEST(TraceSet, CsvRoundTripIsBitExact) {
+  util::Xoshiro256 rng(22);
+  const aes::Block victim_key = random_block(rng);
+  LiveTraceSource source(m2_user_config(), victim_key, 23);
+  const TraceSet set = capture_trace_set(source, 50, rng);
+
+  std::stringstream csv;
+  set.save_csv(csv);
+  const TraceSet reloaded = TraceSet::load_csv(csv);
+  ASSERT_EQ(reloaded.size(), set.size());
+  EXPECT_EQ(reloaded.keys(), set.keys());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(reloaded[i].plaintext, set[i].plaintext);
+    EXPECT_EQ(reloaded[i].ciphertext, set[i].ciphertext);
+    ASSERT_EQ(reloaded[i].values.size(), set[i].values.size());
+    for (std::size_t v = 0; v < set[i].values.size(); ++v) {
+      ASSERT_EQ(reloaded[i].values[v], set[i].values[v])
+          << "trace " << i << " column " << v;
+    }
+  }
+}
+
+TEST(AccumulateCpa, UnknownChannelRejected) {
+  util::Xoshiro256 rng(24);
+  const aes::Block victim_key = random_block(rng);
+  SyntheticTraceSource source({}, victim_key, 25);
+  EXPECT_THROW(accumulate_cpa(source, util::FourCc("ZZZZ"),
+                              {power::PowerModel::rd0_hw}, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(AccumulateCpa, EverythingRemainingRequiresFiniteSource) {
+  util::Xoshiro256 rng(26);
+  const aes::Block victim_key = random_block(rng);
+  SyntheticTraceSource unbounded({}, victim_key, 27);
+  EXPECT_THROW(accumulate_cpa(unbounded, util::FourCc("SYNT"),
+                              {power::PowerModel::rd0_hw}, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::core

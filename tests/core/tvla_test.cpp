@@ -57,6 +57,69 @@ TEST(TvlaAccumulator, MatrixMatchesDirectWelch) {
       util::welch_t_test(zeros_primed, ones_unprimed).t);
 }
 
+// Sharded-pipeline property: one accumulator fed N values per set must
+// match K shard accumulators fed N/K values each and merged.
+TEST(TvlaAccumulator, ShardsMergeToMonolithicTStatistic) {
+  util::Xoshiro256 rng(4);
+  constexpr int n = 3000;
+  constexpr std::size_t n_shards = 3;
+  TvlaAccumulator monolithic;
+  std::array<TvlaAccumulator, n_shards> shards;
+  for (int i = 0; i < n; ++i) {
+    for (const PlaintextClass cls : all_plaintext_classes) {
+      for (const bool primed : {false, true}) {
+        const double mean =
+            cls == PlaintextClass::all_ones ? 0.3 : 0.0;
+        const double x = rng.gaussian(mean, 1.0);
+        monolithic.add(cls, primed, x);
+        shards[static_cast<std::size_t>(i) % n_shards].add(cls, primed, x);
+      }
+    }
+  }
+  TvlaAccumulator merged;
+  for (const auto& shard : shards) {
+    merged.merge(shard);
+  }
+  const TvlaMatrix mono = monolithic.matrix();
+  const TvlaMatrix combined = merged.matrix();
+  for (const PlaintextClass row : all_plaintext_classes) {
+    for (const PlaintextClass col : all_plaintext_classes) {
+      EXPECT_EQ(merged.count(row, true), monolithic.count(row, true));
+      ASSERT_NEAR(combined.score(row, col), mono.score(row, col), 1e-12)
+          << plaintext_class_name(row) << " vs "
+          << plaintext_class_name(col);
+    }
+  }
+}
+
+TEST(TvlaAccumulator, BatchFeedEqualsLoopFeed) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> values(500);
+  for (double& v : values) {
+    v = rng.gaussian(1.0, 2.0);
+  }
+  TvlaAccumulator looped;
+  for (const double v : values) {
+    looped.add(PlaintextClass::random_pt, true, v);
+  }
+  TvlaAccumulator batched;
+  batched.add_batch(PlaintextClass::random_pt, true, values);
+  EXPECT_EQ(batched.count(PlaintextClass::random_pt, true),
+            looped.count(PlaintextClass::random_pt, true));
+  // Same per-set moments, so any cross-set score agrees exactly; compare
+  // against a common opposing set.
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.gaussian(0.0, 1.0);
+    looped.add(PlaintextClass::all_zeros, false, v);
+    batched.add(PlaintextClass::all_zeros, false, v);
+  }
+  EXPECT_DOUBLE_EQ(
+      looped.matrix().score(PlaintextClass::random_pt,
+                            PlaintextClass::all_zeros),
+      batched.matrix().score(PlaintextClass::random_pt,
+                             PlaintextClass::all_zeros));
+}
+
 TEST(TvlaMatrix, ClassificationKinds) {
   TvlaMatrix m;
   // Same class, small t: TN. Same class, big t: FP.

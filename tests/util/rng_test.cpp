@@ -167,6 +167,95 @@ TEST(Xoshiro256, ForkedStreamsDiffer) {
   EXPECT_LE(equal, 1);
 }
 
+TEST(Xoshiro256, SplitIsDeterministic) {
+  const Xoshiro256 parent(21);
+  Xoshiro256 a = parent.split(3);
+  Xoshiro256 b = parent.split(3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, SplitDoesNotAdvanceParent) {
+  Xoshiro256 parent(22);
+  Xoshiro256 untouched(22);
+  (void)parent.split(0);
+  (void)parent.split(17);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(parent(), untouched());
+  }
+}
+
+TEST(Xoshiro256, SplitStreamsDifferById) {
+  const Xoshiro256 parent(23);
+  Xoshiro256 a = parent.split(0);
+  Xoshiro256 b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, SplitStreamDiffersFromParentStream) {
+  Xoshiro256 parent(24);
+  Xoshiro256 child = parent.split(0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+// Statistical smoke test for the parallel runner's reproducibility
+// primitive: adjacent split streams must be pairwise uncorrelated, and each
+// must remain individually uniform.
+TEST(Xoshiro256, SplitStreamsUncorrelated) {
+  const Xoshiro256 parent(25);
+  constexpr int n_streams = 8;
+  constexpr int n = 20000;
+  std::vector<std::vector<double>> streams;
+  for (int s = 0; s < n_streams; ++s) {
+    Xoshiro256 rng = parent.split(static_cast<std::uint64_t>(s));
+    std::vector<double> xs(n);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      xs[static_cast<std::size_t>(i)] = rng.uniform01();
+      sum += xs[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02) << "stream " << s;
+    streams.push_back(std::move(xs));
+  }
+  // Pairwise Pearson correlation of uniform streams: for independent
+  // streams the sample correlation is ~N(0, 1/n), so |r| < 5/sqrt(n).
+  const double bound = 5.0 / std::sqrt(static_cast<double>(n));
+  for (int a = 0; a < n_streams; ++a) {
+    for (int b = a + 1; b < n_streams; ++b) {
+      double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double x = streams[static_cast<std::size_t>(a)]
+                                [static_cast<std::size_t>(i)];
+        const double y = streams[static_cast<std::size_t>(b)]
+                                [static_cast<std::size_t>(i)];
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+      }
+      const double cov = n * sxy - sx * sy;
+      const double var_x = n * sxx - sx * sx;
+      const double var_y = n * syy - sy * sy;
+      const double r = cov / std::sqrt(var_x * var_y);
+      EXPECT_LT(std::abs(r), bound) << "streams " << a << " and " << b;
+    }
+  }
+}
+
 TEST(Xoshiro256, LongJumpChangesSequence) {
   Xoshiro256 a(14);
   Xoshiro256 b(14);

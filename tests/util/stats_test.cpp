@@ -59,6 +59,52 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(RunningStats, AddBatchEqualsLoopExactly) {
+  Xoshiro256 rng(22);
+  std::vector<double> xs(777);
+  for (double& x : xs) {
+    x = rng.gaussian(-3.0, 2.0);
+  }
+  RunningStats looped;
+  for (const double x : xs) {
+    looped.add(x);
+  }
+  RunningStats batched;
+  batched.add_batch(xs);
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_DOUBLE_EQ(batched.mean(), looped.mean());
+  EXPECT_DOUBLE_EQ(batched.variance(), looped.variance());
+  EXPECT_DOUBLE_EQ(batched.min(), looped.min());
+  EXPECT_DOUBLE_EQ(batched.max(), looped.max());
+}
+
+TEST(OnlineCorrelation, AddBatchEqualsLoopExactly) {
+  Xoshiro256 rng(23);
+  std::vector<double> xs(500);
+  std::vector<double> ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform01();
+    ys[i] = 0.5 * xs[i] + rng.gaussian(0.0, 0.1);
+  }
+  OnlineCorrelation looped;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    looped.add(xs[i], ys[i]);
+  }
+  OnlineCorrelation batched;
+  batched.add_batch(xs, ys);
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_DOUBLE_EQ(batched.correlation(), looped.correlation());
+  EXPECT_DOUBLE_EQ(batched.covariance(), looped.covariance());
+}
+
+TEST(OnlineCorrelation, AddBatchRejectsLengthMismatch) {
+  OnlineCorrelation acc;
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(acc.add_batch(xs, ys), std::invalid_argument);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a;
   a.add(1.0);
