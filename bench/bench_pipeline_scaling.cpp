@@ -1,19 +1,32 @@
 // Pipeline scaling micro-bench: acquisition->accumulation throughput of
-// the sharded CPA campaign versus worker count, as machine-readable JSON
-// so successive commits have a perf trajectory to compare against.
+// the sharded CPA campaign versus worker count, plus a head-to-head of
+// the legacy per-record ingest path against the columnar TraceBatch path,
+// as machine-readable JSON so successive commits have a perf trajectory
+// to compare against. The JSON object is printed to stdout and written to
+// BENCH_pipeline_scaling.json (override with PSC_BENCH_JSON).
 //
 // The shard count is pinned (default 8) while workers vary, so every run
 // must produce bit-identical campaign results — the bench cross-checks
-// that (`identical_results`) while measuring wall-clock traces/sec.
+// that (`identical_results`) while measuring wall-clock traces/sec. The
+// ingest comparison feeds the same live source through both paths and
+// requires (a) bit-identical engine state and (b) batch throughput at
+// least PSC_INGEST_MIN_RATIO times the legacy throughput (default 0.95);
+// either failure exits non-zero so CI smoke runs catch regressions.
 //
 //   ./bench_pipeline_scaling
-//   PSC_TRACES=N       trace count per campaign      (default 200000)
-//   PSC_SHARDS=N       pinned shard count            (default 8)
-//   PSC_MAX_WORKERS=N  highest worker count measured (default 8)
-//   PSC_SEED=N         campaign seed
+//   PSC_TRACES=N            trace count per campaign      (default 200000)
+//   PSC_SHARDS=N            pinned shard count            (default 8)
+//   PSC_MAX_WORKERS=N       highest worker count measured (default 8)
+//   PSC_INGEST_TRACES=N     ingest comparison trace count (default 60000)
+//   PSC_INGEST_REPS=N       timing reps, best-of (default 3)
+//   PSC_INGEST_MIN_RATIO=R  minimum batch/legacy ratio    (default 0.95)
+//   PSC_SEED=N              campaign seed
+//   PSC_BENCH_JSON=PATH     trajectory file path
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,13 +35,112 @@
 #include "core/campaigns.h"
 #include "util/csv.h"
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
 int main() {
   using namespace psc;
 
   const std::size_t traces = util::env_size("PSC_TRACES", 200'000);
   const std::size_t shards = util::env_size("PSC_SHARDS", 8);
   const std::size_t max_workers = util::env_size("PSC_MAX_WORKERS", 8);
+  const std::size_t ingest_traces =
+      util::env_size("PSC_INGEST_TRACES", 60'000);
+  const double min_ratio = util::env_double("PSC_INGEST_MIN_RATIO", 0.95);
 
+  // ---- ingest throughput: legacy per-record loop vs columnar batches ----
+  //
+  // Same live source configuration and seeds, so both paths see the same
+  // trace stream; the engines must end bit-identical while the columnar
+  // path avoids the per-trace TraceRecord allocation and virtual call.
+  const core::LiveSourceConfig live_config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+  };
+  util::Xoshiro256 key_rng(bench::bench_seed());
+  aes::Block victim_key;
+  key_rng.fill_bytes(victim_key);
+  const std::vector<power::PowerModel> ingest_models = {
+      power::PowerModel::rd0_hw};
+
+  // Best-of-N timing, reps alternating between the paths, so a transient
+  // stall (noisy CI neighbor, page cache warm-up) on one rep cannot fail
+  // the throughput gate.
+  const std::size_t ingest_reps = util::env_size("PSC_INGEST_REPS", 3);
+  double legacy_tps = 0.0;
+  double batch_tps = 0.0;
+  bool ingest_identical = true;
+  {
+    std::vector<util::FourCc> channel_probe =
+        core::LiveTraceSource::channel_names(live_config);
+    const std::size_t column = static_cast<std::size_t>(
+        std::find(channel_probe.begin(), channel_probe.end(),
+                  util::FourCc("PHPC")) -
+        channel_probe.begin());
+
+    for (std::size_t rep = 0; rep < ingest_reps; ++rep) {
+      core::LiveTraceSource source(live_config, victim_key, 1);
+      util::Xoshiro256 pt_rng(2);
+      core::CpaEngine engine(ingest_models);
+      aes::Block pt;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t t = 0; t < ingest_traces; ++t) {
+        pt_rng.fill_bytes(pt);
+        const core::TraceRecord record = source.collect(pt);
+        engine.add_trace(record.plaintext, record.ciphertext,
+                         record.values[column]);
+      }
+      legacy_tps = std::max(
+          legacy_tps, static_cast<double>(ingest_traces) /
+                          seconds_since(start));
+
+      core::LiveTraceSource batch_source(live_config, victim_key, 1);
+      util::Xoshiro256 batch_pt_rng(2);
+      core::CpaEngine batch_engine(ingest_models);
+      core::TraceBatch batch(batch_source.keys().size());
+      batch.reserve(1024);
+      const auto batch_start = std::chrono::steady_clock::now();
+      std::size_t produced = 0;
+      while (produced < ingest_traces) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1024, ingest_traces - produced);
+        core::collect_random_batch(batch_source, chunk, batch_pt_rng, batch);
+        batch_engine.add_batch(batch, column);
+        produced += chunk;
+      }
+      batch_tps = std::max(
+          batch_tps, static_cast<double>(ingest_traces) /
+                         seconds_since(batch_start));
+
+      // Cross-check: the two paths must accumulate bit-identical state.
+      for (std::size_t i = 0; i < 16 && ingest_identical; ++i) {
+        const core::ByteRanking a =
+            engine.analyze_byte(power::PowerModel::rd0_hw, i);
+        const core::ByteRanking b =
+            batch_engine.analyze_byte(power::PowerModel::rd0_hw, i);
+        for (int g = 0; g < 256; ++g) {
+          if (a.correlation[static_cast<std::size_t>(g)] !=
+              b.correlation[static_cast<std::size_t>(g)]) {
+            ingest_identical = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  const double ingest_ratio = legacy_tps > 0.0 ? batch_tps / legacy_tps : 0.0;
+  std::cerr << "ingest: legacy " << legacy_tps << " traces/s, batch "
+            << batch_tps << " traces/s (ratio " << ingest_ratio << ", "
+            << (ingest_identical ? "bit-identical" : "MISMATCH") << ")\n";
+
+  // ---- sharded campaign scaling vs worker count ----
   core::CpaCampaignConfig config{
       .profile = soc::DeviceProfile::macbook_air_m2(),
       .victim = victim::VictimModel::user_space(),
@@ -54,9 +166,7 @@ int main() {
     config.workers = worker_counts[i];
     const auto start = std::chrono::steady_clock::now();
     const auto result = run_cpa_campaign(config);
-    const auto stop = std::chrono::steady_clock::now();
-    const double seconds =
-        std::chrono::duration<double>(stop - start).count();
+    const double seconds = seconds_since(start);
     const auto& final = result.keys[0].final_results[0];
     if (i == 0) {
       reference_ge = final.ge_bits;
@@ -77,15 +187,39 @@ int main() {
               << static_cast<double>(traces) / seconds << " traces/s)\n";
   }
 
-  // stdout carries exactly one JSON object; progress goes to stderr.
-  std::cout << "{\"bench\":\"pipeline_scaling\","
-            << "\"device\":\"macbook_air_m2\","
-            << "\"channel\":\"PHPC\","
-            << "\"traces\":" << traces << ","
-            << "\"shards\":" << shards << ","
-            << "\"seed\":" << bench::bench_seed() << ","
-            << "\"identical_results\":" << (identical ? "true" : "false")
-            << ","
-            << "\"results\":[" << rows << "]}\n";
-  return identical ? 0 : 1;
+  const bool ingest_ok = ingest_identical && ingest_ratio >= min_ratio;
+  if (!ingest_ok) {
+    std::cerr << "FAIL: columnar ingest "
+              << (ingest_identical ? "below required throughput ratio "
+                                   : "state mismatch ")
+              << "(ratio " << ingest_ratio << ", required " << min_ratio
+              << ")\n";
+  }
+
+  // One JSON object, to stdout and to the trajectory file; progress went
+  // to stderr.
+  const std::string json =
+      "{\"bench\":\"pipeline_scaling\","
+      "\"device\":\"macbook_air_m2\","
+      "\"channel\":\"PHPC\","
+      "\"traces\":" + std::to_string(traces) + ","
+      "\"shards\":" + std::to_string(shards) + ","
+      "\"seed\":" + std::to_string(bench::bench_seed()) + ","
+      "\"identical_results\":" + (identical ? "true" : "false") + ","
+      "\"ingest\":{"
+      "\"traces\":" + std::to_string(ingest_traces) + ","
+      "\"legacy_traces_per_sec\":" + util::format_double(legacy_tps) + ","
+      "\"batch_traces_per_sec\":" + util::format_double(batch_tps) + ","
+      "\"batch_over_legacy\":" + util::format_double(ingest_ratio) + ","
+      "\"bit_identical\":" + (ingest_identical ? "true" : "false") + "},"
+      "\"results\":[" + rows + "]}";
+  std::cout << json << "\n";
+  const std::string path =
+      util::env_string("PSC_BENCH_JSON", "BENCH_pipeline_scaling.json");
+  if (std::ofstream out(path); out) {
+    out << json << "\n";
+  } else {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+  return identical && ingest_ok ? 0 : 1;
 }

@@ -1,0 +1,117 @@
+#include "core/analysis_sink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psc::core {
+
+// ---------- CpaSink ----------
+
+CpaSink::CpaSink(std::vector<power::PowerModel> models,
+                 std::vector<std::size_t> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("CpaSink: need at least one column");
+  }
+  engines_.reserve(columns_.size());
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    engines_.emplace_back(models);
+  }
+}
+
+void CpaSink::consume(const TraceBatch& batch, const BatchLabel& label) {
+  if (!label.random_plaintexts()) {
+    return;
+  }
+  for (std::size_t k = 0; k < engines_.size(); ++k) {
+    engines_[k].add_batch(batch, columns_[k]);
+  }
+}
+
+std::size_t CpaSink::trace_count() const noexcept {
+  return engines_.front().trace_count();
+}
+
+void CpaSink::merge(const CpaSink& other) {
+  if (columns_ != other.columns_) {
+    throw std::invalid_argument("CpaSink::merge: column lists differ");
+  }
+  for (std::size_t k = 0; k < engines_.size(); ++k) {
+    engines_[k].merge(other.engines_[k]);
+  }
+}
+
+// ---------- TvlaSink ----------
+
+void TvlaSink::consume(const TraceBatch& batch, const BatchLabel& label) {
+  if (!label.cls.has_value()) {
+    return;
+  }
+  if (batch.channels() != accumulators_.size()) {
+    throw std::invalid_argument("TvlaSink::consume: channel count mismatch");
+  }
+  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
+    accumulators_[c].add_batch(*label.cls, label.primed, batch.column(c));
+  }
+}
+
+void TvlaSink::merge(const TvlaSink& other) {
+  if (accumulators_.size() != other.accumulators_.size()) {
+    throw std::invalid_argument("TvlaSink::merge: channel count mismatch");
+  }
+  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
+    accumulators_[c].merge(other.accumulators_[c]);
+  }
+}
+
+// ---------- GeCheckpointSink ----------
+
+GeCheckpointSink::GeCheckpointSink(std::vector<power::PowerModel> models,
+                                   std::size_t column,
+                                   std::vector<std::size_t> targets)
+    : engine_(std::move(models)),
+      column_(column),
+      targets_(std::move(targets)) {
+  if (!std::is_sorted(targets_.begin(), targets_.end())) {
+    throw std::invalid_argument("GeCheckpointSink: targets not ascending");
+  }
+  snapshots_.reserve(targets_.size());
+  // Targets already satisfied by the empty engine (e.g. a zero share of a
+  // small checkpoint on a late shard) snapshot immediately.
+  while (next_target_ < targets_.size() && targets_[next_target_] == 0) {
+    snapshots_.push_back(engine_.snapshot());
+    ++next_target_;
+  }
+}
+
+void GeCheckpointSink::consume(const TraceBatch& batch,
+                               const BatchLabel& label) {
+  if (!label.random_plaintexts()) {
+    return;
+  }
+  const auto pts = batch.plaintexts();
+  const auto cts = batch.ciphertexts();
+  const auto values = batch.column(column_);
+  std::size_t begin = 0;
+  while (begin < batch.size()) {
+    std::size_t end = batch.size();
+    // Split the batch at the next snapshot target so the snapshot captures
+    // exactly the target trace count.
+    if (next_target_ < targets_.size()) {
+      const std::size_t to_target =
+          targets_[next_target_] - engine_.trace_count();
+      end = std::min(end, begin + to_target);
+    }
+    engine_.add_trace_batch(pts.subspan(begin, end - begin),
+                            cts.subspan(begin, end - begin),
+                            values.subspan(begin, end - begin));
+    while (next_target_ < targets_.size() &&
+           engine_.trace_count() == targets_[next_target_]) {
+      snapshots_.push_back(engine_.snapshot());
+      ++next_target_;
+    }
+    begin = end;
+  }
+}
+
+}  // namespace psc::core

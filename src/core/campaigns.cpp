@@ -9,11 +9,96 @@ namespace psc::core {
 
 namespace {
 
-// Per-shard acquisition batch size: traces are staged in column form and
-// handed to the engines through their batch interface, keeping the
-// acquire and accumulate halves of the loop separable; the cap bounds the
-// staging buffers' memory.
+// Per-shard acquisition batch size: traces are staged in a columnar
+// TraceBatch and handed to the sinks whole, keeping the acquire and
+// accumulate halves of the loop separable; the cap bounds the pooled
+// batches' memory.
 constexpr std::size_t acquisition_batch = 1024;
+
+// Ascending unique checkpoint schedule within (0, total], with `total`
+// always included as the final entry.
+std::vector<std::size_t> normalize_checkpoints(std::vector<std::size_t> cps,
+                                               std::size_t total) {
+  std::sort(cps.begin(), cps.end());
+  cps.erase(std::unique(cps.begin(), cps.end()), cps.end());
+  cps.erase(std::remove_if(cps.begin(), cps.end(),
+                           [&](std::size_t c) { return c == 0 || c > total; }),
+            cps.end());
+  if (cps.empty() || cps.back() != total) {
+    cps.push_back(total);
+  }
+  return cps;
+}
+
+// Column indices of the attacked SMC keys within `channels`; when `keys`
+// is empty, defaults to every channel except the PHPS estimate (and the
+// IOReport PCPU pseudo-channel).
+std::vector<smc::FourCc> resolve_attack_keys(
+    const std::vector<util::FourCc>& channels,
+    const std::vector<smc::FourCc>& keys, const char* who) {
+  std::vector<smc::FourCc> attack_keys = keys;
+  if (attack_keys.empty()) {
+    for (const smc::FourCc key : channels) {
+      if (key != smc::FourCc("PHPS") && key != smc::FourCc("PCPU")) {
+        attack_keys.push_back(key);
+      }
+    }
+  }
+  for (const smc::FourCc key : attack_keys) {
+    if (std::find(channels.begin(), channels.end(), key) == channels.end()) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": key not provided by this device: " +
+                                  key.str());
+    }
+  }
+  return attack_keys;
+}
+
+std::vector<std::size_t> key_column_indices(
+    const std::vector<util::FourCc>& channels,
+    const std::vector<smc::FourCc>& attack_keys) {
+  std::vector<std::size_t> columns;
+  columns.reserve(attack_keys.size());
+  for (const smc::FourCc key : attack_keys) {
+    const auto it = std::find(channels.begin(), channels.end(), key);
+    columns.push_back(static_cast<std::size_t>(it - channels.begin()));
+  }
+  return columns;
+}
+
+// Shared post-pass reduction: folds per-shard GeCheckpointSinks into GE
+// curves and final results for each attacked key. Snapshots are released
+// as soon as they are merged (release_snapshot), so the working set
+// shrinks checkpoint by checkpoint instead of lingering until the whole
+// reduction is done.
+void reduce_cpa_sinks(std::vector<std::vector<GeCheckpointSink>>& shard_sinks,
+                      const std::vector<std::size_t>& checkpoints,
+                      const std::vector<power::PowerModel>& models,
+                      const std::array<aes::Block, aes::num_rounds + 1>&
+                          round_keys,
+                      std::vector<CpaKeyResult>& out) {
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k].curves.resize(models.size());
+    for (std::size_t ci = 0; ci < checkpoints.size(); ++ci) {
+      // Merge the ci-th snapshot of every shard in shard order:
+      // bit-identical to the engine a sequential run would hold at this
+      // checkpoint.
+      CpaEngine combined = shard_sinks[0][k].release_snapshot(ci);
+      for (std::size_t s = 1; s < shard_sinks.size(); ++s) {
+        const CpaEngine shard = shard_sinks[s][k].release_snapshot(ci);
+        combined.merge(shard);
+      }
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        const ModelResult res = combined.analyze(models[m], round_keys);
+        out[k].curves[m].push_back({checkpoints[ci], res.ge_bits,
+                                    res.mean_rank, res.recovered_bytes});
+        if (ci + 1 == checkpoints.size()) {
+          out[k].final_results.push_back(res);
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -43,6 +128,7 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
 
   ParallelRunner runner({.workers = config.workers, .shards = config.shards});
   const std::size_t shards = runner.shards();
+  TraceBatchPool pool(channels.size(), acquisition_batch);
 
   const auto partials = runner.map([&](std::size_t s) {
     // A single-shard run continues the campaign stream so the sharded
@@ -50,36 +136,41 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
     // multi-shard runs give each shard its own split stream.
     util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
     LiveTraceSource source(source_config, victim_key, shard_rng());
-    const std::size_t per_set =
-        shard_size(config.traces_per_set, shards, s);
+    const std::size_t per_set = shard_size(config.traces_per_set, shards, s);
 
-    std::vector<TvlaAccumulator> accumulators(channels.size());
+    TvlaSink sink(channels.size());
+    auto batch = pool.acquire();
     for (const bool primed : {false, true}) {
       for (const PlaintextClass cls : all_plaintext_classes) {
-        for (std::size_t t = 0; t < per_set; ++t) {
-          const aes::Block pt = class_plaintext(cls, shard_rng);
-          const TraceRecord record = source.collect(pt);
-          for (std::size_t c = 0; c < channels.size(); ++c) {
-            accumulators[c].add(cls, primed, record.values[c]);
+        std::size_t produced = 0;
+        while (produced < per_set) {
+          const std::size_t chunk =
+              std::min(acquisition_batch, per_set - produced);
+          batch->clear();
+          batch->resize(chunk);
+          for (auto& pt : batch->plaintexts()) {
+            pt = class_plaintext(cls, shard_rng);
           }
+          source.collect_batch(*batch);
+          sink.consume(*batch, BatchLabel::tvla(cls, primed));
+          produced += chunk;
         }
       }
     }
-    return accumulators;
+    return sink;
   });
 
-  std::vector<TvlaAccumulator> merged(channels.size());
+  TvlaSink merged(channels.size());
   for (const auto& partial : partials) {
-    for (std::size_t c = 0; c < channels.size(); ++c) {
-      merged[c].merge(partial[c]);
-    }
+    merged.merge(partial);
   }
 
   TvlaCampaignResult result;
   result.victim_key = victim_key;
   result.traces_per_set = config.traces_per_set;
   for (std::size_t c = 0; c < channels.size(); ++c) {
-    result.channels.push_back({channels[c].str(), merged[c].matrix()});
+    result.channels.push_back(
+        {channels[c].str(), merged.accumulator(c).matrix()});
   }
   return result;
 }
@@ -107,25 +198,10 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   const std::vector<util::FourCc> channels =
       LiveTraceSource::channel_names(source_config);
 
-  // Resolve the key set: all data-dependent keys except the PHPS estimate.
-  std::vector<smc::FourCc> attack_keys = config.keys;
-  if (attack_keys.empty()) {
-    for (const smc::FourCc key : channels) {
-      if (key != smc::FourCc("PHPS")) {
-        attack_keys.push_back(key);
-      }
-    }
-  }
-  std::vector<std::size_t> key_columns;
-  for (const smc::FourCc key : attack_keys) {
-    const auto it = std::find(channels.begin(), channels.end(), key);
-    if (it == channels.end()) {
-      throw std::invalid_argument("run_cpa_campaign: key not provided by "
-                                  "this device: " +
-                                  key.str());
-    }
-    key_columns.push_back(static_cast<std::size_t>(it - channels.begin()));
-  }
+  const std::vector<smc::FourCc> attack_keys =
+      resolve_attack_keys(channels, config.keys, "run_cpa_campaign");
+  const std::vector<std::size_t> key_columns =
+      key_column_indices(channels, attack_keys);
 
   CpaCampaignResult result;
   result.victim_key = victim_key;
@@ -134,101 +210,182 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   result.keys.resize(attack_keys.size());
   for (std::size_t k = 0; k < attack_keys.size(); ++k) {
     result.keys[k].key = attack_keys[k];
-    result.keys[k].curves.resize(config.models.size());
   }
 
-  // Checkpoint schedule: ascending unique counts within (0, trace_count];
-  // the final count is always evaluated. Each checkpoint is a merge
-  // barrier of the sharded pipeline.
-  std::vector<std::size_t> checkpoints = config.checkpoints;
-  std::sort(checkpoints.begin(), checkpoints.end());
-  checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
-                    checkpoints.end());
-  checkpoints.erase(
-      std::remove_if(checkpoints.begin(), checkpoints.end(),
-                     [&](std::size_t c) {
-                       return c == 0 || c > config.trace_count;
-                     }),
-      checkpoints.end());
-  if (checkpoints.empty() || checkpoints.back() != config.trace_count) {
-    checkpoints.push_back(config.trace_count);
-  }
+  const std::vector<std::size_t> checkpoints =
+      normalize_checkpoints(config.checkpoints, config.trace_count);
 
   ParallelRunner runner({.workers = config.workers, .shards = config.shards});
   const std::size_t shards = runner.shards();
+  TraceBatchPool pool(channels.size(), acquisition_batch);
 
-  // Persistent per-shard acquisition state, advanced segment by segment
-  // between checkpoint barriers. Built lazily inside the worker pool so
-  // device calibration also runs in parallel.
-  struct ShardState {
-    util::Xoshiro256 rng;
-    std::unique_ptr<LiveTraceSource> source;
-    std::vector<CpaEngine> engines;  // one per attacked key
-    std::size_t produced = 0;        // traces fed so far
-  };
-  std::vector<std::optional<ShardState>> states(shards);
+  // One single pass per shard: sinks snapshot engine state at the shard's
+  // share of each checkpoint, so no mid-campaign merge barriers are
+  // needed. Device calibration also runs inside the worker pool.
+  auto shard_sinks = runner.map([&](std::size_t s) {
+    util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
+    LiveTraceSource source(source_config, victim_key, shard_rng());
 
-  for (const std::size_t checkpoint : checkpoints) {
-    runner.for_each([&](std::size_t s) {
-      if (!states[s]) {
-        ShardState state{.rng = shards == 1 ? rng : rng.split(s)};
-        state.source = std::make_unique<LiveTraceSource>(
-            source_config, victim_key, state.rng());
-        state.engines.reserve(attack_keys.size());
-        for (std::size_t k = 0; k < attack_keys.size(); ++k) {
-          state.engines.emplace_back(config.models);
-        }
-        states[s].emplace(std::move(state));
-      }
-      ShardState& state = *states[s];
-      const std::size_t target = shard_size(checkpoint, shards, s);
-
-      std::vector<aes::Block> pts;
-      std::vector<aes::Block> cts;
-      std::vector<std::vector<double>> columns(key_columns.size());
-      aes::Block pt;
-      while (state.produced < target) {
-        const std::size_t chunk =
-            std::min(acquisition_batch, target - state.produced);
-        pts.clear();
-        cts.clear();
-        for (auto& column : columns) {
-          column.clear();
-        }
-        for (std::size_t t = 0; t < chunk; ++t) {
-          state.rng.fill_bytes(pt);
-          const TraceRecord record = state.source->collect(pt);
-          pts.push_back(record.plaintext);
-          cts.push_back(record.ciphertext);
-          for (std::size_t k = 0; k < key_columns.size(); ++k) {
-            columns[k].push_back(record.values[key_columns[k]]);
-          }
-        }
-        for (std::size_t k = 0; k < state.engines.size(); ++k) {
-          state.engines[k].add_trace_batch(pts, cts, columns[k]);
-        }
-        state.produced += chunk;
-      }
-    });
-
-    // Merge barrier: fold shard snapshots in shard order and analyze the
-    // combined engine at this checkpoint.
+    std::vector<std::size_t> targets;
+    targets.reserve(checkpoints.size());
+    for (const std::size_t cp : checkpoints) {
+      targets.push_back(shard_size(cp, shards, s));
+    }
+    std::vector<GeCheckpointSink> sinks;
+    sinks.reserve(attack_keys.size());
+    MultiSink multi;
     for (std::size_t k = 0; k < attack_keys.size(); ++k) {
-      CpaEngine combined = states[0]->engines[k].snapshot();
-      for (std::size_t s = 1; s < shards; ++s) {
-        combined.merge(states[s]->engines[k]);
-      }
-      for (std::size_t m = 0; m < config.models.size(); ++m) {
-        const ModelResult res =
-            combined.analyze(config.models[m], result.round_keys);
-        result.keys[k].curves[m].push_back(
-            {checkpoint, res.ge_bits, res.mean_rank, res.recovered_bytes});
-        if (checkpoint == config.trace_count) {
-          result.keys[k].final_results.push_back(res);
+      sinks.emplace_back(config.models, key_columns[k], targets);
+    }
+    for (auto& sink : sinks) {
+      multi.add(&sink);
+    }
+
+    const std::size_t total = shard_size(config.trace_count, shards, s);
+    auto batch = pool.acquire();
+    std::size_t produced = 0;
+    while (produced < total) {
+      const std::size_t chunk =
+          std::min(acquisition_batch, total - produced);
+      collect_random_batch(source, chunk, shard_rng, *batch);
+      multi.consume(*batch, BatchLabel::unlabeled());
+      produced += chunk;
+    }
+    return sinks;
+  });
+
+  reduce_cpa_sinks(shard_sinks, checkpoints, config.models,
+                   result.round_keys, result.keys);
+  return result;
+}
+
+const TvlaChannelResult* CombinedCampaignResult::find_tvla(
+    const std::string& channel) const noexcept {
+  for (const auto& c : tvla) {
+    if (c.channel == channel) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const CpaKeyResult* CombinedCampaignResult::find_cpa(
+    smc::FourCc key) const noexcept {
+  for (const auto& k : cpa) {
+    if (k.key == key) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+CombinedCampaignResult run_combined_campaign(
+    const CombinedCampaignConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  aes::Block victim_key;
+  rng.fill_bytes(victim_key);
+
+  const LiveSourceConfig source_config{
+      .profile = config.profile,
+      .victim = config.victim,
+      .mitigation = config.mitigation,
+      .include_pcpu = config.include_pcpu,
+  };
+  const std::vector<util::FourCc> channels =
+      LiveTraceSource::channel_names(source_config);
+
+  const std::vector<smc::FourCc> attack_keys =
+      resolve_attack_keys(channels, config.keys, "run_combined_campaign");
+  const std::vector<std::size_t> key_columns =
+      key_column_indices(channels, attack_keys);
+
+  CombinedCampaignResult result;
+  result.victim_key = victim_key;
+  result.round_keys = aes::Aes128::expand_key(victim_key);
+  result.traces_per_set = config.traces_per_set;
+  result.cpa_trace_count = 2 * config.traces_per_set;
+  result.cpa.resize(attack_keys.size());
+  for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+    result.cpa[k].key = attack_keys[k];
+  }
+
+  const std::vector<std::size_t> checkpoints =
+      normalize_checkpoints(config.checkpoints, result.cpa_trace_count);
+
+  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  const std::size_t shards = runner.shards();
+  TraceBatchPool pool(channels.size(), acquisition_batch);
+
+  struct ShardResult {
+    TvlaSink tvla;
+    std::vector<GeCheckpointSink> cpa;
+  };
+
+  auto shard_results = runner.map([&](std::size_t s) {
+    util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
+    LiveTraceSource source(source_config, victim_key, shard_rng());
+    const std::size_t per_set = shard_size(config.traces_per_set, shards, s);
+
+    // The shard's CPA stream is its share of the two random collections,
+    // in acquisition order. A global checkpoint cp splits as cp1 traces
+    // from the first and cp - cp1 from the second; partitioning each part
+    // with shard_size keeps the per-shard targets summing to exactly cp.
+    std::vector<std::size_t> targets;
+    targets.reserve(checkpoints.size());
+    for (const std::size_t cp : checkpoints) {
+      const std::size_t cp1 = std::min(cp, config.traces_per_set);
+      targets.push_back(shard_size(cp1, shards, s) +
+                        shard_size(cp - cp1, shards, s));
+    }
+
+    ShardResult out{.tvla = TvlaSink(channels.size()), .cpa = {}};
+    out.cpa.reserve(attack_keys.size());
+    MultiSink multi;
+    multi.add(&out.tvla);
+    for (std::size_t k = 0; k < attack_keys.size(); ++k) {
+      out.cpa.emplace_back(config.models, key_columns[k], targets);
+    }
+    for (auto& sink : out.cpa) {
+      multi.add(&sink);
+    }
+
+    auto batch = pool.acquire();
+    for (const bool primed : {false, true}) {
+      for (const PlaintextClass cls : all_plaintext_classes) {
+        std::size_t produced = 0;
+        while (produced < per_set) {
+          const std::size_t chunk =
+              std::min(acquisition_batch, per_set - produced);
+          batch->clear();
+          batch->resize(chunk);
+          for (auto& pt : batch->plaintexts()) {
+            pt = class_plaintext(cls, shard_rng);
+          }
+          source.collect_batch(*batch);
+          multi.consume(*batch, BatchLabel::tvla(cls, primed));
+          produced += chunk;
         }
       }
     }
+    return out;
+  });
+
+  TvlaSink merged_tvla(channels.size());
+  for (const auto& shard : shard_results) {
+    merged_tvla.merge(shard.tvla);
   }
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    result.tvla.push_back(
+        {channels[c].str(), merged_tvla.accumulator(c).matrix()});
+  }
+
+  std::vector<std::vector<GeCheckpointSink>> cpa_sinks;
+  cpa_sinks.reserve(shard_results.size());
+  for (auto& shard : shard_results) {
+    cpa_sinks.push_back(std::move(shard.cpa));
+  }
+  reduce_cpa_sinks(cpa_sinks, checkpoints, config.models, result.round_keys,
+                   result.cpa);
   return result;
 }
 

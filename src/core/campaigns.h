@@ -3,10 +3,13 @@
 // returns the data its table/figure reports. The bench binaries are thin
 // wrappers over these.
 //
-// Campaigns run on the sharded pipeline (core/parallel.h): the trace
-// budget splits into shards, each with its own RNG stream and trace source
-// (core/trace_source.h); shard engines merge in shard order. Results are a
-// pure function of (seed, shards) — any worker count gives bit-identical
+// Campaigns run on the sharded columnar pipeline: the trace budget splits
+// into shards (core/parallel.h), each with its own RNG stream and trace
+// source (core/trace_source.h); shards acquire pooled TraceBatches and
+// feed them to AnalysisSinks (core/analysis_sink.h), whose partial state
+// merges in shard order. Guessing-entropy checkpoints are per-shard
+// engine snapshots — no mid-campaign merge barriers. Results are a pure
+// function of (seed, shards): any worker count gives bit-identical
 // output, and shards = 1 reproduces the original sequential loop
 // bit-for-bit.
 #pragma once
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis_sink.h"
 #include "core/cpa.h"
 #include "core/parallel.h"
 #include "core/trace_source.h"
@@ -106,6 +110,50 @@ struct CpaCampaignResult {
 };
 
 CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config);
+
+// ---------- combined campaign (one acquisition, every analysis) ----------
+//
+// Runs the TVLA collection protocol once — six labeled (class, collection)
+// sets — and fans every batch out to TVLA, CPA and guessing-entropy sinks
+// at the same time. The two random-plaintext collections double as the
+// CPA trace stream, so one trace budget yields Table 3's matrices and
+// Table 4's rankings together. At equal (seed, shards, victim, device,
+// mitigation, traces_per_set, include_pcpu), the TVLA half is
+// bit-identical to run_tvla_campaign.
+
+struct CombinedCampaignConfig {
+  soc::DeviceProfile profile;
+  victim::VictimModel victim = victim::VictimModel::user_space();
+  // Traces per (class, collection); the CPA stream sees 2x this.
+  std::size_t traces_per_set = 5000;
+  bool include_pcpu = false;
+  std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
+  // SMC keys to attack with CPA; empty = every workload-dependent key
+  // except PHPS (and PCPU when included).
+  std::vector<smc::FourCc> keys;
+  // CPA trace counts at which to snapshot GE (ascending, over the random
+  // stream of 2 * traces_per_set; the final count is always evaluated).
+  std::vector<std::size_t> checkpoints;
+  smc::MitigationPolicy mitigation = smc::MitigationPolicy::none();
+  std::uint64_t seed = 1;
+  std::size_t workers = 1;
+  std::size_t shards = 0;
+};
+
+struct CombinedCampaignResult {
+  aes::Block victim_key{};
+  std::array<aes::Block, aes::num_rounds + 1> round_keys{};
+  std::size_t traces_per_set = 0;
+  std::size_t cpa_trace_count = 0;  // 2 * traces_per_set
+  std::vector<TvlaChannelResult> tvla;
+  std::vector<CpaKeyResult> cpa;
+
+  const TvlaChannelResult* find_tvla(const std::string& channel) const noexcept;
+  const CpaKeyResult* find_cpa(smc::FourCc key) const noexcept;
+};
+
+CombinedCampaignResult run_combined_campaign(
+    const CombinedCampaignConfig& config);
 
 // Log-spaced checkpoint schedule from `first` to `last` (inclusive).
 std::vector<std::size_t> log_spaced_checkpoints(std::size_t first,

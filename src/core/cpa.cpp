@@ -107,8 +107,49 @@ void CpaEngine::add_trace_batch(std::span<const aes::Block> plaintexts,
     throw std::invalid_argument("CpaEngine::add_trace_batch: span length "
                                 "mismatch");
   }
-  for (std::size_t t = 0; t < plaintexts.size(); ++t) {
-    add_trace(plaintexts[t], ciphertexts[t], values[t]);
+  const std::size_t n = values.size();
+  n_ += n;
+  for (std::size_t t = 0; t < n; ++t) {
+    sum_t_ += values[t];
+    sum_tt_ += values[t] * values[t];
+  }
+  // Histogram updates run position-major: one 256-bin histogram stays hot
+  // while a whole column streams through it. Per bin, values arrive in
+  // trace order, so the floating-point sums are bit-identical to the
+  // per-trace path.
+  if (need_pt_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      ByteHist& h = pt_hist_[i];
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::uint8_t b = plaintexts[t][i];
+        ++h.count[b];
+        h.sum[b] += values[t];
+      }
+    }
+  }
+  if (need_ct_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      ByteHist& h = ct_hist_[i];
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::uint8_t b = ciphertexts[t][i];
+        ++h.count[b];
+        h.sum[b] += values[t];
+      }
+    }
+  }
+  if (need_pair_hist_) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      const std::size_t src = aes::shift_rows_source(i);
+      std::uint32_t* counts = &pair_count_[i * 65536];
+      double* sums = &pair_sum_[i * 65536];
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t bin =
+            static_cast<std::size_t>(ciphertexts[t][i]) * 256 +
+            ciphertexts[t][src];
+        ++counts[bin];
+        sums[bin] += values[t];
+      }
+    }
   }
 }
 

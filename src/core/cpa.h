@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "aes/aes128.h"
+#include "core/trace_batch.h"
 #include "power/hypothetical.h"
 
 namespace psc::core {
@@ -65,12 +66,21 @@ class CpaEngine {
                  double value) noexcept;
 
   // Feeds a batch of traces in column form; throws std::invalid_argument
-  // unless the spans have equal length. Exactly equivalent to calling
-  // add_trace per element, in order — the accumulation arithmetic is
-  // identical, so batch and loop feeding produce bit-identical state.
+  // unless the spans have equal length. The accumulation loops run
+  // column-wise (per histogram position) for cache locality, but every
+  // accumulator bin receives the same values in the same order as an
+  // add_trace loop, so batch and loop feeding produce bit-identical
+  // state.
   void add_trace_batch(std::span<const aes::Block> plaintexts,
                        std::span<const aes::Block> ciphertexts,
                        std::span<const double> values);
+
+  // Feeds every trace of a columnar batch, taking measured values from
+  // channel `column`. The native ingest path of the acquisition pipeline.
+  void add_batch(const TraceBatch& batch, std::size_t column) {
+    add_trace_batch(batch.plaintexts(), batch.ciphertexts(),
+                    batch.column(column));
+  }
 
   // Absorbs another engine's accumulator state, as if its traces had been
   // fed here after this engine's own. Both engines must have been built

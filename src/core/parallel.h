@@ -2,8 +2,12 @@
 //
 // A campaign's trace budget is divided into independent *shards*, each
 // owning a deterministic RNG stream (util::Xoshiro256::split) and its own
-// trace source; shard engines accumulate partial state that is merged in
-// shard order. Two knobs with distinct roles:
+// trace source; shard sinks accumulate partial state that is merged in
+// shard order. Shards move trace data as columnar TraceBatches leased
+// from a shared TraceBatchPool (core/trace_batch.h): with more shards
+// than workers, the same few slabs cycle through successive shard jobs,
+// so steady-state acquisition allocates nothing. Two knobs with distinct
+// roles:
 //
 //   shards  determine the RESULT: campaign output is a pure function of
 //           (seed, shard count). shards == 1 reproduces the sequential

@@ -14,7 +14,11 @@ void TraceSet::add(TraceRecord record) {
   if (record.values.size() != keys_.size()) {
     throw std::invalid_argument("TraceSet::add: value count mismatch");
   }
-  records_.push_back(std::move(record));
+  batch_.append(record.plaintext, record.ciphertext, record.values);
+}
+
+void TraceSet::append(const TraceBatch& batch) {
+  batch_.append(batch);
 }
 
 std::optional<std::size_t> TraceSet::key_index(
@@ -27,13 +31,8 @@ std::optional<std::size_t> TraceSet::key_index(
   return std::nullopt;
 }
 
-std::vector<double> TraceSet::column(std::size_t key_idx) const {
-  std::vector<double> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) {
-    out.push_back(r.values.at(key_idx));
-  }
-  return out;
+std::span<const double> TraceSet::column(std::size_t key_idx) const {
+  return batch_.column(key_idx);
 }
 
 void TraceSet::save_csv(std::ostream& out) const {
@@ -43,14 +42,16 @@ void TraceSet::save_csv(std::ostream& out) const {
     header.push_back(key.str());
   }
   csv.row(header);
-  for (const auto& r : records_) {
+  const auto pts = batch_.plaintexts();
+  const auto cts = batch_.ciphertexts();
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
     auto row = csv.start_row();
-    row.cell(util::to_hex(r.plaintext));
-    row.cell(util::to_hex(r.ciphertext));
-    for (const double v : r.values) {
+    row.cell(util::to_hex(pts[i]));
+    row.cell(util::to_hex(cts[i]));
+    for (std::size_t c = 0; c < keys_.size(); ++c) {
       // Shortest-round-trip formatting: a reloaded capture feeds the
       // analysis engines bit-identical values.
-      row.cell(util::format_double_exact(v));
+      row.cell(util::format_double_exact(batch_.column(c)[i]));
     }
     row.done();
   }
@@ -83,29 +84,35 @@ TraceSet TraceSet::load_csv(std::istream& in) {
   }
 
   TraceSet set(keys);
+  std::vector<double> values;
   while (std::getline(in, line)) {
     if (line.empty()) {
       continue;
     }
     std::stringstream ss(line);
     std::string cell;
-    TraceRecord record;
+    aes::Block plaintext{};
+    aes::Block ciphertext{};
+    values.clear();
     std::size_t col = 0;
     while (std::getline(ss, cell, ',')) {
       if (col == 0) {
-        if (!util::from_hex_exact(cell, record.plaintext)) {
+        if (!util::from_hex_exact(cell, plaintext)) {
           throw std::runtime_error("TraceSet::load_csv: bad plaintext hex");
         }
       } else if (col == 1) {
-        if (!util::from_hex_exact(cell, record.ciphertext)) {
+        if (!util::from_hex_exact(cell, ciphertext)) {
           throw std::runtime_error("TraceSet::load_csv: bad ciphertext hex");
         }
       } else {
-        record.values.push_back(std::stod(cell));
+        values.push_back(std::stod(cell));
       }
       ++col;
     }
-    set.add(std::move(record));
+    if (values.size() != keys.size()) {
+      throw std::invalid_argument("TraceSet::load_csv: value count mismatch");
+    }
+    set.batch_.append(plaintext, ciphertext, values);
   }
   return set;
 }

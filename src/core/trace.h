@@ -1,20 +1,30 @@
-// Trace records: what the attacker logs per measurement window — the
-// chosen plaintext, the observed ciphertext and the SMC key values read
-// right after the window (paper section 3.4). TraceSet supports CSV
-// round-tripping so campaigns can be captured and re-analyzed offline.
+// Trace records and sets: what the attacker logs per measurement window —
+// the chosen plaintext, the observed ciphertext and the SMC key values
+// read right after the window (paper section 3.4).
+//
+// Storage is columnar: TraceSet is a thin wrapper over core::TraceBatch
+// (one contiguous array per field, one contiguous value column per
+// channel), so replay and offline analysis ingest whole columns without
+// gathering. TraceRecord and the per-record add() path remain as thin
+// conveniences over the batch core. CSV round-tripping uses
+// shortest-round-trip float formatting so captures replay bit-identically.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "aes/aes128.h"
+#include "core/trace_batch.h"
 #include "util/fourcc.h"
 
 namespace psc::core {
 
+// One logical trace in record (AoS) form — the convenience currency of
+// tests and small captures; bulk paths use TraceBatch columns directly.
 struct TraceRecord {
   aes::Block plaintext{};
   aes::Block ciphertext{};
@@ -24,22 +34,34 @@ struct TraceRecord {
 class TraceSet {
  public:
   TraceSet() = default;
-  explicit TraceSet(std::vector<util::FourCc> keys) : keys_(std::move(keys)) {}
+  explicit TraceSet(std::vector<util::FourCc> keys)
+      : keys_(std::move(keys)), batch_(keys_.size()) {}
 
   const std::vector<util::FourCc>& keys() const noexcept { return keys_; }
-  std::size_t size() const noexcept { return records_.size(); }
-  bool empty() const noexcept { return records_.empty(); }
+  std::size_t size() const noexcept { return batch_.size(); }
+  bool empty() const noexcept { return batch_.empty(); }
 
-  // Appends a record; its value count must match keys().size().
+  // Appends a record; its value count must match keys().size(). Thin
+  // wrapper over the columnar append.
   void add(TraceRecord record);
 
-  const TraceRecord& operator[](std::size_t i) const { return records_[i]; }
+  // Bulk-appends every row of `batch` (channel count must match).
+  void append(const TraceBatch& batch);
+
+  // Row view into the columnar storage (no value copy).
+  TraceBatch::ConstRow operator[](std::size_t i) const {
+    return batch_.row(i);
+  }
+
+  // The columnar storage itself: replay sources and engines consume this.
+  const TraceBatch& batch() const noexcept { return batch_; }
 
   // Index of a key's value column; nullopt if absent.
   std::optional<std::size_t> key_index(util::FourCc key) const noexcept;
 
-  // All values of one key column.
-  std::vector<double> column(std::size_t key_idx) const;
+  // All values of one key column — a zero-copy view into the column,
+  // valid until the set is modified or destroyed.
+  std::span<const double> column(std::size_t key_idx) const;
 
   // CSV persistence: header "plaintext,ciphertext,<KEY>..." with hex
   // blocks and decimal values.
@@ -48,7 +70,7 @@ class TraceSet {
 
  private:
   std::vector<util::FourCc> keys_;
-  std::vector<TraceRecord> records_;
+  TraceBatch batch_;
 };
 
 }  // namespace psc::core

@@ -1,0 +1,113 @@
+#include "core/trace_batch.h"
+
+#include <algorithm>
+
+namespace psc::core {
+
+void TraceBatch::reset_channels(std::size_t channels) {
+  plaintexts_.clear();
+  ciphertexts_.clear();
+  if (columns_.size() > channels) {
+    columns_.resize(channels);
+  } else {
+    while (columns_.size() < channels) {
+      columns_.emplace_back();
+    }
+  }
+  for (auto& column : columns_) {
+    column.clear();
+  }
+}
+
+void TraceBatch::reserve(std::size_t n) {
+  plaintexts_.reserve(n);
+  ciphertexts_.reserve(n);
+  for (auto& column : columns_) {
+    column.reserve(n);
+  }
+}
+
+void TraceBatch::clear() noexcept {
+  plaintexts_.clear();
+  ciphertexts_.clear();
+  for (auto& column : columns_) {
+    column.clear();
+  }
+}
+
+void TraceBatch::resize(std::size_t n) {
+  plaintexts_.resize(n);
+  ciphertexts_.resize(n);
+  for (auto& column : columns_) {
+    column.resize(n);
+  }
+}
+
+std::span<double> TraceBatch::column(std::size_t c) {
+  if (c >= columns_.size()) {
+    throw std::out_of_range("TraceBatch::column: bad channel index");
+  }
+  return columns_[c];
+}
+
+std::span<const double> TraceBatch::column(std::size_t c) const {
+  if (c >= columns_.size()) {
+    throw std::out_of_range("TraceBatch::column: bad channel index");
+  }
+  return columns_[c];
+}
+
+void TraceBatch::append(const aes::Block& plaintext,
+                        const aes::Block& ciphertext,
+                        std::span<const double> values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("TraceBatch::append: value count mismatch");
+  }
+  plaintexts_.push_back(plaintext);
+  ciphertexts_.push_back(ciphertext);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+}
+
+void TraceBatch::append(const TraceBatch& other, std::size_t begin,
+                        std::size_t count) {
+  if (other.channels() != channels()) {
+    throw std::invalid_argument("TraceBatch::append: channel count mismatch");
+  }
+  if (begin > other.size() || count > other.size() - begin) {
+    throw std::out_of_range("TraceBatch::append: bad source range");
+  }
+  const auto end = begin + count;
+  plaintexts_.insert(plaintexts_.end(), other.plaintexts_.begin() + begin,
+                     other.plaintexts_.begin() + end);
+  ciphertexts_.insert(ciphertexts_.end(), other.ciphertexts_.begin() + begin,
+                      other.ciphertexts_.begin() + end);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), other.columns_[c].begin() + begin,
+                       other.columns_[c].begin() + end);
+  }
+}
+
+TraceBatchPool::Lease TraceBatchPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      TraceBatch batch = std::move(free_.back());
+      free_.pop_back();
+      batch.reset_channels(channels_);
+      return Lease(this, std::move(batch));
+    }
+  }
+  TraceBatch batch(channels_);
+  batch.reserve(capacity_);
+  return Lease(this, std::move(batch));
+}
+
+void TraceBatchPool::release(TraceBatch batch) {
+  batch.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(batch));
+}
+
+}  // namespace psc::core

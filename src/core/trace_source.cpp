@@ -8,14 +8,44 @@
 
 namespace psc::core {
 
-void TraceSource::collect_batch(std::size_t count, util::Xoshiro256& rng,
-                                std::vector<TraceRecord>& out) {
-  out.reserve(out.size() + count);
-  aes::Block pt;
-  for (std::size_t t = 0; t < count; ++t) {
-    rng.fill_bytes(pt);
-    out.push_back(collect(pt));
+namespace {
+
+// Acquisition chunk size for the batched helper loops; bounds staging
+// memory while keeping the per-chunk virtual-call overhead negligible.
+constexpr std::size_t default_chunk = 1024;
+
+void check_channels(const TraceSource& source, const TraceBatch& batch,
+                    const char* who) {
+  if (batch.channels() != source.keys().size()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": batch channel count mismatch");
   }
+}
+
+}  // namespace
+
+void TraceSource::collect_batch(TraceBatch& batch) {
+  check_channels(*this, batch, "TraceSource::collect_batch");
+  const auto pts = batch.plaintexts();
+  const auto cts = batch.ciphertexts();
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const TraceRecord record = collect(pts[t]);
+    pts[t] = record.plaintext;
+    cts[t] = record.ciphertext;
+    for (std::size_t c = 0; c < batch.channels(); ++c) {
+      batch.column(c)[t] = record.values[c];
+    }
+  }
+}
+
+void collect_random_batch(TraceSource& source, std::size_t count,
+                          util::Xoshiro256& rng, TraceBatch& batch) {
+  batch.clear();
+  batch.resize(count);
+  for (auto& pt : batch.plaintexts()) {
+    rng.fill_bytes(pt);
+  }
+  source.collect_batch(batch);
 }
 
 // ---------- LiveTraceSource ----------
@@ -26,7 +56,8 @@ LiveTraceSource::LiveTraceSource(const LiveSourceConfig& config,
     : source_(config.profile, victim_key, config.victim, seed,
               config.mitigation),
       keys_(source_.keys()),
-      include_pcpu_(config.include_pcpu) {
+      include_pcpu_(config.include_pcpu),
+      scratch_(source_.keys().size()) {
   if (include_pcpu_) {
     keys_.push_back(util::FourCc("PCPU"));
   }
@@ -44,15 +75,36 @@ std::vector<util::FourCc> LiveTraceSource::channel_names(
 }
 
 TraceRecord LiveTraceSource::collect(const aes::Block& plaintext) {
-  victim::FastTraceSource::TraceSample sample = source_.collect(plaintext);
   TraceRecord record;
-  record.plaintext = sample.plaintext;
-  record.ciphertext = sample.ciphertext;
-  record.values = std::move(sample.smc_values);
+  record.plaintext = plaintext;
+  record.values.resize(keys_.size());
+  std::uint64_t pcpu_mj = 0;
+  source_.collect_into(plaintext, record.ciphertext,
+                       std::span<double>(record.values.data(),
+                                         source_.keys().size()),
+                       pcpu_mj);
   if (include_pcpu_) {
-    record.values.push_back(static_cast<double>(sample.pcpu_mj));
+    record.values.back() = static_cast<double>(pcpu_mj);
   }
   return record;
+}
+
+void LiveTraceSource::collect_batch(TraceBatch& batch) {
+  check_channels(*this, batch, "LiveTraceSource::collect_batch");
+  const auto pts = batch.plaintexts();
+  const auto cts = batch.ciphertexts();
+  const std::size_t smc_n = source_.keys().size();
+  const std::span<double> scratch(scratch_.data(), smc_n);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    std::uint64_t pcpu_mj = 0;
+    source_.collect_into(pts[t], cts[t], scratch, pcpu_mj);
+    for (std::size_t c = 0; c < smc_n; ++c) {
+      batch.column(c)[t] = scratch_[c];
+    }
+    if (include_pcpu_) {
+      batch.column(smc_n)[t] = static_cast<double>(pcpu_mj);
+    }
+  }
 }
 
 // ---------- ReplayTraceSource ----------
@@ -79,7 +131,27 @@ TraceRecord ReplayTraceSource::collect(const aes::Block& /*plaintext*/) {
   if (pos_ >= end_) {
     throw std::out_of_range("ReplayTraceSource: trace set exhausted");
   }
-  return (*set_)[pos_++];
+  const TraceBatch::ConstRow row = (*set_)[pos_++];
+  TraceRecord record;
+  record.plaintext = row.plaintext;
+  record.ciphertext = row.ciphertext;
+  record.values.resize(row.values.size());
+  for (std::size_t c = 0; c < record.values.size(); ++c) {
+    record.values[c] = row.values[c];
+  }
+  return record;
+}
+
+void ReplayTraceSource::collect_batch(TraceBatch& batch) {
+  check_channels(*this, batch, "ReplayTraceSource::collect_batch");
+  const std::size_t n = batch.size();
+  if (n > end_ - pos_) {
+    throw std::out_of_range("ReplayTraceSource: trace set exhausted");
+  }
+  const TraceBatch& stored = set_->batch();
+  batch.clear();
+  batch.append(stored, pos_, n);
+  pos_ += n;
 }
 
 std::optional<std::size_t> ReplayTraceSource::remaining() const noexcept {
@@ -98,15 +170,29 @@ SyntheticTraceSource::SyntheticTraceSource(const SyntheticSourceConfig& config,
       gain_(config.gain),
       keys_({config.channel}) {}
 
+double SyntheticTraceSource::leak_value(const aes::Block& plaintext,
+                                        aes::Block& ciphertext) {
+  aes::RoundTrace trace;
+  ciphertext = cipher_.encrypt_trace(plaintext, trace);
+  const double value = gain_ * evaluator_.energy_deviation(plaintext, trace);
+  return noise_.apply(value, rng_);
+}
+
 TraceRecord SyntheticTraceSource::collect(const aes::Block& plaintext) {
   TraceRecord record;
   record.plaintext = plaintext;
-  aes::RoundTrace trace;
-  record.ciphertext = cipher_.encrypt_trace(plaintext, trace);
-  const double value =
-      gain_ * evaluator_.energy_deviation(plaintext, trace);
-  record.values.push_back(noise_.apply(value, rng_));
+  record.values.push_back(leak_value(plaintext, record.ciphertext));
   return record;
+}
+
+void SyntheticTraceSource::collect_batch(TraceBatch& batch) {
+  check_channels(*this, batch, "SyntheticTraceSource::collect_batch");
+  const auto pts = batch.plaintexts();
+  const auto cts = batch.ciphertexts();
+  const auto values = batch.column(0);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    values[t] = leak_value(pts[t], cts[t]);
+  }
 }
 
 // ---------- helpers ----------
@@ -114,10 +200,14 @@ TraceRecord SyntheticTraceSource::collect(const aes::Block& plaintext) {
 TraceSet capture_trace_set(TraceSource& source, std::size_t count,
                            util::Xoshiro256& rng) {
   TraceSet set(source.keys());
-  aes::Block pt;
-  for (std::size_t t = 0; t < count; ++t) {
-    rng.fill_bytes(pt);
-    set.add(source.collect(pt));
+  TraceBatch batch(source.keys().size());
+  batch.reserve(std::min(count, default_chunk));
+  std::size_t produced = 0;
+  while (produced < count) {
+    const std::size_t chunk = std::min(default_chunk, count - produced);
+    collect_random_batch(source, chunk, rng, batch);
+    set.append(batch);
+    produced += chunk;
   }
   return set;
 }
@@ -143,12 +233,14 @@ CpaEngine accumulate_cpa(TraceSource& source, util::FourCc key,
   }
 
   CpaEngine engine(models);
-  aes::Block pt;
-  for (std::size_t t = 0; t < count; ++t) {
-    rng.fill_bytes(pt);
-    const TraceRecord record = source.collect(pt);
-    engine.add_trace(record.plaintext, record.ciphertext,
-                     record.values[column]);
+  TraceBatch batch(keys.size());
+  batch.reserve(std::min(count, default_chunk));
+  std::size_t produced = 0;
+  while (produced < count) {
+    const std::size_t chunk = std::min(default_chunk, count - produced);
+    collect_random_batch(source, chunk, rng, batch);
+    engine.add_batch(batch, column);
+    produced += chunk;
   }
   return engine;
 }

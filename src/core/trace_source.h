@@ -10,6 +10,13 @@
 //   SyntheticTraceSource a bare leakage model plus measurement noise, for
 //                        fast statistical tests of the analysis pipeline.
 //
+// The native currency is the columnar core::TraceBatch, filled through a
+// stage-then-collect protocol: the caller sizes the batch and writes the
+// chosen plaintexts into its plaintext column, then collect_batch()
+// computes the ciphertext and channel columns in place. All three shipped
+// sources override collect_batch with allocation-free columnar fills; the
+// per-trace collect() path remains as a thin wrapper for convenience.
+//
 // Sources are single-threaded; the parallel campaign runner gives each
 // shard its own source built from a split RNG stream (see core/parallel.h).
 #pragma once
@@ -22,6 +29,7 @@
 #include "aes/aes128.h"
 #include "core/cpa.h"
 #include "core/trace.h"
+#include "core/trace_batch.h"
 #include "power/leakage_model.h"
 #include "power/noise.h"
 #include "smc/mitigation.h"
@@ -35,7 +43,8 @@ class TraceSource {
  public:
   virtual ~TraceSource() = default;
 
-  // Channel columns reported per trace, aligned with TraceRecord::values.
+  // Channel columns reported per trace, aligned with the batch's value
+  // columns (and TraceRecord::values).
   virtual const std::vector<util::FourCc>& keys() const noexcept = 0;
 
   // One trace for an attacker-chosen plaintext. Replay sources ignore
@@ -43,11 +52,14 @@ class TraceSource {
   // in the returned record).
   virtual TraceRecord collect(const aes::Block& plaintext) = 0;
 
-  // Appends `count` traces to `out`, drawing chosen plaintexts from `rng`.
-  // The base implementation loops collect(); sources may override when a
-  // batched capture path is cheaper.
-  virtual void collect_batch(std::size_t count, util::Xoshiro256& rng,
-                             std::vector<TraceRecord>& out);
+  // Fills the ciphertext and value columns of `batch` for its staged
+  // plaintext column (the caller resizes the batch and writes chosen
+  // plaintexts first). Replay sources overwrite the plaintext column with
+  // the recorded plaintexts instead. Throws std::invalid_argument unless
+  // batch.channels() == keys().size(). The base implementation loops
+  // collect(); sources override it with allocation-free columnar fills
+  // that are bit-identical to the loop.
+  virtual void collect_batch(TraceBatch& batch);
 
   // Seconds of attacker wall-time one trace costs (the SMC update window).
   virtual double window_s() const noexcept { return 1.0; }
@@ -58,6 +70,12 @@ class TraceSource {
     return std::nullopt;
   }
 };
+
+// Clears `batch`, stages `count` plaintexts drawn from `rng` and collects
+// into them: one chosen-plaintext acquisition chunk. RNG consumption and
+// results match a collect() loop drawing one plaintext per trace.
+void collect_random_batch(TraceSource& source, std::size_t count,
+                          util::Xoshiro256& rng, TraceBatch& batch);
 
 // ---------- live simulated capture ----------
 
@@ -84,6 +102,9 @@ class LiveTraceSource final : public TraceSource {
     return keys_;
   }
   TraceRecord collect(const aes::Block& plaintext) override;
+  // Columnar fill through FastTraceSource::collect_into — no per-trace
+  // allocation.
+  void collect_batch(TraceBatch& batch) override;
   double window_s() const noexcept override { return source_.window_s(); }
 
   // The underlying calibrated device pipeline.
@@ -93,6 +114,7 @@ class LiveTraceSource final : public TraceSource {
   victim::FastTraceSource source_;
   std::vector<util::FourCc> keys_;
   bool include_pcpu_;
+  std::vector<double> scratch_;  // one row of SMC values, reused
 };
 
 // ---------- CSV / TraceSet replay ----------
@@ -110,6 +132,9 @@ class ReplayTraceSource final : public TraceSource {
   // Returns the next recorded trace; `plaintext` is ignored. Throws
   // std::out_of_range once the view is exhausted.
   TraceRecord collect(const aes::Block& plaintext) override;
+  // Bulk column copy of the next batch.size() recorded traces (including
+  // their plaintexts); throws std::out_of_range if fewer remain.
+  void collect_batch(TraceBatch& batch) override;
   std::optional<std::size_t> remaining() const noexcept override;
 
  private:
@@ -140,10 +165,13 @@ class SyntheticTraceSource final : public TraceSource {
     return keys_;
   }
   TraceRecord collect(const aes::Block& plaintext) override;
+  void collect_batch(TraceBatch& batch) override;
 
   const aes::Aes128& cipher() const noexcept { return cipher_; }
 
  private:
+  double leak_value(const aes::Block& plaintext, aes::Block& ciphertext);
+
   aes::Aes128 cipher_;
   power::LeakageEvaluator evaluator_;
   power::GaussianNoise noise_;
@@ -155,14 +183,14 @@ class SyntheticTraceSource final : public TraceSource {
 // ---------- source-generic acquisition helpers ----------
 
 // Captures `count` chosen-plaintext traces (plaintexts drawn from `rng`)
-// into a TraceSet ready for CSV persistence.
+// into a TraceSet ready for CSV persistence. Runs on the batched path.
 TraceSet capture_trace_set(TraceSource& source, std::size_t count,
                            util::Xoshiro256& rng);
 
 // Acquire-and-accumulate CPA over any source: feeds `count` traces
 // (0 = everything remaining, for finite sources) into a CpaEngine
-// attacking channel `key`. Feeding order and arithmetic match a
-// hand-rolled add_trace loop bit-for-bit.
+// attacking channel `key`. Runs on the batched path; feeding order and
+// arithmetic match a hand-rolled collect()/add_trace loop bit-for-bit.
 CpaEngine accumulate_cpa(TraceSource& source, util::FourCc key,
                          const std::vector<power::PowerModel>& models,
                          std::size_t count, util::Xoshiro256& rng);

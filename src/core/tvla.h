@@ -75,7 +75,9 @@ struct TvlaMatrix {
 };
 
 // Streaming accumulator for one measured channel: feed values tagged with
-// (class, primed-or-not), then extract the matrix.
+// (class, primed-or-not), then extract the matrix. The batch path ingests
+// a whole TraceBatch value column at once (see core::TvlaSink for the
+// multi-channel fan-out over labeled acquisition batches).
 class TvlaAccumulator {
  public:
   void add(PlaintextClass cls, bool primed, double value) noexcept;

@@ -39,6 +39,14 @@ std::size_t env_size(const std::string& name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = lookup(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  return raw;
+}
+
 double env_double(const std::string& name, double fallback) {
   const char* raw = lookup(name);
   if (raw == nullptr || *raw == '\0') {

@@ -17,4 +17,7 @@ std::size_t env_size(const std::string& name, std::size_t fallback);
 // Parses `name` as a floating-point value; `fallback` when unset/invalid.
 double env_double(const std::string& name, double fallback);
 
+// Raw string value of `name`; `fallback` when unset or empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
 }  // namespace psc::util

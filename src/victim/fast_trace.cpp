@@ -1,6 +1,7 @@
 #include "victim/fast_trace.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <memory>
 
@@ -109,17 +110,26 @@ FastTraceSource::TraceSample FastTraceSource::collect(
     const aes::Block& plaintext) {
   TraceSample sample;
   sample.plaintext = plaintext;
+  sample.smc_values.resize(key_entries_.size());
+  collect_into(plaintext, sample.ciphertext, sample.smc_values,
+               sample.pcpu_mj);
+  return sample;
+}
 
+void FastTraceSource::collect_into(const aes::Block& plaintext,
+                                   aes::Block& ciphertext,
+                                   std::span<double> smc_values,
+                                   std::uint64_t& pcpu_mj) {
+  assert(smc_values.size() == key_entries_.size());
   // One real encryption gives the data-dependent energy of every block in
   // the window (all blocks process the same plaintext).
   aes::RoundTrace trace;
-  sample.ciphertext = cipher_.encrypt_trace(plaintext, trace);
+  ciphertext = cipher_.encrypt_trace(plaintext, trace);
   const double blocks_per_s = enc_per_window_ / window_s_;
   const double core_dev_w =
       evaluator_.energy_deviation(plaintext, trace) * blocks_per_s;
   const double bus_dev_w =
-      evaluator_.bus_energy_deviation(plaintext, sample.ciphertext) *
-      blocks_per_s;
+      evaluator_.bus_energy_deviation(plaintext, ciphertext) * blocks_per_s;
 
   // Syscall-path noise rides on the P-cluster rail.
   const double p_noise_w =
@@ -132,9 +142,8 @@ FastTraceSource::TraceSample FastTraceSource::collect(
       core_dev_w + p_noise_w;
   rail_w[static_cast<std::size_t>(soc::RailId::dram)] += bus_dev_w;
 
-  sample.smc_values.reserve(key_entries_.size());
-  for (const smc::KeyEntry* entry : key_entries_) {
-    const smc::SensorSpec& spec = entry->spec;
+  for (std::size_t k = 0; k < key_entries_.size(); ++k) {
+    const smc::SensorSpec& spec = key_entries_[k]->spec;
     double value = 0.0;
     switch (spec.source) {
       case smc::SensorSource::rail_power:
@@ -162,18 +171,15 @@ FastTraceSource::TraceSample FastTraceSource::collect(
     }
     value = power::Quantizer(spec.quant_step).apply(value);
     // The client reads a float32-encoded value; keep that truncation.
-    sample.smc_values.push_back(static_cast<double>(
-        static_cast<float>(value)));
+    smc_values[k] = static_cast<double>(static_cast<float>(value));
   }
 
   // IOReport PCPU channel: utilization-model energy over the window, mJ
   // resolution, small OS-activity jitter — no data term by construction.
   const double pcpu_j =
       baseline_estimated_p_w_ * window_s_ + rng_.gaussian(0.0, 2e-3);
-  sample.pcpu_mj =
+  pcpu_mj =
       static_cast<std::uint64_t>(std::max(0.0, std::floor(pcpu_j * 1e3)));
-
-  return sample;
 }
 
 }  // namespace psc::victim

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aes/aes128.h"
@@ -64,8 +65,15 @@ class FastTraceSource {
     std::uint64_t pcpu_mj = 0;       // IOReport PCPU energy over the window
   };
 
-  // One trace for the given plaintext.
+  // One trace for the given plaintext. Thin wrapper over collect_into().
   TraceSample collect(const aes::Block& plaintext);
+
+  // Allocation-free collect for the columnar batch path: writes the
+  // ciphertext, the SMC values (`smc_values` must have exactly
+  // keys().size() entries) and the IOReport PCPU energy for one trace.
+  // Arithmetic and RNG draws are identical to collect().
+  void collect_into(const aes::Block& plaintext, aes::Block& ciphertext,
+                    std::span<double> smc_values, std::uint64_t& pcpu_mj);
 
   // Blocks the victim encrypts per measurement window (all threads).
   double encryptions_per_window() const noexcept { return enc_per_window_; }

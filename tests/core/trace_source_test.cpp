@@ -191,7 +191,7 @@ TEST(SyntheticTraceSource, NoiseDegradesButDefaultProfileStillLeaks) {
   EXPECT_LT(result.ge_bits, random_guess_ge_bits() - 5.0);
 }
 
-TEST(TraceSource, DefaultCollectBatchMatchesCollectLoop) {
+TEST(TraceSource, BatchedCollectMatchesCollectLoop) {
   util::Xoshiro256 rng(19);
   const aes::Block victim_key = random_block(rng);
   power::LeakageConfig leakage{};
@@ -201,21 +201,54 @@ TEST(TraceSource, DefaultCollectBatchMatchesCollectLoop) {
 
   SyntheticTraceSource batched_source(config, victim_key, 20);
   util::Xoshiro256 batch_rng(21);
-  std::vector<TraceRecord> batched;
-  batched_source.collect_batch(50, batch_rng, batched);
+  TraceBatch batch(1);
+  collect_random_batch(batched_source, 50, batch_rng, batch);
 
   SyntheticTraceSource looped_source(config, victim_key, 20);
   util::Xoshiro256 loop_rng(21);
-  ASSERT_EQ(batched.size(), 50u);
+  ASSERT_EQ(batch.size(), 50u);
   aes::Block pt;
-  for (const TraceRecord& record : batched) {
+  for (std::size_t t = 0; t < batch.size(); ++t) {
     loop_rng.fill_bytes(pt);
     const TraceRecord expected = looped_source.collect(pt);
-    EXPECT_EQ(record.plaintext, expected.plaintext);
-    EXPECT_EQ(record.ciphertext, expected.ciphertext);
-    ASSERT_EQ(record.values.size(), expected.values.size());
-    EXPECT_DOUBLE_EQ(record.values[0], expected.values[0]);
+    EXPECT_EQ(batch.plaintexts()[t], expected.plaintext);
+    EXPECT_EQ(batch.ciphertexts()[t], expected.ciphertext);
+    EXPECT_DOUBLE_EQ(batch.column(0)[t], expected.values[0]);
   }
+}
+
+TEST(TraceSource, CollectBatchRejectsMisshapenBatch) {
+  util::Xoshiro256 rng(30);
+  const aes::Block victim_key = random_block(rng);
+  SyntheticTraceSource source({}, victim_key, 31);
+  TraceBatch batch(3);  // source reports a single channel
+  batch.resize(4);
+  EXPECT_THROW(source.collect_batch(batch), std::invalid_argument);
+}
+
+TEST(ReplayTraceSource, CollectBatchIsBulkColumnCopy) {
+  util::Xoshiro256 rng(32);
+  const aes::Block victim_key = random_block(rng);
+  LiveTraceSource live(m2_user_config(), victim_key, 33);
+  auto set = std::make_shared<TraceSet>(capture_trace_set(live, 25, rng));
+
+  ReplayTraceSource replay(set);
+  TraceBatch batch(set->keys().size());
+  batch.resize(10);
+  replay.collect_batch(batch);
+  EXPECT_EQ(replay.remaining(), std::optional<std::size_t>(15));
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(batch.plaintexts()[t], (*set)[t].plaintext);
+    EXPECT_EQ(batch.ciphertexts()[t], (*set)[t].ciphertext);
+    for (std::size_t c = 0; c < batch.channels(); ++c) {
+      ASSERT_EQ(batch.column(c)[t], (*set)[t].values[c]);
+    }
+  }
+  // Asking for more than remains throws without consuming.
+  batch.clear();
+  batch.resize(16);
+  EXPECT_THROW(replay.collect_batch(batch), std::out_of_range);
+  EXPECT_EQ(replay.remaining(), std::optional<std::size_t>(15));
 }
 
 TEST(TraceSet, CsvRoundTripIsBitExact) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <sstream>
+#include <span>
 
 #include "util/rng.h"
 
@@ -48,7 +51,35 @@ TEST(TraceSet, ColumnExtraction) {
     r.values = {v};
     set.add(r);
   }
-  EXPECT_EQ(set.column(0), (std::vector<double>{1.0, 2.0, 3.0}));
+  const std::span<const double> column = set.column(0);
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_TRUE(std::equal(column.begin(), column.end(),
+                         std::vector<double>{1.0, 2.0, 3.0}.begin()));
+  // Zero-copy: the view aliases the set's columnar storage.
+  EXPECT_EQ(column.data(), set.batch().column(0).data());
+  EXPECT_THROW(set.column(1), std::out_of_range);
+}
+
+TEST(TraceSet, BulkAppendFromBatch) {
+  TraceSet set({util::FourCc("PHPC")});
+  TraceBatch batch(1);
+  util::Xoshiro256 rng(7);
+  for (double v : {4.0, 5.0}) {
+    aes::Block pt;
+    aes::Block ct;
+    rng.fill_bytes(pt);
+    rng.fill_bytes(ct);
+    batch.append(pt, ct, std::array<double, 1>{v});
+  }
+  set.append(batch);
+  set.append(batch);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set[0].values[0], 4.0);
+  EXPECT_DOUBLE_EQ(set[3].values[0], 5.0);
+  EXPECT_EQ(set[0].plaintext, set[2].plaintext);
+
+  TraceBatch wrong_shape(2);
+  EXPECT_THROW(set.append(wrong_shape), std::invalid_argument);
 }
 
 TEST(TraceSet, CsvRoundTrip) {
