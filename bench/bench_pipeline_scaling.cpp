@@ -1,17 +1,24 @@
 // Pipeline scaling micro-bench: acquisition->accumulation throughput of
-// the sharded CPA campaign versus worker count, plus a head-to-head of
-// the legacy per-record ingest path against the columnar TraceBatch path,
-// as machine-readable JSON so successive commits have a perf trajectory
-// to compare against. The JSON object is printed to stdout and written to
-// BENCH_pipeline_scaling.json (override with PSC_BENCH_JSON).
+// the sharded CPA campaign versus worker count, a head-to-head of the
+// legacy per-record ingest path against the columnar TraceBatch path,
+// and a record-then-replay stage for the PSTR trace store (out-of-core
+// replay vs re-simulating the device), as machine-readable JSON so
+// successive commits have a perf trajectory to compare against. The JSON
+// object is printed to stdout and written to BENCH_pipeline_scaling.json
+// (override with PSC_BENCH_JSON); the recorded store is left at
+// PSC_BENCH_PSTR (default BENCH_sample.pstr) as a CI artifact.
 //
 // The shard count is pinned (default 8) while workers vary, so every run
 // must produce bit-identical campaign results — the bench cross-checks
 // that (`identical_results`) while measuring wall-clock traces/sec. The
 // ingest comparison feeds the same live source through both paths and
 // requires (a) bit-identical engine state and (b) batch throughput at
-// least PSC_INGEST_MIN_RATIO times the legacy throughput (default 0.95);
-// either failure exits non-zero so CI smoke runs catch regressions.
+// least PSC_INGEST_MIN_RATIO times the legacy throughput (default 0.95).
+// The store stage requires the replayed engine to be bit-identical to
+// the engine that accumulated during recording, and replay throughput at
+// least PSC_REPLAY_MIN_RATIO times the live-regeneration throughput
+// (default 1.0 — reading back must not be slower than re-simulating).
+// Any failure exits non-zero so CI smoke runs catch regressions.
 //
 //   ./bench_pipeline_scaling
 //   PSC_TRACES=N            trace count per campaign      (default 200000)
@@ -20,6 +27,9 @@
 //   PSC_INGEST_TRACES=N     ingest comparison trace count (default 60000)
 //   PSC_INGEST_REPS=N       timing reps, best-of (default 3)
 //   PSC_INGEST_MIN_RATIO=R  minimum batch/legacy ratio    (default 0.95)
+//   PSC_STORE_TRACES=N      record/replay trace count     (default 60000)
+//   PSC_REPLAY_MIN_RATIO=R  minimum replay/live ratio     (default 1.0)
+//   PSC_BENCH_PSTR=PATH     recorded store artifact path
 //   PSC_SEED=N              campaign seed
 //   PSC_BENCH_JSON=PATH     trajectory file path
 #include <algorithm>
@@ -33,6 +43,8 @@
 
 #include "bench_common.h"
 #include "core/campaigns.h"
+#include "store/file_trace_source.h"
+#include "store/trace_file_writer.h"
 #include "util/csv.h"
 
 namespace {
@@ -41,6 +53,58 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// True when both engines hold bit-identical accumulator state, judged by
+// every guess correlation of every key byte.
+bool engines_identical(const psc::core::CpaEngine& a,
+                       const psc::core::CpaEngine& b) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    const psc::core::ByteRanking ra =
+        a.analyze_byte(psc::power::PowerModel::rd0_hw, i);
+    const psc::core::ByteRanking rb =
+        b.analyze_byte(psc::power::PowerModel::rd0_hw, i);
+    for (std::size_t g = 0; g < 256; ++g) {
+      if (ra.correlation[g] != rb.correlation[g]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// One timed acquire->accumulate pass over any source in 1024-row batches,
+// optionally teeing every batch to a store writer. Returns traces/sec.
+// With `replay` set the source returns recorded plaintexts and would
+// discard staged ones, so the timed loop skips the random staging — the
+// replay number measures pure out-of-core decode, not wasted RNG work.
+double time_accumulate(psc::core::TraceSource& source,
+                       psc::util::Xoshiro256& rng,
+                       psc::core::CpaEngine& engine,
+                       std::size_t traces, std::size_t column,
+                       psc::store::TraceFileWriter* writer = nullptr,
+                       bool replay = false) {
+  constexpr std::size_t batch_rows = 1024;
+  psc::core::TraceBatch batch(source.keys().size());
+  batch.reserve(batch_rows);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t produced = 0;
+  while (produced < traces) {
+    const std::size_t chunk = std::min(batch_rows, traces - produced);
+    if (replay) {
+      batch.clear();
+      batch.resize(chunk);
+      source.collect_batch(batch);
+    } else {
+      psc::core::collect_random_batch(source, chunk, rng, batch);
+    }
+    if (writer != nullptr) {
+      writer->append(batch);
+    }
+    engine.add_batch(batch, column);
+    produced += chunk;
+  }
+  return static_cast<double>(traces) / seconds_since(start);
 }
 
 }  // namespace
@@ -104,41 +168,85 @@ int main() {
       core::LiveTraceSource batch_source(live_config, victim_key, 1);
       util::Xoshiro256 batch_pt_rng(2);
       core::CpaEngine batch_engine(ingest_models);
-      core::TraceBatch batch(batch_source.keys().size());
-      batch.reserve(1024);
-      const auto batch_start = std::chrono::steady_clock::now();
-      std::size_t produced = 0;
-      while (produced < ingest_traces) {
-        const std::size_t chunk =
-            std::min<std::size_t>(1024, ingest_traces - produced);
-        core::collect_random_batch(batch_source, chunk, batch_pt_rng, batch);
-        batch_engine.add_batch(batch, column);
-        produced += chunk;
-      }
       batch_tps = std::max(
-          batch_tps, static_cast<double>(ingest_traces) /
-                         seconds_since(batch_start));
+          batch_tps, time_accumulate(batch_source, batch_pt_rng,
+                                     batch_engine, ingest_traces, column));
 
       // Cross-check: the two paths must accumulate bit-identical state.
-      for (std::size_t i = 0; i < 16 && ingest_identical; ++i) {
-        const core::ByteRanking a =
-            engine.analyze_byte(power::PowerModel::rd0_hw, i);
-        const core::ByteRanking b =
-            batch_engine.analyze_byte(power::PowerModel::rd0_hw, i);
-        for (int g = 0; g < 256; ++g) {
-          if (a.correlation[static_cast<std::size_t>(g)] !=
-              b.correlation[static_cast<std::size_t>(g)]) {
-            ingest_identical = false;
-            break;
-          }
-        }
-      }
+      ingest_identical =
+          ingest_identical && engines_identical(engine, batch_engine);
     }
   }
   const double ingest_ratio = legacy_tps > 0.0 ? batch_tps / legacy_tps : 0.0;
   std::cerr << "ingest: legacy " << legacy_tps << " traces/s, batch "
             << batch_tps << " traces/s (ratio " << ingest_ratio << ", "
             << (ingest_identical ? "bit-identical" : "MISMATCH") << ")\n";
+
+  // ---- store: record-then-replay vs synthetic regeneration ----
+  //
+  // One live pass records a PSTR store while a CPA engine accumulates
+  // (the capture-once half); then the same stream is obtained two ways —
+  // replayed out-of-core from the file, and regenerated by re-simulating
+  // the device with the same seeds — and fed to fresh engines. Replay
+  // must be bit-identical to the recording pass and at least
+  // PSC_REPLAY_MIN_RATIO times the regeneration throughput.
+  const std::size_t store_traces = util::env_size("PSC_STORE_TRACES", 60'000);
+  const std::string pstr_path =
+      util::env_string("PSC_BENCH_PSTR", "BENCH_sample.pstr");
+  const double replay_min_ratio = util::env_double("PSC_REPLAY_MIN_RATIO", 1.0);
+  double record_tps = 0.0;
+  double replay_tps = 0.0;
+  double regen_tps = 0.0;
+  std::size_t store_bytes = 0;
+  bool replay_identical = true;
+  {
+    const std::vector<util::FourCc> channels =
+        core::LiveTraceSource::channel_names(live_config);
+    const std::size_t column = static_cast<std::size_t>(
+        std::find(channels.begin(), channels.end(), util::FourCc("PHPC")) -
+        channels.begin());
+
+    // Record: acquisition teed to disk while the engine accumulates.
+    core::CpaEngine recorded_engine(ingest_models);
+    {
+      core::LiveTraceSource source(live_config, victim_key, 5);
+      util::Xoshiro256 pt_rng(6);
+      store::TraceFileWriter writer(
+          pstr_path,
+          {.channels = channels,
+           .metadata = store::device_metadata(live_config.profile.name,
+                                              live_config.profile.os_version)});
+      record_tps = time_accumulate(source, pt_rng, recorded_engine,
+                                   store_traces, column, &writer);
+      writer.finalize();
+    }
+
+    // Synthetic regeneration baseline: the same stream re-simulated.
+    {
+      core::LiveTraceSource source(live_config, victim_key, 5);
+      util::Xoshiro256 pt_rng(6);
+      core::CpaEngine engine(ingest_models);
+      regen_tps = time_accumulate(source, pt_rng, engine, store_traces,
+                                  column);
+    }
+
+    // Out-of-core replay from the recorded store.
+    {
+      store::FileTraceSource replay(pstr_path);
+      store_bytes = replay.reader().file_bytes();
+      util::Xoshiro256 unused_rng(0);
+      core::CpaEngine engine(ingest_models);
+      replay_tps = time_accumulate(replay, unused_rng, engine, store_traces,
+                                   column, nullptr, /*replay=*/true);
+      replay_identical = engines_identical(recorded_engine, engine);
+    }
+  }
+  const double replay_ratio = regen_tps > 0.0 ? replay_tps / regen_tps : 0.0;
+  std::cerr << "store: record " << record_tps << " traces/s, replay "
+            << replay_tps << " traces/s, regenerate " << regen_tps
+            << " traces/s (replay/regen " << replay_ratio << ", "
+            << (replay_identical ? "bit-identical" : "MISMATCH") << ", "
+            << store_bytes << " bytes on disk)\n";
 
   // ---- sharded campaign scaling vs worker count ----
   core::CpaCampaignConfig config{
@@ -195,6 +303,14 @@ int main() {
               << "(ratio " << ingest_ratio << ", required " << min_ratio
               << ")\n";
   }
+  const bool store_ok = replay_identical && replay_ratio >= replay_min_ratio;
+  if (!store_ok) {
+    std::cerr << "FAIL: PSTR replay "
+              << (replay_identical ? "below required throughput ratio "
+                                   : "state mismatch ")
+              << "(ratio " << replay_ratio << ", required "
+              << replay_min_ratio << ")\n";
+  }
 
   // One JSON object, to stdout and to the trajectory file; progress went
   // to stderr.
@@ -212,6 +328,14 @@ int main() {
       "\"batch_traces_per_sec\":" + util::format_double(batch_tps) + ","
       "\"batch_over_legacy\":" + util::format_double(ingest_ratio) + ","
       "\"bit_identical\":" + (ingest_identical ? "true" : "false") + "},"
+      "\"store\":{"
+      "\"traces\":" + std::to_string(store_traces) + ","
+      "\"file_bytes\":" + std::to_string(store_bytes) + ","
+      "\"record_traces_per_sec\":" + util::format_double(record_tps) + ","
+      "\"replay_traces_per_sec\":" + util::format_double(replay_tps) + ","
+      "\"regen_traces_per_sec\":" + util::format_double(regen_tps) + ","
+      "\"replay_over_regen\":" + util::format_double(replay_ratio) + ","
+      "\"bit_identical\":" + (replay_identical ? "true" : "false") + "},"
       "\"results\":[" + rows + "]}";
   std::cout << json << "\n";
   const std::string path =
@@ -221,5 +345,5 @@ int main() {
   } else {
     std::cerr << "warning: could not write " << path << "\n";
   }
-  return identical && ingest_ok ? 0 : 1;
+  return identical && ingest_ok && store_ok ? 0 : 1;
 }

@@ -1,19 +1,23 @@
-// offline_analysis: capture once, analyze later. Collects a trace set
-// through the pluggable acquisition layer (core::LiveTraceSource),
-// persists it as CSV (the format a real logging attacker would keep),
-// reloads it, and replays CPA from the file through the *same* analysis
-// path via core::ReplayTraceSource — the two ModelResults are
-// bit-identical, demonstrating that analysis is fully decoupled from
-// collection.
+// offline_analysis: capture once, analyze many times. A live acquisition
+// pass tees its batches to a PSTR trace store through store::RecordingSink
+// while a CPA sink consumes them; the recorded file is then replayed
+// out-of-core through store::FileTraceSource into a fresh engine — and
+// the two ModelResults are bit-identical, demonstrating that analysis is
+// fully decoupled from collection. CSV interchange (the format a
+// logging attacker might keep) is handled by the trace_convert tool:
+// csv2pstr / pstr2csv are value-exact in both directions.
 //
-//   ./offline_analysis [traces] [path]
+//   ./offline_analysis [traces] [path.pstr]
+#include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <memory>
+#include <string>
 
+#include "core/analysis_sink.h"
 #include "core/guessing_entropy.h"
 #include "core/trace_source.h"
+#include "store/file_trace_source.h"
+#include "store/trace_file_writer.h"
 #include "util/hex.h"
 
 int main(int argc, char** argv) {
@@ -21,42 +25,67 @@ int main(int argc, char** argv) {
 
   const std::size_t traces =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
-  const std::string path = argc > 2 ? argv[2] : "/tmp/psc_traces.csv";
+  const std::string path = argc > 2 ? argv[2] : "/tmp/psc_traces.pstr";
+  const std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
 
-  // --- Collection phase (the attacker's logger).
+  // --- Collection phase (the attacker's logger): one live pass feeds the
+  // CPA sink and the recorder the same batches.
   util::Xoshiro256 rng(2025);
   aes::Block victim_key;
   rng.fill_bytes(victim_key);
-  core::LiveTraceSource source(
-      {.profile = soc::DeviceProfile::macbook_air_m2(),
-       .victim = victim::VictimModel::user_space()},
-      victim_key, 1);
+  const core::LiveSourceConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space()};
+  core::LiveTraceSource source(config, victim_key, 1);
+  const auto& channels = source.keys();
+  const std::size_t column = static_cast<std::size_t>(
+      std::find(channels.begin(), channels.end(), util::FourCc("PHPC")) -
+      channels.begin());
 
-  const core::TraceSet set = core::capture_trace_set(source, traces, rng);
-  {
-    std::ofstream out(path);
-    set.save_csv(out);
+  store::TraceFileWriter writer(
+      path, {.channels = channels,
+             .metadata = store::device_metadata(config.profile.name,
+                                                config.profile.os_version)});
+  core::CpaSink live_cpa(models, {column});
+  store::RecordingSink recorder(writer);
+  core::MultiSink multi({&live_cpa, &recorder});
+
+  core::TraceBatch batch(channels.size());
+  std::size_t produced = 0;
+  while (produced < traces) {
+    const std::size_t chunk = std::min<std::size_t>(1024, traces - produced);
+    core::collect_random_batch(source, chunk, rng, batch);
+    multi.consume(batch, core::BatchLabel::unlabeled());
+    produced += chunk;
   }
-  std::cout << "captured " << set.size() << " traces ("
-            << set.keys().size() << " channels) -> " << path << "\n";
+  writer.finalize();
+  std::cout << "captured " << writer.trace_count() << " traces ("
+            << channels.size() << " channels) -> " << path << "\n";
 
-  // --- Analysis phase (possibly days later, on another machine).
-  std::ifstream in(path);
-  auto loaded = std::make_shared<core::TraceSet>(core::TraceSet::load_csv(in));
-  std::cout << "reloaded " << loaded->size() << " traces\n\n";
-
-  core::ReplayTraceSource replay(loaded);
+  // --- Analysis phase (possibly days later, on another machine): stream
+  // the store back through the same analysis path, out-of-core.
+  store::FileTraceSource replay(path);
+  std::cout << "replaying " << *replay.remaining() << " traces ("
+            << (replay.reader().mapped() ? "mmap" : "stream")
+            << " reader)\n\n";
   util::Xoshiro256 unused_rng(0);  // replay returns its recorded plaintexts
   const core::CpaEngine engine = core::accumulate_cpa(
-      replay, util::FourCc("PHPC"), {power::PowerModel::rd0_hw},
-      /*count=*/0, unused_rng);
-  const auto result = engine.analyze(power::PowerModel::rd0_hw,
-                                     aes::Aes128::expand_key(victim_key));
+      replay, util::FourCc("PHPC"), models, /*count=*/0, unused_rng);
 
-  std::cout << "CPA from file: GE " << result.ge_bits << " bits (random "
+  const auto round_keys = aes::Aes128::expand_key(victim_key);
+  const auto from_file = engine.analyze(models[0], round_keys);
+  const auto live = live_cpa.engine(0).analyze(models[0], round_keys);
+
+  std::cout << "CPA from file: GE " << from_file.ge_bits << " bits (random "
             << core::random_guess_ge_bits() << "), "
-            << result.recovered_bytes << "/16 bytes at rank 1\n"
-            << "best guess : " << util::to_hex(result.best_round_key)
+            << from_file.recovered_bytes << "/16 bytes at rank 1\n"
+            << "bit-identical to live pass: "
+            << (from_file.ge_bits == live.ge_bits &&
+                        from_file.true_ranks == live.true_ranks &&
+                        from_file.best_round_key == live.best_round_key
+                    ? "yes"
+                    : "NO")
+            << "\nbest guess : " << util::to_hex(from_file.best_round_key)
             << "\nvictim key : " << util::to_hex(victim_key) << "\n";
   return 0;
 }

@@ -11,6 +11,11 @@
 // Sinks are shard-local: each shard of core::ParallelRunner owns its own
 // sinks, and the campaign merges per-sink partial state in shard order
 // (CpaSink::merge / TvlaSink::merge), exactly like the bare engines.
+//
+// Sinks need not compute anything: store::RecordingSink
+// (store/trace_file_writer.h) tees the acquisition stream to a PSTR
+// trace store, so one pass both analyzes and persists — the recorded
+// file replays (store::FileTraceSource) bit-identically to the live run.
 #pragma once
 
 #include <cstddef>

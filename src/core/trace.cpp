@@ -2,7 +2,6 @@
 
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.h"
@@ -58,17 +57,10 @@ void TraceSet::save_csv(std::ostream& out) const {
 }
 
 TraceSet TraceSet::load_csv(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line)) {
-    throw std::runtime_error("TraceSet::load_csv: empty input");
-  }
+  util::CsvReader csv(in);
   std::vector<std::string> cells;
-  {
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ',')) {
-      cells.push_back(cell);
-    }
+  if (!csv.next_record(cells)) {
+    throw std::runtime_error("TraceSet::load_csv: empty input");
   }
   if (cells.size() < 2 || cells[0] != "plaintext" || cells[1] != "ciphertext") {
     throw std::runtime_error("TraceSet::load_csv: bad header");
@@ -85,29 +77,25 @@ TraceSet TraceSet::load_csv(std::istream& in) {
 
   TraceSet set(keys);
   std::vector<double> values;
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
+  while (csv.next_record(cells)) {
+    if (cells.size() == 1 && cells[0].empty()) {
+      continue;  // blank line
     }
-    std::stringstream ss(line);
-    std::string cell;
     aes::Block plaintext{};
     aes::Block ciphertext{};
     values.clear();
-    std::size_t col = 0;
-    while (std::getline(ss, cell, ',')) {
+    for (std::size_t col = 0; col < cells.size(); ++col) {
       if (col == 0) {
-        if (!util::from_hex_exact(cell, plaintext)) {
+        if (!util::from_hex_exact(cells[col], plaintext)) {
           throw std::runtime_error("TraceSet::load_csv: bad plaintext hex");
         }
       } else if (col == 1) {
-        if (!util::from_hex_exact(cell, ciphertext)) {
+        if (!util::from_hex_exact(cells[col], ciphertext)) {
           throw std::runtime_error("TraceSet::load_csv: bad ciphertext hex");
         }
       } else {
-        values.push_back(std::stod(cell));
+        values.push_back(std::stod(cells[col]));
       }
-      ++col;
     }
     if (values.size() != keys.size()) {
       throw std::invalid_argument("TraceSet::load_csv: value count mismatch");

@@ -1,0 +1,82 @@
+#include "store/file_trace_source.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace psc::store {
+
+FileTraceSource::FileTraceSource(const std::string& path, ReaderMode mode)
+    : FileTraceSource(std::make_unique<TraceFileReader>(path, mode), 0,
+                      std::numeric_limits<std::size_t>::max()) {}
+
+FileTraceSource::FileTraceSource(const std::string& path, std::size_t begin,
+                                 std::size_t count, ReaderMode mode)
+    : FileTraceSource(std::make_unique<TraceFileReader>(path, mode), begin,
+                      count) {}
+
+FileTraceSource::FileTraceSource(std::unique_ptr<TraceFileReader> reader)
+    : FileTraceSource(std::move(reader), 0,
+                      std::numeric_limits<std::size_t>::max()) {}
+
+FileTraceSource::FileTraceSource(std::unique_ptr<TraceFileReader> reader,
+                                 std::size_t begin, std::size_t count)
+    : reader_(std::move(reader)) {
+  if (!reader_) {
+    throw std::invalid_argument("FileTraceSource: null reader");
+  }
+  row_scratch_.reset_channels(reader_->channels().size());
+  row_scratch_.reserve(1);
+  pos_ = std::min(begin, reader_->trace_count());
+  end_ = count > reader_->trace_count() - pos_ ? reader_->trace_count()
+                                               : pos_ + count;
+}
+
+core::TraceRecord FileTraceSource::collect(const aes::Block& /*plaintext*/) {
+  if (pos_ >= end_) {
+    throw std::out_of_range("FileTraceSource: file exhausted");
+  }
+  row_scratch_.clear();
+  reader_->read_rows(pos_++, 1, row_scratch_);
+  core::TraceRecord record;
+  record.plaintext = row_scratch_.plaintexts()[0];
+  record.ciphertext = row_scratch_.ciphertexts()[0];
+  record.values.resize(row_scratch_.channels());
+  for (std::size_t c = 0; c < row_scratch_.channels(); ++c) {
+    record.values[c] = row_scratch_.column(c)[0];
+  }
+  return record;
+}
+
+void FileTraceSource::collect_batch(core::TraceBatch& batch) {
+  if (batch.channels() != reader_->channels().size()) {
+    throw std::invalid_argument(
+        "FileTraceSource::collect_batch: batch channel count mismatch");
+  }
+  const std::size_t n = batch.size();
+  if (n > end_ - pos_) {
+    throw std::out_of_range("FileTraceSource: file exhausted");
+  }
+  batch.clear();
+  reader_->read_rows(pos_, n, batch);
+  pos_ += n;
+}
+
+std::pair<std::size_t, std::size_t> shard_row_range(
+    const TraceFileReader& reader, std::size_t shards, std::size_t s) {
+  const std::size_t chunks = reader.chunk_count();
+  const std::size_t first = core::shard_begin(chunks, shards, s);
+  const std::size_t count = core::shard_size(chunks, shards, s);
+  if (count == 0) {
+    return {reader.trace_count(), 0};
+  }
+  const std::size_t row_begin = reader.chunk_row_begin(first);
+  const std::size_t last = first + count - 1;
+  const std::size_t row_end =
+      reader.chunk_row_begin(last) + reader.chunk_rows(last);
+  return {row_begin, row_end - row_begin};
+}
+
+}  // namespace psc::store

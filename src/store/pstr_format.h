@@ -1,0 +1,132 @@
+// On-disk layout of the PSTR trace store — the persistent form of the
+// columnar core::TraceBatch, shared by TraceFileWriter and
+// TraceFileReader. All integers are little-endian; values are IEEE-754
+// doubles. The file is a header, a run of fixed-capacity chunks, a chunk
+// index and a fixed-size footer:
+//
+//   +------------------------------------------------------------------+
+//   | header   "PSTR" u16 version u16 flags u32 header_size            |
+//   |          u32 block_bytes(16) u32 channel_count u32 chunk_capacity|
+//   |          u64 reserved; channel FourCC codes; metadata pairs;     |
+//   |          zero padding to header_size (8-byte aligned)            |
+//   +------------------------------------------------------------------+
+//   | chunk 0  "CHNK" u32 rows u32 payload_crc32 u32 reserved          |
+//   |          payload: plaintexts  rows*16 B  (contiguous column)     |
+//   |                   ciphertexts rows*16 B                          |
+//   |                   channel 0   rows*8 B doubles                   |
+//   |                   ...                                            |
+//   | chunk 1  ... (every chunk holds chunk_capacity rows except a     |
+//   |          shorter final chunk)                                    |
+//   +------------------------------------------------------------------+
+//   | index    "CIDX" u32 reserved u64 chunk_count                     |
+//   |          per chunk: u64 offset u64 row_begin u32 rows u32 crc32  |
+//   |          u32 index_crc32 (over the entries) u32 reserved         |
+//   +------------------------------------------------------------------+
+//   | footer   u64 index_offset u64 trace_count u64 chunk_count        |
+//   | (32 B)   u32 footer_crc32 (over the 24 bytes above) "RTSP"       |
+//   +------------------------------------------------------------------+
+//
+// Every section start is 8-byte aligned (header_size is padded, chunk
+// sizes are multiples of 8), so a memory-mapped reader can expose chunk
+// columns as aligned spans without copying. The footer is fixed-size and
+// last so a reader locates the index in O(1) from the end of the file;
+// per-chunk CRCs make byte-level corruption a loud error instead of a
+// silently wrong correlation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psc::store {
+
+// Every store failure — unopenable paths, malformed or truncated files,
+// CRC mismatches, misuse of a finalized writer — throws this, with a
+// message naming the file and the specific violation.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char file_magic[4] = {'P', 'S', 'T', 'R'};
+inline constexpr char chunk_magic[4] = {'C', 'H', 'N', 'K'};
+inline constexpr char index_magic[4] = {'C', 'I', 'D', 'X'};
+inline constexpr char footer_magic[4] = {'R', 'T', 'S', 'P'};
+
+inline constexpr std::uint16_t format_version = 1;
+
+// Plaintext/ciphertext bytes per trace (an AES-128 block).
+inline constexpr std::size_t block_bytes = 16;
+
+inline constexpr std::size_t fixed_header_bytes = 32;
+inline constexpr std::size_t chunk_header_bytes = 16;
+inline constexpr std::size_t index_entry_bytes = 24;
+inline constexpr std::size_t footer_bytes = 32;
+
+// Free-form header metadata ("device" = "MacBook Air M2", ...).
+using Metadata = std::vector<std::pair<std::string, std::string>>;
+
+// One entry of the footer-located chunk index.
+struct ChunkIndexEntry {
+  std::uint64_t offset = 0;     // absolute file offset of the chunk header
+  std::uint64_t row_begin = 0;  // global index of the chunk's first trace
+  std::uint32_t rows = 0;
+  std::uint32_t crc32 = 0;  // CRC of the chunk payload (also in the chunk)
+};
+
+// Bytes of one chunk on disk, header included.
+inline constexpr std::size_t chunk_bytes(std::size_t rows,
+                                         std::size_t channels) noexcept {
+  return chunk_header_bytes + rows * (2 * block_bytes + 8 * channels);
+}
+
+// ---------- little-endian scalar encode/decode ----------
+
+inline void put_u16(std::byte* p, std::uint16_t v) noexcept {
+  for (int i = 0; i < 2; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+inline void put_u32(std::byte* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+inline void put_u64(std::byte* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+inline std::uint16_t get_u16(const std::byte* p) noexcept {
+  std::uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) {
+    v = static_cast<std::uint16_t>((v << 8) |
+                                   static_cast<std::uint16_t>(p[i]));
+  }
+  return v;
+}
+inline std::uint32_t get_u32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint32_t>(p[i]);
+  }
+  return v;
+}
+inline std::uint64_t get_u64(const std::byte* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(p[i]);
+  }
+  return v;
+}
+
+inline bool magic_matches(const std::byte* p, const char (&magic)[4]) noexcept {
+  return std::memcmp(p, magic, 4) == 0;
+}
+
+}  // namespace psc::store

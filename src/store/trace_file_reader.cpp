@@ -1,0 +1,345 @@
+#include "store/trace_file_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSC_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define PSC_STORE_HAS_MMAP 0
+#endif
+
+namespace psc::store {
+
+std::span<const double> ChunkView::column(std::size_t c) const {
+  if (c >= channels_) {
+    throw std::out_of_range("ChunkView::column: bad channel index");
+  }
+  const std::byte* base =
+      payload_ + 2 * rows_ * block_bytes + c * rows_ * sizeof(double);
+  return {reinterpret_cast<const double*>(base), rows_};
+}
+
+void ChunkView::append_to(core::TraceBatch& batch, std::size_t begin,
+                          std::size_t count) const {
+  if (batch.channels() != channels_) {
+    throw std::invalid_argument("ChunkView::append_to: channel mismatch");
+  }
+  if (begin > rows_ || count > rows_ - begin) {
+    throw std::out_of_range("ChunkView::append_to: bad row range");
+  }
+  const std::size_t old = batch.size();
+  batch.resize(old + count);
+  const auto pts = plaintexts().subspan(begin, count);
+  const auto cts = ciphertexts().subspan(begin, count);
+  std::copy(pts.begin(), pts.end(), batch.plaintexts().begin() + old);
+  std::copy(cts.begin(), cts.end(), batch.ciphertexts().begin() + old);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const auto values = column(c).subspan(begin, count);
+    std::copy(values.begin(), values.end(), batch.column(c).begin() + old);
+  }
+}
+
+void TraceFileReader::fail(const std::string& what) const {
+  throw StoreError("PSTR " + path_ + ": " + what);
+}
+
+TraceFileReader::TraceFileReader(const std::string& path, ReaderMode mode)
+    : path_(path) {
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    fail("cannot open file");
+  }
+  in_.seekg(0, std::ios::end);
+  file_bytes_ = static_cast<std::size_t>(in_.tellg());
+  in_.seekg(0);
+
+#if PSC_STORE_HAS_MMAP
+  if (mode != ReaderMode::stream && file_bytes_ > 0) {
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* map = ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        map_ = static_cast<const std::byte*>(map);
+        map_size_ = file_bytes_;
+      }
+    }
+  }
+  if (mode == ReaderMode::mmap && map_ == nullptr) {
+    fail("mmap failed");
+  }
+#else
+  if (mode == ReaderMode::mmap) {
+    fail("mmap unsupported on this platform");
+  }
+#endif
+
+  // A throwing constructor skips the destructor, so the mapping made
+  // above must be released by hand when validation rejects the file.
+  try {
+    validate_structure();
+  } catch (...) {
+    unmap();
+    throw;
+  }
+
+  if (map_ != nullptr) {
+    in_.close();
+  }
+}
+
+void TraceFileReader::validate_structure() {
+  // Structural validation, cheapest check first so each failure mode gets
+  // its own message: magic, version, gross size, header, footer, index.
+  if (file_bytes_ < 4) {
+    fail("truncated file (shorter than the magic)");
+  }
+  std::byte fixed[fixed_header_bytes];
+  load_bytes(0, std::span(fixed, std::min(file_bytes_, fixed_header_bytes)));
+  if (!magic_matches(fixed, file_magic)) {
+    fail("bad magic (not a PSTR trace store)");
+  }
+  if (file_bytes_ < 8) {
+    fail("truncated file (no version field)");
+  }
+  const std::uint16_t version = get_u16(fixed + 4);
+  if (version != format_version) {
+    fail("unsupported format version " + std::to_string(version) +
+         " (expected " + std::to_string(format_version) + ")");
+  }
+  if (file_bytes_ < fixed_header_bytes + footer_bytes) {
+    fail("truncated file (no room for header and footer)");
+  }
+  header_bytes_ = get_u32(fixed + 8);
+  if (header_bytes_ < fixed_header_bytes + 4 || header_bytes_ % 8 != 0) {
+    fail("corrupt header (bad header size)");
+  }
+  if (header_bytes_ > file_bytes_ - footer_bytes) {
+    fail("truncated file (header overlaps footer)");
+  }
+  std::vector<std::byte> header(header_bytes_);
+  load_bytes(0, header);
+  parse_header(header.data(), header.size());
+  parse_footer_and_index();
+  crc_checked_.assign(index_.size(), 0);
+}
+
+void TraceFileReader::unmap() noexcept {
+#if PSC_STORE_HAS_MMAP
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(map_), map_size_);
+    map_ = nullptr;
+  }
+#endif
+}
+
+TraceFileReader::~TraceFileReader() { unmap(); }
+
+void TraceFileReader::load_bytes(std::uint64_t offset,
+                                 std::span<std::byte> out) {
+  if (offset > file_bytes_ || out.size() > file_bytes_ - offset) {
+    fail("truncated file (read past end)");
+  }
+  if (map_ != nullptr) {
+    std::memcpy(out.data(), map_ + offset, out.size());
+    return;
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(out.size())) {
+    fail("short read at offset " + std::to_string(offset));
+  }
+}
+
+void TraceFileReader::parse_header(const std::byte* data, std::size_t size) {
+  const std::uint32_t block = get_u32(data + 12);
+  if (block != block_bytes) {
+    fail("unsupported block size " + std::to_string(block));
+  }
+  const std::uint32_t channel_count = get_u32(data + 16);
+  chunk_capacity_ = get_u32(data + 20);
+  if (chunk_capacity_ == 0) {
+    fail("corrupt header (zero chunk capacity)");
+  }
+  const std::byte* p = data + fixed_header_bytes;
+  const std::byte* end = data + size;
+  if (channel_count == 0 ||
+      static_cast<std::size_t>(end - p) < 4 * channel_count + 4) {
+    fail("corrupt header (channel list out of bounds)");
+  }
+  channels_.reserve(channel_count);
+  for (std::uint32_t c = 0; c < channel_count; ++c) {
+    channels_.push_back(util::FourCc(get_u32(p)));
+    p += 4;
+  }
+  const std::uint32_t pairs = get_u32(p);
+  p += 4;
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    std::string fields[2];
+    for (std::string& field : fields) {
+      if (end - p < 4) {
+        fail("corrupt header (metadata out of bounds)");
+      }
+      const std::uint32_t len = get_u32(p);
+      p += 4;
+      if (static_cast<std::size_t>(end - p) < len) {
+        fail("corrupt header (metadata out of bounds)");
+      }
+      field.assign(reinterpret_cast<const char*>(p), len);
+      p += len;
+    }
+    metadata_.emplace_back(std::move(fields[0]), std::move(fields[1]));
+  }
+}
+
+void TraceFileReader::parse_footer_and_index() {
+  std::byte footer[footer_bytes];
+  load_bytes(file_bytes_ - footer_bytes, footer);
+  if (!magic_matches(footer + 28, footer_magic) ||
+      util::crc32(footer, 24) != get_u32(footer + 24)) {
+    fail("missing or corrupt footer (file truncated?)");
+  }
+  const std::uint64_t index_offset = get_u64(footer);
+  trace_count_ = get_u64(footer + 8);
+  const std::uint64_t chunks = get_u64(footer + 16);
+
+  // Counts and offsets below come from the file, so every bounds test is
+  // in division/subtraction form: a crafted near-UINT64_MAX value must
+  // fail here, not wrap the arithmetic past the check.
+  const std::uint64_t avail = file_bytes_ - header_bytes_ - footer_bytes;
+  if (chunks > avail / index_entry_bytes) {
+    fail("corrupt footer (chunk count exceeds file size)");
+  }
+  const std::uint64_t index_size = 16 + chunks * index_entry_bytes + 8;
+  if (index_size > avail || index_offset < header_bytes_ ||
+      index_offset != file_bytes_ - footer_bytes - index_size) {
+    fail("corrupt footer (index bounds)");
+  }
+  std::vector<std::byte> raw(index_size);
+  load_bytes(index_offset, raw);
+  if (!magic_matches(raw.data(), index_magic) ||
+      get_u64(raw.data() + 8) != chunks) {
+    fail("corrupt chunk index (bad index header)");
+  }
+  const std::byte* entries = raw.data() + 16;
+  const std::size_t entries_size = chunks * index_entry_bytes;
+  if (util::crc32(entries, entries_size) !=
+      get_u32(entries + entries_size)) {
+    fail("corrupt chunk index (CRC mismatch)");
+  }
+
+  const std::uint64_t row_bytes = 2 * block_bytes + 8 * channels_.size();
+  index_.reserve(chunks);
+  std::uint64_t expected_row = 0;
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    const std::byte* e = entries + i * index_entry_bytes;
+    ChunkIndexEntry entry{.offset = get_u64(e),
+                          .row_begin = get_u64(e + 8),
+                          .rows = get_u32(e + 16),
+                          .crc32 = get_u32(e + 20)};
+    const bool in_bounds =
+        entry.offset >= header_bytes_ && entry.offset <= index_offset &&
+        index_offset - entry.offset >= chunk_header_bytes &&
+        entry.rows <=
+            (index_offset - entry.offset - chunk_header_bytes) / row_bytes;
+    if (entry.rows == 0 || entry.rows > chunk_capacity_ ||
+        entry.row_begin != expected_row || !in_bounds) {
+      fail("corrupt chunk index (entry " + std::to_string(i) +
+           " out of bounds)");
+    }
+    expected_row += entry.rows;
+    index_.push_back(entry);
+  }
+  if (expected_row != trace_count_) {
+    fail("corrupt chunk index (row total does not match footer)");
+  }
+}
+
+std::size_t TraceFileReader::chunk_containing(std::size_t row) const {
+  if (row >= trace_count_) {
+    throw std::out_of_range("TraceFileReader::chunk_containing: bad row");
+  }
+  const auto it = std::upper_bound(
+      index_.begin(), index_.end(), row,
+      [](std::size_t r, const ChunkIndexEntry& e) { return r < e.row_begin; });
+  return static_cast<std::size_t>(it - index_.begin()) - 1;
+}
+
+const std::byte* TraceFileReader::chunk_base(const ChunkIndexEntry& entry,
+                                             std::size_t i) {
+  const std::size_t size = chunk_bytes(entry.rows, channels_.size());
+  if (map_ != nullptr) {
+    const std::byte* base = map_ + entry.offset;
+    // The format 8-aligns chunks, so the mapped payload serves as aligned
+    // double columns directly; a corrupt index offset falls back to the
+    // copying path rather than a misaligned load.
+    if (reinterpret_cast<std::uintptr_t>(base + chunk_header_bytes) %
+            alignof(double) ==
+        0) {
+      return base;
+    }
+  }
+  if (loaded_chunk_ != i) {
+    scratch_.resize(size);
+    load_bytes(entry.offset, scratch_);
+    loaded_chunk_ = i;
+    crc_checked_[i] = 0;  // fresh bytes: re-verify below
+  }
+  return scratch_.data();
+}
+
+ChunkView TraceFileReader::chunk(std::size_t i) {
+  const ChunkIndexEntry& entry = index_.at(i);
+  const std::byte* base = chunk_base(entry, i);
+
+  if (!magic_matches(base, chunk_magic)) {
+    fail("corrupt chunk " + std::to_string(i) + " (bad magic)");
+  }
+  if (get_u32(base + 4) != entry.rows || get_u32(base + 8) != entry.crc32) {
+    fail("corrupt chunk " + std::to_string(i) +
+         " (header disagrees with index)");
+  }
+  if (!crc_checked_[i]) {
+    const std::size_t payload_size =
+        chunk_bytes(entry.rows, channels_.size()) - chunk_header_bytes;
+    if (util::crc32(base + chunk_header_bytes, payload_size) != entry.crc32) {
+      fail("chunk " + std::to_string(i) + " payload CRC mismatch");
+    }
+    crc_checked_[i] = 1;
+  }
+
+  ChunkView view;
+  view.payload_ = base + chunk_header_bytes;
+  view.rows_ = entry.rows;
+  view.row_begin_ = entry.row_begin;
+  view.channels_ = channels_.size();
+  return view;
+}
+
+void TraceFileReader::read_rows(std::size_t begin, std::size_t count,
+                                core::TraceBatch& batch) {
+  if (begin > trace_count_ || count > trace_count_ - begin) {
+    throw std::out_of_range("TraceFileReader::read_rows: bad row range");
+  }
+  std::size_t row = begin;
+  std::size_t left = count;
+  while (left > 0) {
+    const ChunkView view = chunk(chunk_containing(row));
+    const std::size_t local = row - view.row_begin();
+    const std::size_t take = std::min(left, view.rows() - local);
+    view.append_to(batch, local, take);
+    row += take;
+    left -= take;
+  }
+}
+
+}  // namespace psc::store

@@ -1,0 +1,151 @@
+// PSTR reader: validates and decodes the chunked binary trace store
+// written by store::TraceFileWriter (layout in store/pstr_format.h).
+//
+// On POSIX the file is memory-mapped and chunks are exposed as zero-copy
+// ChunkViews — aligned spans straight into the mapping (the format
+// 8-aligns every column), so replaying a 100 GB capture touches only the
+// pages the analysis walks. Elsewhere, or with ReaderMode::stream, a
+// buffered-read fallback materializes one chunk at a time into a
+// reusable scratch buffer: resident memory is a single chunk regardless
+// of file size, which is what lets replay campaigns run out-of-core.
+//
+// Every structural failure is a loud StoreError, never UB or a silent
+// short read: bad magic, unsupported version, truncated file, corrupt
+// footer/index, and per-chunk CRC mismatches (checked on first access of
+// each chunk) all name the file and the violation.
+//
+// Readers are single-threaded; sharded replay gives each shard its own
+// reader over a disjoint chunk range (see store/file_trace_source.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.h"
+#include "core/trace_batch.h"
+#include "store/pstr_format.h"
+#include "util/fourcc.h"
+
+namespace psc::store {
+
+enum class ReaderMode {
+  automatic,  // mmap where the platform supports it, else stream
+  mmap,       // require the memory-mapped path (StoreError if unsupported)
+  stream,     // force the buffered-read fallback (one chunk resident)
+};
+
+// Decoded view of one chunk: column spans over either the file mapping
+// (zero-copy) or the reader's scratch buffer. Valid until the next
+// chunk()/read_rows() call on the owning reader.
+class ChunkView {
+ public:
+  std::size_t rows() const noexcept { return rows_; }
+  // Global index of the chunk's first trace.
+  std::size_t row_begin() const noexcept { return row_begin_; }
+  std::size_t channels() const noexcept { return channels_; }
+
+  std::span<const aes::Block> plaintexts() const noexcept {
+    return {reinterpret_cast<const aes::Block*>(payload_), rows_};
+  }
+  std::span<const aes::Block> ciphertexts() const noexcept {
+    return {reinterpret_cast<const aes::Block*>(payload_ +
+                                                rows_ * block_bytes),
+            rows_};
+  }
+  std::span<const double> column(std::size_t c) const;
+
+  // Appends chunk rows [begin, begin + count) to `batch`; the batch's
+  // channel count must match.
+  void append_to(core::TraceBatch& batch, std::size_t begin,
+                 std::size_t count) const;
+  void append_to(core::TraceBatch& batch) const {
+    append_to(batch, 0, rows_);
+  }
+
+ private:
+  friend class TraceFileReader;
+  const std::byte* payload_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t row_begin_ = 0;
+  std::size_t channels_ = 0;
+};
+
+class TraceFileReader {
+ public:
+  // Opens and structurally validates `path` (header, footer, chunk
+  // index); chunk payload CRCs are checked lazily on first access.
+  explicit TraceFileReader(const std::string& path,
+                           ReaderMode mode = ReaderMode::automatic);
+  ~TraceFileReader();
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  const std::vector<util::FourCc>& channels() const noexcept {
+    return channels_;
+  }
+  const Metadata& metadata() const noexcept { return metadata_; }
+  std::size_t trace_count() const noexcept { return trace_count_; }
+  std::size_t chunk_count() const noexcept { return index_.size(); }
+  std::size_t chunk_capacity() const noexcept { return chunk_capacity_; }
+  std::size_t file_bytes() const noexcept { return file_bytes_; }
+
+  // True when the file is memory-mapped (the zero-copy path).
+  bool mapped() const noexcept { return map_ != nullptr; }
+  // Bytes of chunk data the reader itself keeps resident: one chunk's
+  // scratch in stream mode, 0 when mapped (pages belong to the OS cache).
+  std::size_t resident_bytes() const noexcept { return scratch_.size(); }
+
+  std::size_t chunk_rows(std::size_t i) const { return index_.at(i).rows; }
+  std::size_t chunk_row_begin(std::size_t i) const {
+    return index_.at(i).row_begin;
+  }
+  // Index of the chunk holding global row `row` (row < trace_count()).
+  std::size_t chunk_containing(std::size_t row) const;
+
+  // Decodes chunk `i`, verifying its CRC on first access; throws
+  // StoreError on corruption. The view is invalidated by the next
+  // chunk()/read_rows() call.
+  ChunkView chunk(std::size_t i);
+
+  // Appends rows [begin, begin + count) to `batch`, seeking through the
+  // chunk index in O(1) per chunk touched.
+  void read_rows(std::size_t begin, std::size_t count,
+                 core::TraceBatch& batch);
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void validate_structure();
+  void unmap() noexcept;
+  void parse_header(const std::byte* data, std::size_t size);
+  void parse_footer_and_index();
+  void load_bytes(std::uint64_t offset, std::span<std::byte> out);
+  const std::byte* chunk_base(const ChunkIndexEntry& entry, std::size_t i);
+
+  std::string path_;
+  std::size_t file_bytes_ = 0;
+
+  // mmap path (null when streaming).
+  const std::byte* map_ = nullptr;
+  std::size_t map_size_ = 0;
+
+  // stream path.
+  std::ifstream in_;
+  std::vector<std::byte> scratch_;
+  std::size_t loaded_chunk_ = static_cast<std::size_t>(-1);
+
+  std::vector<util::FourCc> channels_;
+  Metadata metadata_;
+  std::size_t chunk_capacity_ = 0;
+  std::size_t header_bytes_ = 0;
+  std::uint64_t trace_count_ = 0;
+  std::vector<ChunkIndexEntry> index_;
+  std::vector<std::uint8_t> crc_checked_;
+};
+
+}  // namespace psc::store

@@ -1,0 +1,195 @@
+#include "store/trace_file_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace psc::store {
+
+namespace {
+
+// Serialized header: fixed fields, channel codes, metadata pairs, zero
+// padding to an 8-byte boundary.
+std::vector<std::byte> render_header(const TraceFileWriterConfig& config) {
+  std::size_t size = fixed_header_bytes + 4 * config.channels.size() + 4;
+  for (const auto& [key, value] : config.metadata) {
+    size += 8 + key.size() + value.size();
+  }
+  size = (size + 7) & ~std::size_t{7};
+
+  std::vector<std::byte> header(size, std::byte{0});
+  std::memcpy(header.data(), file_magic, 4);
+  put_u16(header.data() + 4, format_version);
+  put_u16(header.data() + 6, 0);  // flags
+  put_u32(header.data() + 8, static_cast<std::uint32_t>(size));
+  put_u32(header.data() + 12, static_cast<std::uint32_t>(block_bytes));
+  put_u32(header.data() + 16,
+          static_cast<std::uint32_t>(config.channels.size()));
+  put_u32(header.data() + 20,
+          static_cast<std::uint32_t>(config.chunk_capacity));
+  put_u64(header.data() + 24, 0);  // reserved
+
+  std::byte* p = header.data() + fixed_header_bytes;
+  for (const util::FourCc channel : config.channels) {
+    put_u32(p, channel.code());
+    p += 4;
+  }
+  put_u32(p, static_cast<std::uint32_t>(config.metadata.size()));
+  p += 4;
+  for (const auto& [key, value] : config.metadata) {
+    put_u32(p, static_cast<std::uint32_t>(key.size()));
+    p += 4;
+    std::memcpy(p, key.data(), key.size());
+    p += key.size();
+    put_u32(p, static_cast<std::uint32_t>(value.size()));
+    p += 4;
+    std::memcpy(p, value.data(), value.size());
+    p += value.size();
+  }
+  return header;
+}
+
+}  // namespace
+
+Metadata device_metadata(const std::string& device_name,
+                         const std::string& os_version) {
+  return {{"device", device_name}, {"os", os_version}};
+}
+
+TraceFileWriter::TraceFileWriter(const std::string& path,
+                                 TraceFileWriterConfig config)
+    : config_(std::move(config)), path_(path) {
+  if (config_.channels.empty()) {
+    throw StoreError("TraceFileWriter: no channels configured");
+  }
+  if (config_.chunk_capacity == 0) {
+    throw StoreError("TraceFileWriter: chunk capacity must be positive");
+  }
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw StoreError("TraceFileWriter: cannot create " + path_);
+  }
+  staging_.reset_channels(config_.channels.size());
+  staging_.reserve(config_.chunk_capacity);
+
+  const std::vector<std::byte> header = render_header(config_);
+  write_bytes(header.data(), header.size());
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  try {
+    finalize();
+  } catch (...) {
+    // Destructors must not throw; callers that care about durability call
+    // finalize() explicitly and see the error there.
+  }
+}
+
+void TraceFileWriter::write_bytes(const std::byte* data, std::size_t size) {
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) {
+    throw StoreError("TraceFileWriter: write failed on " + path_);
+  }
+  file_offset_ += size;
+}
+
+void TraceFileWriter::append(const core::TraceBatch& batch) {
+  if (finalized_) {
+    throw StoreError("TraceFileWriter: append after finalize on " + path_);
+  }
+  if (batch.channels() != config_.channels.size()) {
+    throw StoreError("TraceFileWriter: batch channel count mismatch");
+  }
+  std::size_t consumed = 0;
+  while (consumed < batch.size()) {
+    const std::size_t take =
+        std::min(batch.size() - consumed,
+                 config_.chunk_capacity - staging_.size());
+    staging_.append(batch, consumed, take);
+    consumed += take;
+    rows_appended_ += take;
+    if (staging_.size() == config_.chunk_capacity) {
+      flush_chunk();
+    }
+  }
+}
+
+void TraceFileWriter::flush_chunk() {
+  const std::size_t rows = staging_.size();
+  if (rows == 0) {
+    return;
+  }
+  const std::size_t channels = staging_.channels();
+  scratch_.resize(chunk_bytes(rows, channels));
+
+  // Payload: the staging batch's columns, laid out back to back.
+  std::byte* payload = scratch_.data() + chunk_header_bytes;
+  std::memcpy(payload, staging_.plaintexts().data(), rows * block_bytes);
+  std::memcpy(payload + rows * block_bytes, staging_.ciphertexts().data(),
+              rows * block_bytes);
+  std::byte* columns = payload + 2 * rows * block_bytes;
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::memcpy(columns + c * rows * 8, staging_.column(c).data(), rows * 8);
+  }
+  const std::size_t payload_size = scratch_.size() - chunk_header_bytes;
+  const std::uint32_t crc = util::crc32(payload, payload_size);
+
+  std::memcpy(scratch_.data(), chunk_magic, 4);
+  put_u32(scratch_.data() + 4, static_cast<std::uint32_t>(rows));
+  put_u32(scratch_.data() + 8, crc);
+  put_u32(scratch_.data() + 12, 0);  // reserved
+
+  index_.push_back({.offset = file_offset_,
+                    .row_begin = rows_flushed_,
+                    .rows = static_cast<std::uint32_t>(rows),
+                    .crc32 = crc});
+  write_bytes(scratch_.data(), scratch_.size());
+  rows_flushed_ += rows;
+  staging_.clear();
+}
+
+void TraceFileWriter::finalize() {
+  if (finalized_) {
+    return;
+  }
+  flush_chunk();
+
+  const std::uint64_t index_offset = file_offset_;
+  scratch_.resize(16 + index_.size() * index_entry_bytes + 8);
+  std::memcpy(scratch_.data(), index_magic, 4);
+  put_u32(scratch_.data() + 4, 0);  // reserved
+  put_u64(scratch_.data() + 8, index_.size());
+  std::byte* entries = scratch_.data() + 16;
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    std::byte* e = entries + i * index_entry_bytes;
+    put_u64(e, index_[i].offset);
+    put_u64(e + 8, index_[i].row_begin);
+    put_u32(e + 16, index_[i].rows);
+    put_u32(e + 20, index_[i].crc32);
+  }
+  const std::size_t entries_size = index_.size() * index_entry_bytes;
+  put_u32(entries + entries_size, util::crc32(entries, entries_size));
+  put_u32(entries + entries_size + 4, 0);  // reserved
+  write_bytes(scratch_.data(), scratch_.size());
+
+  std::byte footer[footer_bytes];
+  put_u64(footer, index_offset);
+  put_u64(footer + 8, rows_flushed_);
+  put_u64(footer + 16, index_.size());
+  put_u32(footer + 24, util::crc32(footer, 24));
+  std::memcpy(footer + 28, footer_magic, 4);
+  write_bytes(footer, footer_bytes);
+
+  out_.close();
+  if (!out_) {
+    throw StoreError("TraceFileWriter: close failed on " + path_);
+  }
+  // Only now is the file durable: a finalize that threw above stays
+  // un-finalized, so a retry errors loudly instead of silently
+  // succeeding on a footer-less file.
+  finalized_ = true;
+}
+
+}  // namespace psc::store

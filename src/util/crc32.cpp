@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace psc::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto table = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  std::uint32_t c = state_;
+  for (const std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace psc::util

@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-chunk
+// integrity check of the PSTR trace store. Table-driven, streamable:
+// feed a payload in pieces through Crc32 or hash it whole with crc32().
+// crc32("123456789") == 0xCBF43926, the standard check value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace psc::util {
+
+// Incremental CRC over a byte stream.
+class Crc32 {
+ public:
+  void update(std::span<const std::byte> data) noexcept;
+  void update(const void* data, std::size_t size) noexcept {
+    update(std::span(static_cast<const std::byte*>(data), size));
+  }
+
+  // The CRC of everything fed so far.
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+// One-shot CRC of a contiguous buffer.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32(std::span(static_cast<const std::byte*>(data), size));
+}
+
+}  // namespace psc::util

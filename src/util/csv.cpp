@@ -2,6 +2,9 @@
 
 #include <charconv>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 
 namespace psc::util {
 
@@ -107,6 +110,53 @@ CsvWriter::Row& CsvWriter::Row::cell(std::size_t value) {
 void CsvWriter::Row::done() {
   parent_->write_raw(cells_);
   cells_.clear();
+}
+
+bool CsvReader::next_record(std::vector<std::string>& cells) {
+  cells.clear();
+  std::istream& in = *in_;
+  if (in.peek() == std::char_traits<char>::eof()) {
+    return false;
+  }
+
+  std::string cell;
+  bool quoted = false;
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    const char c = static_cast<char>(ch);
+    if (quoted) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          cell.push_back('"');
+        } else {
+          quoted = false;  // closing quote; delimiter or EOL must follow
+        }
+      } else {
+        cell.push_back(c);  // commas and newlines are data inside quotes
+      }
+      continue;
+    }
+    if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n' || (c == '\r' && in.peek() == '\n')) {
+      if (c == '\r') {
+        in.get();
+      }
+      cells.push_back(std::move(cell));
+      return true;
+    } else {
+      cell.push_back(c);
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error("CsvReader: unterminated quoted cell");
+  }
+  cells.push_back(std::move(cell));  // final record without trailing newline
+  return true;
 }
 
 }  // namespace psc::util

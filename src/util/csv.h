@@ -1,9 +1,10 @@
 // Minimal CSV emitter used by the bench harness to dump figure series
-// (e.g. GE-vs-traces curves) in a plot-ready form.
+// (e.g. GE-vs-traces curves) in a plot-ready form, plus the matching
+// RFC 4180 reader so trace captures and bench outputs round-trip.
 #pragma once
 
 #include <initializer_list>
-#include <ostream>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,25 @@ class CsvWriter {
   void write_raw(const std::vector<std::string>& cells);
 
   std::ostream* out_;
+};
+
+// RFC 4180 record reader, the inverse of CsvWriter: quoted cells may
+// contain commas, escaped "" quotes and embedded newlines; empty trailing
+// cells are preserved ("a,," is three cells). Accepts both \n and \r\n
+// record separators; a trailing newline at end of input does not produce
+// an extra empty record.
+class CsvReader {
+ public:
+  // Reads records from `in`; the stream must outlive the reader.
+  explicit CsvReader(std::istream& in) : in_(&in) {}
+
+  // Parses the next record into `cells` (cleared first). Returns false
+  // once the input is exhausted. Throws std::runtime_error on a quoted
+  // cell left unterminated at end of input.
+  bool next_record(std::vector<std::string>& cells);
+
+ private:
+  std::istream* in_;
 };
 
 // Formats a double with 10 significant digits — plot-friendly, but not

@@ -1,0 +1,48 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace psc::util {
+namespace {
+
+std::uint32_t crc_of(std::string_view s) {
+  return crc32(s.data(), s.size());
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The CRC-32/ISO-HDLC check value every implementation must reproduce.
+  EXPECT_EQ(crc_of("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xe8b7be43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441c2u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  const std::string_view data = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, data.size() - i);
+    crc.update(data.data() + i, n);
+  }
+  EXPECT_EQ(crc.value(), crc_of(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 131);
+  }
+  const std::uint32_t clean = crc32(data);
+  data[517] ^= std::byte{0x08};
+  EXPECT_NE(crc32(data), clean);
+}
+
+}  // namespace
+}  // namespace psc::util

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace psc::util {
 namespace {
@@ -47,6 +49,78 @@ TEST(Csv, FormatDoubleSpecialValues) {
   EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
   EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
   EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+// ---------- CsvReader: the writer's inverse ----------
+
+std::vector<std::vector<std::string>> read_all(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(in);
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> cells;
+  while (reader.next_record(cells)) {
+    records.push_back(cells);
+  }
+  return records;
+}
+
+TEST(CsvReader, SimpleRecords) {
+  const auto records = read_all("traces,ge_bits\n1000,97.2\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"traces", "ge_bits"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"1000", "97.2"}));
+}
+
+TEST(CsvReader, QuotedCellsWithCommasAndQuotes) {
+  const auto records = read_all("\"a,b\",\"say \"\"hi\"\"\",plain\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a,b", "say \"hi\"",
+                                                  "plain"}));
+}
+
+TEST(CsvReader, QuotedCellsWithEmbeddedNewlines) {
+  const auto records = read_all("\"line1\nline2\",x\nnext,row\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"line1\nline2", "x"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"next", "row"}));
+}
+
+TEST(CsvReader, PreservesEmptyTrailingCells) {
+  const auto records = read_all("a,,\n,b\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"", "b"}));
+}
+
+TEST(CsvReader, CrLfAndMissingFinalNewline) {
+  const auto records = read_all("a,b\r\nc,d");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, UnterminatedQuoteThrows) {
+  std::istringstream in("\"never closed");
+  CsvReader reader(in);
+  std::vector<std::string> cells;
+  EXPECT_THROW(reader.next_record(cells), std::runtime_error);
+}
+
+// Writer output parses back to the original cells for every quoting edge
+// case: commas, quotes, newlines, empty trailing cells, CR.
+TEST(CsvReader, RoundTripsWriterOutput) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "a,b", "say \"hi\""},
+      {"line1\nline2", "", ""},
+      {"", "trailing,comma,", "with\r\ncrlf"},
+      {"last", "row"},
+  };
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : rows) {
+    writer.row(row);
+  }
+  EXPECT_EQ(read_all(out.str()), rows);
 }
 
 }  // namespace
