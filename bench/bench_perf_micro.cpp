@@ -1,8 +1,16 @@
 // Micro-performance of the framework's hot paths (google-benchmark):
 // the AES kernel, leakage evaluation, trace synthesis, CPA updates and
-// analysis, TVLA accumulation, and the full-chip step rate. These bound
-// how fast paper-scale campaigns run (1M traces in seconds).
+// analysis, TVLA accumulation, the dispatched SIMD ingest kernels (one
+// registration per compiled-and-supported backend, so a single run shows
+// the scalar-vs-vector ladder on this machine), and the full-chip step
+// rate. These bound how fast paper-scale campaigns run (1M traces in
+// seconds). The backend auto-dispatch would pick for the engines is
+// recorded in the benchmark context as `simd_backend`.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "aes/aes128.h"
 #include "aes/aes_armv8.h"
@@ -11,7 +19,9 @@
 #include "power/leakage_model.h"
 #include "sched/scheduler.h"
 #include "soc/chip.h"
+#include "util/aligned.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "victim/fast_trace.h"
 
 namespace {
@@ -146,6 +156,94 @@ void BM_TvlaAccumulate(benchmark::State& state) {
 }
 BENCHMARK(BM_TvlaAccumulate);
 
+// ---- dispatched SIMD ingest kernels, one registration per backend ----
+//
+// Registered from main() for every backend this build can run (see
+// util/simd.h), with the backend forced for the duration of the
+// benchmark; items processed = values (moments) or traces (histogram,
+// 16 plaintext bytes + 1 value each). The working set is L1-resident so
+// the numbers measure kernel arithmetic, not memory bandwidth.
+
+constexpr std::size_t simd_bench_block = 4096;
+
+void BM_SimdAccumulateMoments(benchmark::State& state,
+                              util::simd::Backend backend) {
+  util::simd::force_backend(backend);
+  util::Xoshiro256 rng(14);
+  util::AlignedVector<double> values(simd_bench_block);
+  for (double& v : values) {
+    v = rng.gaussian();
+  }
+  util::simd::MomentStripes moments;
+  std::uint64_t g = 0;
+  for (auto _ : state) {
+    util::simd::accumulate_moments(values.data(), values.size(), g, moments);
+    g += values.size();
+    benchmark::DoNotOptimize(moments);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+  util::simd::reset_backend();
+}
+
+void BM_SimdHistogram16(benchmark::State& state,
+                        util::simd::Backend backend) {
+  util::simd::force_backend(backend);
+  util::Xoshiro256 rng(15);
+  std::vector<std::uint8_t> blocks(simd_bench_block * 16);
+  rng.fill_bytes(blocks);
+  util::AlignedVector<double> values(simd_bench_block);
+  for (double& v : values) {
+    v = rng.gaussian();
+  }
+  util::AlignedVector<std::uint32_t> count(16 * 256, 0);
+  util::AlignedVector<double> sum(16 * 256, 0.0);
+  for (auto _ : state) {
+    util::simd::accumulate_histogram16(blocks.data(), values.data(),
+                                       simd_bench_block, count.data(),
+                                       sum.data());
+    benchmark::DoNotOptimize(count.data());
+    benchmark::DoNotOptimize(sum.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+  util::simd::reset_backend();
+}
+
+void BM_CpaAddTraceBatch(benchmark::State& state,
+                         util::simd::Backend backend) {
+  util::simd::force_backend(backend);
+  util::Xoshiro256 rng(16);
+  core::CpaEngine engine({power::PowerModel::rd0_hw});
+  std::vector<aes::Block> plaintexts(simd_bench_block);
+  std::vector<aes::Block> ciphertexts(simd_bench_block);
+  util::AlignedVector<double> values(simd_bench_block);
+  for (std::size_t i = 0; i < simd_bench_block; ++i) {
+    rng.fill_bytes(plaintexts[i]);
+    rng.fill_bytes(ciphertexts[i]);
+    values[i] = rng.gaussian();
+  }
+  for (auto _ : state) {
+    engine.add_trace_batch(plaintexts, ciphertexts, values);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+  util::simd::reset_backend();
+}
+
+void register_simd_benchmarks() {
+  for (const util::simd::Backend backend : util::simd::supported_backends()) {
+    const std::string name(util::simd::backend_name(backend));
+    benchmark::RegisterBenchmark(
+        ("BM_SimdAccumulateMoments/" + name).c_str(),
+        BM_SimdAccumulateMoments, backend);
+    benchmark::RegisterBenchmark(("BM_SimdHistogram16/" + name).c_str(),
+                                 BM_SimdHistogram16, backend);
+    benchmark::RegisterBenchmark(("BM_CpaAddTraceBatch/" + name).c_str(),
+                                 BM_CpaAddTraceBatch, backend);
+  }
+}
+
 void BM_ChipAdvance(benchmark::State& state) {
   soc::Chip chip(soc::DeviceProfile::macbook_air_m2(), 12);
   soc::FmulStressor fmul;
@@ -174,4 +272,18 @@ BENCHMARK(BM_SchedulerQuantum);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  // What auto-dispatch would pick for the engines on this machine; the
+  // per-backend registrations above force their own backend while timed.
+  benchmark::AddCustomContext(
+      "simd_backend",
+      std::string(util::simd::backend_name(util::simd::active_backend())));
+  register_simd_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

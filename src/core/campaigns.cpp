@@ -126,7 +126,12 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
   const std::vector<util::FourCc> channels =
       LiveTraceSource::channel_names(source_config);
 
-  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  // Auto shard sizing (shards == 0) counts the whole six-set budget, so
+  // small assessments run on fewer shards than workers rather than paying
+  // per-shard overhead for trivial jobs.
+  ShardPlan plan{.workers = config.workers, .shards = config.shards};
+  plan.shards = plan.resolved_shards_for(6 * config.traces_per_set);
+  ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
 
@@ -215,7 +220,9 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   const std::vector<std::size_t> checkpoints =
       normalize_checkpoints(config.checkpoints, config.trace_count);
 
-  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  ShardPlan plan{.workers = config.workers, .shards = config.shards};
+  plan.shards = plan.resolved_shards_for(config.trace_count);
+  ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
 
@@ -312,7 +319,9 @@ CombinedCampaignResult run_combined_campaign(
   const std::vector<std::size_t> checkpoints =
       normalize_checkpoints(config.checkpoints, result.cpa_trace_count);
 
-  ParallelRunner runner({.workers = config.workers, .shards = config.shards});
+  ShardPlan plan{.workers = config.workers, .shards = config.shards};
+  plan.shards = plan.resolved_shards_for(6 * config.traces_per_set);
+  ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
 

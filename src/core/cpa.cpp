@@ -57,6 +57,14 @@ CpaEngine::CpaEngine(std::vector<power::PowerModel> models)
       need_ct_hist_ = true;
     }
   }
+  if (need_pt_hist_) {
+    pt_count_.assign(16 * 256, 0);
+    pt_sum_.assign(16 * 256, 0.0);
+  }
+  if (need_ct_hist_) {
+    ct_count_.assign(16 * 256, 0);
+    ct_sum_.assign(16 * 256, 0.0);
+  }
   if (need_pair_hist_) {
     pair_count_.assign(16 * 65536, 0);
     pair_sum_.assign(16 * 65536, 0.0);
@@ -70,21 +78,22 @@ bool CpaEngine::has_model(power::PowerModel model) const noexcept {
 void CpaEngine::add_trace(const aes::Block& plaintext,
                           const aes::Block& ciphertext,
                           double value) noexcept {
+  // Stripe by the global trace index (n_ before this trace) so per-trace
+  // and batch feeding build identical moment state.
+  util::simd::accumulate_moments(&value, 1, n_, moments_);
   ++n_;
-  sum_t_ += value;
-  sum_tt_ += value * value;
   if (need_pt_hist_) {
     for (std::size_t i = 0; i < 16; ++i) {
-      ByteHist& h = pt_hist_[i];
-      ++h.count[plaintext[i]];
-      h.sum[plaintext[i]] += value;
+      const std::size_t bin = i * 256 + plaintext[i];
+      ++pt_count_[bin];
+      pt_sum_[bin] += value;
     }
   }
   if (need_ct_hist_) {
     for (std::size_t i = 0; i < 16; ++i) {
-      ByteHist& h = ct_hist_[i];
-      ++h.count[ciphertext[i]];
-      h.sum[ciphertext[i]] += value;
+      const std::size_t bin = i * 256 + ciphertext[i];
+      ++ct_count_[bin];
+      ct_sum_[bin] += value;
     }
   }
   if (need_pair_hist_) {
@@ -108,34 +117,25 @@ void CpaEngine::add_trace_batch(std::span<const aes::Block> plaintexts,
                                 "mismatch");
   }
   const std::size_t n = values.size();
-  n_ += n;
-  for (std::size_t t = 0; t < n; ++t) {
-    sum_t_ += values[t];
-    sum_tt_ += values[t] * values[t];
+  if (n == 0) {
+    return;
   }
-  // Histogram updates run position-major: one 256-bin histogram stays hot
-  // while a whole column streams through it. Per bin, values arrive in
-  // trace order, so the floating-point sums are bit-identical to the
-  // per-trace path.
+  util::simd::accumulate_moments(values.data(), n, n_, moments_);
+  n_ += n;
+  // Histogram updates go through the dispatched kernel. aes::Block is a
+  // packed std::array<uint8_t, 16>, so a Block span is exactly the
+  // 16-bytes-per-trace layout accumulate_histogram16 consumes. Per bin,
+  // values arrive in trace order on every backend, so the sums are
+  // bit-identical to the per-trace path.
   if (need_pt_hist_) {
-    for (std::size_t i = 0; i < 16; ++i) {
-      ByteHist& h = pt_hist_[i];
-      for (std::size_t t = 0; t < n; ++t) {
-        const std::uint8_t b = plaintexts[t][i];
-        ++h.count[b];
-        h.sum[b] += values[t];
-      }
-    }
+    util::simd::accumulate_histogram16(plaintexts.data()->data(),
+                                       values.data(), n, pt_count_.data(),
+                                       pt_sum_.data());
   }
   if (need_ct_hist_) {
-    for (std::size_t i = 0; i < 16; ++i) {
-      ByteHist& h = ct_hist_[i];
-      for (std::size_t t = 0; t < n; ++t) {
-        const std::uint8_t b = ciphertexts[t][i];
-        ++h.count[b];
-        h.sum[b] += values[t];
-      }
-    }
+    util::simd::accumulate_histogram16(ciphertexts.data()->data(),
+                                       values.data(), n, ct_count_.data(),
+                                       ct_sum_.data());
   }
   if (need_pair_hist_) {
     for (std::size_t i = 0; i < 16; ++i) {
@@ -157,16 +157,17 @@ void CpaEngine::merge(const CpaEngine& other) {
   if (models_ != other.models_) {
     throw std::invalid_argument("CpaEngine::merge: model lists differ");
   }
+  // Rotate other's stripes to where its values would have landed in the
+  // concatenated stream (uses n_ before the count update).
+  util::simd::merge_moments(moments_, n_, other.moments_);
   n_ += other.n_;
-  sum_t_ += other.sum_t_;
-  sum_tt_ += other.sum_tt_;
-  for (std::size_t i = 0; i < 16; ++i) {
-    for (std::size_t v = 0; v < 256; ++v) {
-      pt_hist_[i].count[v] += other.pt_hist_[i].count[v];
-      pt_hist_[i].sum[v] += other.pt_hist_[i].sum[v];
-      ct_hist_[i].count[v] += other.ct_hist_[i].count[v];
-      ct_hist_[i].sum[v] += other.ct_hist_[i].sum[v];
-    }
+  for (std::size_t b = 0; b < pt_count_.size(); ++b) {
+    pt_count_[b] += other.pt_count_[b];
+    pt_sum_[b] += other.pt_sum_[b];
+  }
+  for (std::size_t b = 0; b < ct_count_.size(); ++b) {
+    ct_count_[b] += other.ct_count_[b];
+    ct_sum_[b] += other.ct_sum_[b];
   }
   for (std::size_t b = 0; b < pair_count_.size(); ++b) {
     pair_count_[b] += other.pair_count_[b];
@@ -184,6 +185,8 @@ ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
     return out;
   }
   const double n = static_cast<double>(n_);
+  const double sum_t = util::simd::reduce_stripes(moments_.sum);
+  const double sum_tt = util::simd::reduce_stripes(moments_.sumsq);
 
   const auto inputs = power::power_model_inputs(model);
   if (inputs.uses_ciphertext_pair) {
@@ -211,13 +214,17 @@ ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
         }
       }
       out.correlation[static_cast<std::size_t>(g)] =
-          correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t_, sum_tt_);
+          correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t, sum_tt);
     }
     return out;
   }
 
-  const ByteHist& hist = inputs.uses_plaintext ? pt_hist_[byte_index]
-                                               : ct_hist_[byte_index];
+  const std::uint32_t* hist_count =
+      inputs.uses_plaintext ? &pt_count_[byte_index * 256]
+                            : &ct_count_[byte_index * 256];
+  const double* hist_sum = inputs.uses_plaintext
+                               ? &pt_sum_[byte_index * 256]
+                               : &ct_sum_[byte_index * 256];
   int (*predictor)(std::uint8_t, std::uint8_t) = nullptr;
   switch (model) {
     case power::PowerModel::rd0_hw:
@@ -237,7 +244,7 @@ ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
     double sum_mm = 0.0;
     double sum_mt = 0.0;
     for (int v = 0; v < 256; ++v) {
-      const std::uint32_t c = hist.count[static_cast<std::size_t>(v)];
+      const std::uint32_t c = hist_count[static_cast<std::size_t>(v)];
       if (c == 0) {
         continue;
       }
@@ -245,10 +252,10 @@ ByteRanking CpaEngine::analyze_byte(power::PowerModel model,
                                  static_cast<std::uint8_t>(g));
       sum_m += m * c;
       sum_mm += m * m * c;
-      sum_mt += m * hist.sum[static_cast<std::size_t>(v)];
+      sum_mt += m * hist_sum[static_cast<std::size_t>(v)];
     }
     out.correlation[static_cast<std::size_t>(g)] =
-        correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t_, sum_tt_);
+        correlation_from_sums(n, sum_m, sum_mm, sum_mt, sum_t, sum_tt);
   }
   return out;
 }

@@ -19,6 +19,8 @@
 #include "aes/aes128.h"
 #include "core/trace_batch.h"
 #include "power/hypothetical.h"
+#include "util/aligned.h"
+#include "util/simd.h"
 
 namespace psc::core {
 
@@ -66,11 +68,12 @@ class CpaEngine {
                  double value) noexcept;
 
   // Feeds a batch of traces in column form; throws std::invalid_argument
-  // unless the spans have equal length. The accumulation loops run
-  // column-wise (per histogram position) for cache locality, but every
-  // accumulator bin receives the same values in the same order as an
-  // add_trace loop, so batch and loop feeding produce bit-identical
-  // state.
+  // unless the spans have equal length. The inner loops run on the
+  // runtime-dispatched kernels of util/simd.h, but every accumulator word
+  // receives the same values in the same order as an add_trace loop —
+  // and as every other SIMD backend — so batch and loop feeding produce
+  // bit-identical state (see simd.h for the striping/disjoint-bin
+  // construction that guarantees it).
   void add_trace_batch(std::span<const aes::Block> plaintexts,
                        std::span<const aes::Block> ciphertexts,
                        std::span<const double> values);
@@ -115,22 +118,25 @@ class CpaEngine {
   bool need_pair_hist_ = false;
 
   std::size_t n_ = 0;
-  double sum_t_ = 0.0;
-  double sum_tt_ = 0.0;
+  // Channel-value moments, striped by global trace index (util/simd.h);
+  // totals come from simd::reduce_stripes. Cache-line aligned so shard
+  // engines never false-share.
+  util::simd::MomentStripes moments_;
 
   // Single-byte histograms: count and value-sum per byte value, per
-  // position.
-  struct ByteHist {
-    std::array<std::uint32_t, 256> count{};
-    std::array<double, 256> sum{};
-  };
-  std::array<ByteHist, 16> pt_hist_{};
-  std::array<ByteHist, 16> ct_hist_{};
+  // position, flattened to 16x256 (bin = position * 256 + byte value) so
+  // the SIMD histogram kernel can address them, and cache-line aligned.
+  // Allocated only when a configured model needs them.
+  util::AlignedVector<std::uint32_t> pt_count_;
+  util::AlignedVector<double> pt_sum_;
+  util::AlignedVector<std::uint32_t> ct_count_;
+  util::AlignedVector<double> ct_sum_;
 
   // Pair histogram for Rd10-HD: bins (ct[i], ct[shift_rows_source(i)]).
-  // Indexed [pos][ct_i * 256 + ct_src].
-  std::vector<std::uint32_t> pair_count_;
-  std::vector<double> pair_sum_;
+  // Indexed [pos][ct_i * 256 + ct_src]. Stays scalar: at 16x65536 bins it
+  // is cache-miss bound, not ALU bound.
+  util::AlignedVector<std::uint32_t> pair_count_;
+  util::AlignedVector<double> pair_sum_;
 };
 
 }  // namespace psc::core

@@ -17,10 +17,128 @@ std::size_t shard_begin(std::size_t total, std::size_t shards,
   if (shards == 0) {
     return 0;
   }
-  if (s > shards) {
-    s = shards;
-  }
+  // Clamp every out-of-range index (s >= shards) the same way, so
+  // shard_begin(total, shards, shards) == total without relying on the
+  // arithmetic below happening to cancel.
+  s = std::min(s, shards);
   return s * (total / shards) + std::min(s, total % shards);
+}
+
+namespace {
+
+// Set while a pool thread (or the caller) is inside a generation's job;
+// a nested run() from a shard job executes inline instead of touching
+// the generation state it is itself running under.
+thread_local bool tl_in_pool_job = false;
+
+}  // namespace
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+std::size_t WorkerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void WorkerPool::ensure_threads(std::size_t helpers) {
+  while (threads_.size() < helpers) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // 0 = "no generation seen yet": a thread spawned mid-generation (the
+  // generation counter was already bumped under this same mutex before
+  // the spawn) must still see it as new and join it.
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    if (!open_ || joined_ >= max_joiners_) {
+      continue;  // generation already closed or fully staffed
+    }
+    ++joined_;
+    ++active_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    const std::size_t jobs = jobs_;
+    lock.unlock();
+    tl_in_pool_job = true;
+    for (;;) {
+      const std::size_t s = next_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= jobs) {
+        break;
+      }
+      (*fn)(s);
+    }
+    tl_in_pool_job = false;
+    lock.lock();
+    if (--active_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t jobs, std::size_t participants,
+                     const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) {
+    return;
+  }
+  if (participants <= 1 || jobs == 1 || tl_in_pool_job) {
+    for (std::size_t s = 0; s < jobs; ++s) {
+      fn(s);
+    }
+    return;
+  }
+  // One generation at a time: a second campaign thread queues here
+  // rather than corrupting the published generation.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const std::size_t helpers = std::min(participants - 1, jobs - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_threads(helpers);
+    fn_ = &fn;
+    jobs_ = jobs;
+    max_joiners_ = helpers;
+    joined_ = 0;
+    active_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    open_ = true;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is always a participant.
+  tl_in_pool_job = true;
+  for (;;) {
+    const std::size_t s = next_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= jobs) {
+      break;
+    }
+    fn(s);
+  }
+  tl_in_pool_job = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  open_ = false;  // late wakers skip this generation entirely
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
 }
 
 }  // namespace psc::core

@@ -16,17 +16,44 @@
 //           worker count yields bit-identical results for a fixed shard
 //           count, because per-shard work is self-contained and merges
 //           happen in shard order on the calling thread.
+//
+// Worker-pool lifecycle
+// ---------------------
+// Shard jobs execute on a process-wide persistent WorkerPool rather than
+// threads spawned per map() call. The pool starts empty; the first
+// multi-worker map() spawns its helper threads, which then sleep between
+// campaigns and are reused by every later runner (threads are added but
+// never retired until process exit). One map() call publishes its shard
+// jobs as a *generation*: up to workers-1 pool threads join the
+// generation and claim shard indices from a shared atomic ticket
+// alongside the calling thread, which always participates. map() returns
+// only after every job finished AND every joined pool thread has left the
+// generation, so no pool thread can touch a caller's stack frame after
+// the call — late-waking threads see the generation closed and go back
+// to sleep without joining. Exceptions never cross the pool boundary:
+// map() captures per-shard exceptions and rethrows the lowest-indexed
+// one on the calling thread.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace psc::core {
+
+// Traces below which an extra shard stops paying for itself: each shard
+// job owns a batch lease and a full set of accumulator merges, so auto
+// shard sizing never cuts jobs smaller than this.
+inline constexpr std::size_t min_traces_per_shard = 8192;
 
 struct ShardPlan {
   std::size_t workers = 1;
@@ -39,6 +66,71 @@ struct ShardPlan {
   std::size_t resolved_shards() const noexcept {
     return shards == 0 ? resolved_workers() : shards;
   }
+
+  // Shard count sized to the workload: an explicit shard count always
+  // wins (shards determine the result), but with shards == 0 the
+  // campaign picks one shard per worker *capped so every shard job gets
+  // at least min_traces_per_shard traces* — tiny runs stay on fewer
+  // shards instead of paying per-shard lease/merge overhead that dwarfs
+  // the work.
+  std::size_t resolved_shards_for(std::size_t total_traces) const noexcept {
+    if (shards != 0) {
+      return shards;
+    }
+    const std::size_t w = resolved_workers();
+    const std::size_t by_size = total_traces / min_traces_per_shard;
+    return std::max<std::size_t>(1, std::min(w, by_size));
+  }
+};
+
+// Process-wide persistent worker pool (see "Worker-pool lifecycle"
+// above). ParallelRunner::map is the intended interface; the pool is
+// public for tests and benches that assert on reuse.
+class WorkerPool {
+ public:
+  static WorkerPool& instance();
+
+  // Runs fn(job) for every job in [0, jobs): the calling thread plus up
+  // to participants-1 pool threads claim job indices from a shared
+  // ticket. Returns when all jobs completed and no pool thread still
+  // references fn. fn must not throw (ParallelRunner::map wraps shard
+  // exceptions before they reach the pool). Concurrent run() calls
+  // serialize; a run() from inside a pool job executes inline on the
+  // caller.
+  void run(std::size_t jobs, std::size_t participants,
+           const std::function<void(std::size_t)>& fn);
+
+  // Pool threads spawned so far (grow-only); exposed so tests can assert
+  // the pool persists across campaigns.
+  std::size_t thread_count() const;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+ private:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  void worker_loop();
+  void ensure_threads(std::size_t helpers);  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // new generation published
+  std::condition_variable done_cv_;  // last active thread left
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+
+  // Current generation, all guarded by mu_ except the ticket.
+  std::uint64_t generation_ = 0;
+  bool open_ = false;  // still accepting joiners
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::size_t max_joiners_ = 0;
+  std::size_t joined_ = 0;
+  std::size_t active_ = 0;
+  std::atomic<std::size_t> next_{0};
+
+  std::mutex run_mu_;  // serializes whole run() calls
 };
 
 // Near-equal contiguous partition of `total` items into `shards` pieces:
@@ -58,45 +150,31 @@ class ParallelRunner {
   std::size_t shards() const noexcept { return plan_.resolved_shards(); }
   std::size_t workers() const noexcept { return plan_.resolved_workers(); }
 
-  // Invokes fn(shard_index) once per shard across the worker pool and
-  // returns the results ordered by shard index, so downstream merges are
-  // deterministic regardless of which worker finished first. If shard jobs
-  // throw, the exception of the lowest-indexed failing shard is rethrown
-  // after all workers have joined.
+  // Invokes fn(shard_index) once per shard across the persistent
+  // WorkerPool and returns the results ordered by shard index, so
+  // downstream merges are deterministic regardless of which worker
+  // finished first. If shard jobs throw, the exception of the
+  // lowest-indexed failing shard is rethrown after all workers have left
+  // the generation.
   template <typename Fn>
   auto map(Fn&& fn) {
     using Partial = std::invoke_result_t<Fn&, std::size_t>;
     const std::size_t n = shards();
     std::vector<std::optional<Partial>> slots(n);
-    const std::size_t pool = std::min(workers(), n);
-    if (pool <= 1) {
+    const std::size_t participants = std::min(workers(), n);
+    if (participants <= 1) {
       for (std::size_t s = 0; s < n; ++s) {
         slots[s].emplace(fn(s));
       }
     } else {
       std::vector<std::exception_ptr> errors(n);
-      std::atomic<std::size_t> next{0};
-      auto work = [&]() {
-        while (true) {
-          const std::size_t s = next.fetch_add(1);
-          if (s >= n) {
-            return;
-          }
-          try {
-            slots[s].emplace(fn(s));
-          } catch (...) {
-            errors[s] = std::current_exception();
-          }
+      WorkerPool::instance().run(n, participants, [&](std::size_t s) {
+        try {
+          slots[s].emplace(fn(s));
+        } catch (...) {
+          errors[s] = std::current_exception();
         }
-      };
-      std::vector<std::thread> threads;
-      threads.reserve(pool);
-      for (std::size_t w = 0; w < pool; ++w) {
-        threads.emplace_back(work);
-      }
-      for (auto& thread : threads) {
-        thread.join();
-      }
+      });
       for (const auto& error : errors) {
         if (error) {
           std::rethrow_exception(error);

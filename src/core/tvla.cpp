@@ -1,5 +1,6 @@
 #include "core/tvla.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace psc::core {
@@ -91,39 +92,64 @@ bool TvlaMatrix::no_data_dependence() const {
   return counts().true_positive == 0;
 }
 
+util::MomentSummary TvlaAccumulator::SetMoments::summary() const noexcept {
+  util::MomentSummary s;
+  s.count = n;
+  if (n == 0) {
+    return s;
+  }
+  const double sum = util::simd::reduce_stripes(moments.sum);
+  const double sumsq = util::simd::reduce_stripes(moments.sumsq);
+  const double dn = static_cast<double>(n);
+  s.mean = sum / dn;
+  if (n >= 2) {
+    // Clamped against cancellation; values here are SMC-scale readings,
+    // far from the regime where the two-pass formula degrades.
+    s.variance =
+        std::max(0.0, (sumsq - sum * sum / dn) / (dn - 1.0));
+  }
+  return s;
+}
+
 void TvlaAccumulator::add(PlaintextClass cls, bool primed,
                           double value) noexcept {
-  sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].add(value);
+  SetMoments& s = set(cls, primed);
+  util::simd::accumulate_moments(&value, 1, s.n, s.moments);
+  ++s.n;
 }
 
 void TvlaAccumulator::add_batch(PlaintextClass cls, bool primed,
                                 std::span<const double> values) noexcept {
-  for (const double v : values) {
-    add(cls, primed, v);
-  }
+  SetMoments& s = set(cls, primed);
+  util::simd::accumulate_moments(values.data(), values.size(), s.n,
+                                 s.moments);
+  s.n += values.size();
 }
 
 void TvlaAccumulator::merge(const TvlaAccumulator& other) noexcept {
   for (std::size_t cls = 0; cls < 3; ++cls) {
     for (std::size_t collection = 0; collection < 2; ++collection) {
-      sets_[cls][collection].merge(other.sets_[cls][collection]);
+      SetMoments& s = sets_[cls][collection];
+      const SetMoments& o = other.sets_[cls][collection];
+      util::simd::merge_moments(s.moments, s.n, o.moments);
+      s.n += o.n;
     }
   }
 }
 
 std::size_t TvlaAccumulator::count(PlaintextClass cls,
                                    bool primed) const noexcept {
-  return sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0].count();
+  return set(cls, primed).n;
 }
 
 TvlaMatrix TvlaAccumulator::matrix() const noexcept {
   TvlaMatrix m;
   for (const PlaintextClass row : all_plaintext_classes) {
     for (const PlaintextClass col : all_plaintext_classes) {
-      const auto& primed = sets_[static_cast<std::size_t>(row)][1];
-      const auto& unprimed = sets_[static_cast<std::size_t>(col)][0];
       m.t[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
-          util::welch_t_test(primed, unprimed).t;
+          util::welch_t_test(set(row, true).summary(),
+                             set(col, false).summary())
+              .t;
     }
   }
   return m;

@@ -14,6 +14,7 @@
 
 #include "aes/aes128.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/stats.h"
 
 namespace psc::core {
@@ -78,18 +79,22 @@ struct TvlaMatrix {
 // (class, primed-or-not), then extract the matrix. The batch path ingests
 // a whole TraceBatch value column at once (see core::TvlaSink for the
 // multi-channel fan-out over labeled acquisition batches).
+//
+// Each of the six sets keeps raw striped moment sums (util/simd.h) so the
+// batch path runs on the dispatched SIMD kernels; per-value and batch
+// feeding — and every SIMD backend — produce bit-identical state. The
+// matrix is computed from the summarized moments via Welch's test.
 class TvlaAccumulator {
  public:
   void add(PlaintextClass cls, bool primed, double value) noexcept;
 
   // Feeds a batch of values for one (class, collection); equivalent to
-  // adding each value in order.
+  // adding each value in order (bit-for-bit, see util/simd.h).
   void add_batch(PlaintextClass cls, bool primed,
                  std::span<const double> values) noexcept;
 
-  // Absorbs another accumulator's partial state (Chan et al. moment
-  // merging), as if its samples had been added here. The merge step of the
-  // sharded TVLA pipeline.
+  // Absorbs another accumulator's partial state, as if its samples had
+  // been added here. The merge step of the sharded TVLA pipeline.
   void merge(const TvlaAccumulator& other) noexcept;
 
   std::size_t count(PlaintextClass cls, bool primed) const noexcept;
@@ -97,8 +102,25 @@ class TvlaAccumulator {
   TvlaMatrix matrix() const noexcept;
 
  private:
+  // One (class, collection) sample set: striped moment sums plus count.
+  // Cache-line aligned via MomentStripes, so shard accumulators ingesting
+  // on different workers never false-share.
+  struct SetMoments {
+    std::uint64_t n = 0;
+    util::simd::MomentStripes moments;
+
+    util::MomentSummary summary() const noexcept;
+  };
+
+  SetMoments& set(PlaintextClass cls, bool primed) noexcept {
+    return sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0];
+  }
+  const SetMoments& set(PlaintextClass cls, bool primed) const noexcept {
+    return sets_[static_cast<std::size_t>(cls)][primed ? 1 : 0];
+  }
+
   // [class][0]=unprimed, [class][1]=primed.
-  std::array<std::array<util::RunningStats, 2>, 3> sets_{};
+  std::array<std::array<SetMoments, 2>, 3> sets_{};
 };
 
 }  // namespace psc::core

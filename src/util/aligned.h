@@ -1,0 +1,57 @@
+// Cache-line / vector-register aligned storage.
+//
+// The analysis accumulators (CpaEngine histograms, striped moment sums)
+// are written millions of times per second from worker-pool threads; each
+// shard's accumulators live in their own allocations, and aligning those
+// allocations to the cache line guarantees (a) no two shards' hot state
+// ever share a line (false sharing) and (b) the SIMD kernels in
+// util/simd.h see vector-register-aligned rows.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace psc::util {
+
+inline constexpr std::size_t cache_line_bytes = 64;
+
+// Minimal C++17 aligned allocator: every allocation starts on an
+// `Alignment`-byte boundary.
+template <typename T, std::size_t Alignment = cache_line_bytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T),
+                "AlignedAllocator: alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "AlignedAllocator: alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+// std::vector whose data() is cache-line aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace psc::util

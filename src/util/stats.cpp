@@ -64,25 +64,31 @@ double RunningStats::stddev() const noexcept {
   return std::sqrt(variance());
 }
 
-WelchResult welch_t_test(const RunningStats& a,
-                         const RunningStats& b) noexcept {
-  if (a.count() < 2 || b.count() < 2) {
+WelchResult welch_t_test(const MomentSummary& a,
+                         const MomentSummary& b) noexcept {
+  if (a.count < 2 || b.count < 2) {
     return {};
   }
-  const double na = static_cast<double>(a.count());
-  const double nb = static_cast<double>(b.count());
-  const double va = a.variance() / na;
-  const double vb = b.variance() / nb;
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double va = a.variance / na;
+  const double vb = b.variance / nb;
   const double pooled = va + vb;
   if (pooled <= 0.0) {
     return {};
   }
   WelchResult r;
-  r.t = (a.mean() - b.mean()) / std::sqrt(pooled);
+  r.t = (a.mean - b.mean) / std::sqrt(pooled);
   const double denom =
       va * va / (na - 1.0) + vb * vb / (nb - 1.0);
   r.dof = denom > 0.0 ? pooled * pooled / denom : na + nb - 2.0;
   return r;
+}
+
+WelchResult welch_t_test(const RunningStats& a,
+                         const RunningStats& b) noexcept {
+  return welch_t_test(MomentSummary{a.count(), a.mean(), a.variance()},
+                      MomentSummary{b.count(), b.mean(), b.variance()});
 }
 
 WelchResult welch_t_test(std::span<const double> a,

@@ -48,6 +48,21 @@ struct WelchResult {
   double dof = 0.0;  // Welch-Satterthwaite degrees of freedom
 };
 
+// Moment summary of one sample set — the exact inputs Welch's test needs.
+// Accumulators that keep raw striped sums (util/simd.h) summarize into
+// this instead of carrying Welford state.
+struct MomentSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1 denominator); 0 when count < 2
+};
+
+// Welch's unequal-variance t-test between two summarized sample sets.
+// Returns t = 0 when either set has fewer than two samples or both
+// variances are zero.
+WelchResult welch_t_test(const MomentSummary& a,
+                         const MomentSummary& b) noexcept;
+
 // Welch's unequal-variance t-test between two sample sets summarized by
 // their running statistics. Returns t = 0 when either set has fewer than
 // two samples or both variances are zero.

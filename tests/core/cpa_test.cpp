@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "util/rng.h"
@@ -285,6 +286,62 @@ TEST(CpaEngine, BatchFeedEqualsLoopFeedBitForBit) {
     ASSERT_DOUBLE_EQ(a.correlation[static_cast<std::size_t>(g)],
                      b.correlation[static_cast<std::size_t>(g)]);
   }
+}
+
+// Satellite: CPA correlations and ranks from every supported SIMD backend
+// match the scalar fallback bit-for-bit on the same trace stream, across
+// all configured models.
+TEST(CpaEngine, AllSimdBackendsMatchScalarBitForBit) {
+  namespace simd = util::simd;
+  util::Xoshiro256 rng(77);
+  const aes::Block key = random_block(rng);
+  aes::Aes128 cipher(key);
+
+  constexpr std::size_t n_traces = 2000;
+  std::vector<aes::Block> pts(n_traces);
+  std::vector<aes::Block> cts(n_traces);
+  std::vector<double> values(n_traces);
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    pts[t] = random_block(rng);
+    cts[t] = cipher.encrypt(pts[t]);
+    values[t] = rng.gaussian(2.0, 1.0);
+  }
+  const std::vector<power::PowerModel> models = {
+      power::PowerModel::rd0_hw, power::PowerModel::rd10_hw,
+      power::PowerModel::rd10_hd};
+  const auto feed = [&] {
+    CpaEngine engine(models);
+    // Uneven batch sizes to exercise the kernels' head/body/tail.
+    std::size_t i = 0;
+    for (const std::size_t len :
+         {std::size_t{701}, std::size_t{3}, n_traces - 704}) {
+      engine.add_trace_batch(std::span(pts).subspan(i, len),
+                             std::span(cts).subspan(i, len),
+                             std::span(values).subspan(i, len));
+      i += len;
+    }
+    return engine;
+  };
+  simd::force_backend(simd::Backend::scalar);
+  const CpaEngine reference = feed();
+  for (const simd::Backend backend : simd::supported_backends()) {
+    simd::force_backend(backend);
+    const CpaEngine engine = feed();
+    for (const power::PowerModel model : models) {
+      for (std::size_t byte = 0; byte < 16; byte += 5) {
+        const ByteRanking want = reference.analyze_byte(model, byte);
+        const ByteRanking got = engine.analyze_byte(model, byte);
+        for (int g = 0; g < 256; ++g) {
+          ASSERT_EQ(got.correlation[static_cast<std::size_t>(g)],
+                    want.correlation[static_cast<std::size_t>(g)])
+              << simd::backend_name(backend) << " byte " << byte
+              << " guess " << g;
+        }
+        ASSERT_EQ(got.rank_of(0x42), want.rank_of(0x42));
+      }
+    }
+  }
+  simd::reset_backend();
 }
 
 TEST(CpaEngine, MergeRejectsMismatchedModelLists) {

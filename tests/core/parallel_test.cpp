@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <numeric>
 #include <stdexcept>
 
@@ -45,12 +47,69 @@ TEST(ShardPartition, CheckpointPartitionsAreMonotone) {
   }
 }
 
+// Satellite: boundary behaviour — fewer items than shards, and the
+// degenerate shards == 0 plan.
+TEST(ShardPartition, TotalSmallerThanShardCount) {
+  constexpr std::size_t total = 3;
+  constexpr std::size_t shards = 8;
+  std::size_t sum = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = shard_size(total, shards, s);
+    EXPECT_EQ(size, s < total ? 1u : 0u) << "shard " << s;
+    EXPECT_EQ(shard_begin(total, shards, s), sum) << "shard " << s;
+    sum += size;
+  }
+  EXPECT_EQ(sum, total);
+  EXPECT_EQ(shard_begin(total, shards, shards), total);
+}
+
+TEST(ShardPartition, ZeroShardsIsEmpty) {
+  EXPECT_EQ(shard_size(100, 0, 0), 0u);
+  EXPECT_EQ(shard_size(100, 0, 5), 0u);
+  EXPECT_EQ(shard_begin(100, 0, 0), 0u);
+  EXPECT_EQ(shard_begin(100, 0, 5), 0u);
+}
+
+// shard_begin clamps every out-of-range index the same way: s == shards
+// and s > shards both land on total, matching shard_size returning 0
+// there.
+TEST(ShardPartition, BeginClampsPastTheEnd) {
+  for (const std::size_t total : {0u, 3u, 100u, 1001u}) {
+    for (const std::size_t shards : {1u, 3u, 8u}) {
+      EXPECT_EQ(shard_begin(total, shards, shards), total);
+      EXPECT_EQ(shard_begin(total, shards, shards + 1), total);
+      EXPECT_EQ(shard_begin(total, shards, shards + 1000), total);
+      EXPECT_EQ(shard_size(total, shards, shards), 0u);
+      EXPECT_EQ(shard_size(total, shards, shards + 1000), 0u);
+    }
+  }
+}
+
 TEST(ShardPlan, Resolution) {
   EXPECT_EQ(ShardPlan{}.resolved_workers(), 1u);
   EXPECT_EQ(ShardPlan{}.resolved_shards(), 1u);
   EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards(), 4u);
   EXPECT_EQ((ShardPlan{.workers = 4, .shards = 9}).resolved_shards(), 9u);
   EXPECT_EQ((ShardPlan{.workers = 0, .shards = 0}).resolved_shards(), 1u);
+}
+
+TEST(ShardPlan, AutoShardsSizeToWorkload) {
+  // An explicit shard count always wins — shards determine the result.
+  EXPECT_EQ((ShardPlan{.workers = 4, .shards = 9}).resolved_shards_for(10),
+            9u);
+  // Large workloads: one shard per worker.
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards_for(
+                4 * min_traces_per_shard),
+            4u);
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards_for(1'000'000), 4u);
+  // Small workloads: capped so every shard job still amortizes its
+  // lease/merge overhead; never below one shard.
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards_for(
+                2 * min_traces_per_shard),
+            2u);
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards_for(100), 1u);
+  EXPECT_EQ((ShardPlan{.workers = 4}).resolved_shards_for(0), 1u);
+  EXPECT_EQ((ShardPlan{.workers = 1}).resolved_shards_for(1'000'000), 1u);
 }
 
 TEST(ParallelRunner, MapReturnsResultsInShardOrder) {
@@ -94,6 +153,57 @@ TEST(ParallelRunner, PropagatesLowestShardException) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "shard 3");
   }
+}
+
+// ---------- persistent worker pool ----------
+
+// The pool persists across runner invocations: helper threads spawned by
+// the first multi-worker map are reused, not respawned, by later maps.
+TEST(WorkerPool, ThreadsPersistAcrossRunners) {
+  ParallelRunner first({.workers = 4, .shards = 8});
+  first.for_each([](std::size_t) {});
+  const std::size_t after_first = WorkerPool::instance().thread_count();
+  EXPECT_GE(after_first, 3u);  // workers - 1 helpers; grow-only
+  for (int round = 0; round < 5; ++round) {
+    ParallelRunner again({.workers = 4, .shards = 8});
+    const auto out = again.map([](std::size_t s) { return s * s; });
+    for (std::size_t s = 0; s < out.size(); ++s) {
+      EXPECT_EQ(out[s], s * s);
+    }
+    EXPECT_EQ(WorkerPool::instance().thread_count(), after_first);
+  }
+}
+
+// Every job index runs exactly once per generation, across many
+// back-to-back generations (the reuse path a campaign sweep exercises).
+TEST(WorkerPool, EachJobRunsExactlyOncePerGeneration) {
+  for (int round = 0; round < 20; ++round) {
+    constexpr std::size_t jobs = 16;
+    std::array<std::atomic<int>, jobs> hits{};
+    WorkerPool::instance().run(jobs, 4, [&](std::size_t s) {
+      hits[s].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t s = 0; s < jobs; ++s) {
+      ASSERT_EQ(hits[s].load(), 1) << "round " << round << " job " << s;
+    }
+  }
+}
+
+// A run() from inside a pool job must not corrupt the outer generation —
+// it executes inline on the calling worker.
+TEST(WorkerPool, NestedRunExecutesInline) {
+  std::array<std::atomic<int>, 4> outer_hits{};
+  std::atomic<int> inner_total{0};
+  WorkerPool::instance().run(4, 4, [&](std::size_t s) {
+    outer_hits[s].fetch_add(1, std::memory_order_relaxed);
+    WorkerPool::instance().run(3, 4, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(outer_hits[s].load(), 1);
+  }
+  EXPECT_EQ(inner_total.load(), 12);
 }
 
 // ---------- campaign-level invariance ----------

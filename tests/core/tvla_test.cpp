@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 namespace psc::core {
 namespace {
 
@@ -38,6 +41,9 @@ TEST(TvlaAccumulator, CountsPerSet) {
   EXPECT_EQ(acc.count(PlaintextClass::all_ones, false), 0u);
 }
 
+// The accumulator keeps raw striped moment sums (util/simd.h) rather than
+// Welford state, so it agrees with a direct Welford-based Welch test to
+// rounding, not bit-for-bit.
 TEST(TvlaAccumulator, MatrixMatchesDirectWelch) {
   util::Xoshiro256 rng(3);
   TvlaAccumulator acc;
@@ -52,9 +58,46 @@ TEST(TvlaAccumulator, MatrixMatchesDirectWelch) {
     ones_unprimed.add(b);
   }
   const TvlaMatrix m = acc.matrix();
-  EXPECT_DOUBLE_EQ(
-      m.score(PlaintextClass::all_zeros, PlaintextClass::all_ones),
-      util::welch_t_test(zeros_primed, ones_unprimed).t);
+  EXPECT_NEAR(m.score(PlaintextClass::all_zeros, PlaintextClass::all_ones),
+              util::welch_t_test(zeros_primed, ones_unprimed).t, 1e-9);
+}
+
+// Satellite: TVLA t-values from every supported SIMD backend match the
+// scalar fallback bit-for-bit on the same value stream.
+TEST(TvlaAccumulator, AllSimdBackendsMatchScalarBitForBit) {
+  namespace simd = util::simd;
+  util::Xoshiro256 rng(17);
+  std::vector<double> stream(4096);
+  for (double& v : stream) {
+    v = rng.gaussian(0.2, 1.5);
+  }
+  const auto feed = [&stream] {
+    TvlaAccumulator acc;
+    std::size_t i = 0;
+    for (const PlaintextClass cls : all_plaintext_classes) {
+      for (const bool primed : {false, true}) {
+        // Uneven batch sizes to exercise the kernels' head/body/tail.
+        acc.add_batch(cls, primed, std::span(stream).subspan(i, 300));
+        i += 300;
+        acc.add_batch(cls, primed, std::span(stream).subspan(i, 7));
+        i += 7;
+      }
+    }
+    return acc;
+  };
+  simd::force_backend(simd::Backend::scalar);
+  const TvlaMatrix reference = feed().matrix();
+  for (const simd::Backend backend : simd::supported_backends()) {
+    simd::force_backend(backend);
+    const TvlaMatrix m = feed().matrix();
+    for (const PlaintextClass row : all_plaintext_classes) {
+      for (const PlaintextClass col : all_plaintext_classes) {
+        ASSERT_EQ(m.score(row, col), reference.score(row, col))
+            << simd::backend_name(backend);
+      }
+    }
+  }
+  simd::reset_backend();
 }
 
 // Sharded-pipeline property: one accumulator fed N values per set must

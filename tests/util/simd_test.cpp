@@ -1,0 +1,272 @@
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/rng.h"
+
+namespace psc::util::simd {
+namespace {
+
+std::vector<double> gaussian_values(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) {
+    v = rng.gaussian(0.5, 2.0);
+  }
+  return values;
+}
+
+MomentStripes scalar_reference(const std::vector<double>& values,
+                               std::uint64_t g0) {
+  MomentStripes m;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t j = (g0 + i) % stripes;
+    m.sum[j] += values[i];
+    m.sumsq[j] += values[i] * values[i];
+  }
+  return m;
+}
+
+void expect_stripes_eq(const MomentStripes& a, const MomentStripes& b) {
+  for (std::size_t j = 0; j < stripes; ++j) {
+    ASSERT_EQ(a.sum[j], b.sum[j]) << "sum stripe " << j;
+    ASSERT_EQ(a.sumsq[j], b.sumsq[j]) << "sumsq stripe " << j;
+  }
+}
+
+// RAII: restore auto dispatch after a forced-backend test.
+struct BackendGuard {
+  ~BackendGuard() { reset_backend(); }
+};
+
+TEST(SimdBackend, ScalarAlwaysSupported) {
+  EXPECT_TRUE(backend_compiled(Backend::scalar));
+  EXPECT_TRUE(backend_supported(Backend::scalar));
+  const auto supported = supported_backends();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front(), Backend::scalar);
+}
+
+TEST(SimdBackend, SupportedImpliesCompiled) {
+  for (const Backend backend : all_backends) {
+    if (backend_supported(backend)) {
+      EXPECT_TRUE(backend_compiled(backend)) << backend_name(backend);
+    }
+  }
+}
+
+TEST(SimdBackend, ActiveBackendIsSupported) {
+  EXPECT_TRUE(backend_supported(active_backend()));
+}
+
+TEST(SimdBackend, NamesAreUnique) {
+  for (const Backend a : all_backends) {
+    for (const Backend b : all_backends) {
+      if (a != b) {
+        EXPECT_NE(backend_name(a), backend_name(b));
+      }
+    }
+  }
+}
+
+TEST(SimdBackend, ForceOverrideTakesEffect) {
+  BackendGuard guard;
+  for (const Backend backend : supported_backends()) {
+    force_backend(backend);
+    EXPECT_EQ(active_backend(), backend);
+  }
+}
+
+TEST(SimdBackend, ForceUnsupportedThrows) {
+  for (const Backend backend : all_backends) {
+    if (!backend_supported(backend)) {
+      EXPECT_THROW(force_backend(backend), std::invalid_argument);
+    }
+  }
+}
+
+TEST(SimdMoments, ScalarMatchesReference) {
+  BackendGuard guard;
+  force_backend(Backend::scalar);
+  for (const std::uint64_t g0 : {0u, 1u, 5u, 8u, 13u}) {
+    const auto values = gaussian_values(7, 1001);
+    MomentStripes m;
+    accumulate_moments(values.data(), values.size(), g0, m);
+    expect_stripes_eq(m, scalar_reference(values, g0));
+  }
+}
+
+// The core bit-exactness contract: every supported backend produces
+// stripe state identical to the scalar fallback, at every phase offset
+// and for lengths exercising head/body/tail splits.
+TEST(SimdMoments, AllBackendsBitIdenticalToScalar) {
+  BackendGuard guard;
+  for (const Backend backend : supported_backends()) {
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 777u, 4096u}) {
+      for (const std::uint64_t g0 : {0u, 3u, 8u, 21u}) {
+        const auto values = gaussian_values(n + g0 + 11, n);
+        force_backend(Backend::scalar);
+        MomentStripes expected;
+        accumulate_moments(values.data(), n, g0, expected);
+        force_backend(backend);
+        MomentStripes got;
+        accumulate_moments(values.data(), n, g0, got);
+        expect_stripes_eq(got, expected);
+      }
+    }
+  }
+}
+
+// Prefix consistency: feeding a stream in any chunking yields identical
+// stripes, provided g0 tracks the global index. GeCheckpointSink and
+// store replay depend on this.
+TEST(SimdMoments, ChunkingInvariant) {
+  BackendGuard guard;
+  const auto values = gaussian_values(9, 2000);
+  for (const Backend backend : supported_backends()) {
+    force_backend(backend);
+    MomentStripes whole;
+    accumulate_moments(values.data(), values.size(), 0, whole);
+    for (const std::size_t chunk : {1u, 3u, 8u, 100u, 1024u}) {
+      MomentStripes pieced;
+      std::uint64_t g = 0;
+      while (g < values.size()) {
+        const std::size_t len =
+            std::min<std::size_t>(chunk, values.size() - g);
+        accumulate_moments(values.data() + g, len, g, pieced);
+        g += len;
+      }
+      expect_stripes_eq(pieced, whole);
+    }
+  }
+}
+
+TEST(SimdMoments, ReduceStripesFixedTree) {
+  std::array<double, stripes> s{};
+  for (std::size_t j = 0; j < stripes; ++j) {
+    s[j] = 0.1 * static_cast<double>(j + 1);
+  }
+  const double expected =
+      ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+  EXPECT_EQ(reduce_stripes(s), expected);
+}
+
+// Merge places b's stripe j where those values would have landed had the
+// streams been concatenated. The per-stripe sums match the single-stream
+// state to rounding (one pre-reduced add versus sequential adds — same
+// 1e-12 contract the engine merge tests pin), and merging is
+// deterministic, which is what worker invariance actually needs.
+TEST(SimdMoments, MergeMatchesConcatenation) {
+  BackendGuard guard;
+  force_backend(Backend::scalar);
+  for (const std::size_t na : {1u, 8u, 13u, 500u}) {
+    const auto a_vals = gaussian_values(21, na);
+    const auto b_vals = gaussian_values(22, 301);
+    MomentStripes a;
+    accumulate_moments(a_vals.data(), a_vals.size(), 0, a);
+    MomentStripes b;
+    accumulate_moments(b_vals.data(), b_vals.size(), 0, b);
+    merge_moments(a, na, b);
+
+    std::vector<double> concat = a_vals;
+    concat.insert(concat.end(), b_vals.begin(), b_vals.end());
+    MomentStripes whole;
+    accumulate_moments(concat.data(), concat.size(), 0, whole);
+    for (std::size_t j = 0; j < stripes; ++j) {
+      ASSERT_NEAR(a.sum[j], whole.sum[j], 1e-12 * (1.0 + std::abs(whole.sum[j])))
+          << "na " << na << " sum stripe " << j;
+      ASSERT_NEAR(a.sumsq[j], whole.sumsq[j],
+                  1e-12 * (1.0 + whole.sumsq[j]))
+          << "na " << na << " sumsq stripe " << j;
+    }
+  }
+}
+
+TEST(SimdMoments, MergeIntoEmptyIsCopy) {
+  const auto values = gaussian_values(31, 123);
+  MomentStripes b = scalar_reference(values, 0);
+  MomentStripes a;
+  merge_moments(a, 0, b);
+  expect_stripes_eq(a, b);
+}
+
+std::vector<std::uint8_t> random_blocks(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> blocks(n * 16);
+  rng.fill_bytes(blocks);
+  return blocks;
+}
+
+TEST(SimdHistogram, ScalarMatchesDirectBinning) {
+  BackendGuard guard;
+  force_backend(Backend::scalar);
+  const std::size_t n = 700;
+  const auto blocks = random_blocks(41, n);
+  const auto values = gaussian_values(42, n);
+  AlignedVector<std::uint32_t> count(16 * 256, 0);
+  AlignedVector<double> sum(16 * 256, 0.0);
+  accumulate_histogram16(blocks.data(), values.data(), n, count.data(),
+                         sum.data());
+  std::vector<std::uint32_t> ref_count(16 * 256, 0);
+  std::vector<double> ref_sum(16 * 256, 0.0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t bin = i * 256 + blocks[t * 16 + i];
+      ++ref_count[bin];
+      ref_sum[bin] += values[t];
+    }
+  }
+  for (std::size_t bin = 0; bin < 16 * 256; ++bin) {
+    ASSERT_EQ(count[bin], ref_count[bin]) << "bin " << bin;
+    ASSERT_EQ(sum[bin], ref_sum[bin]) << "bin " << bin;
+  }
+}
+
+TEST(SimdHistogram, AllBackendsBitIdenticalToScalar) {
+  BackendGuard guard;
+  for (const std::size_t n : {0u, 1u, 15u, 16u, 1000u}) {
+    const auto blocks = random_blocks(51 + n, n);
+    const auto values = gaussian_values(52 + n, n);
+    force_backend(Backend::scalar);
+    AlignedVector<std::uint32_t> ref_count(16 * 256, 0);
+    AlignedVector<double> ref_sum(16 * 256, 0.0);
+    accumulate_histogram16(blocks.data(), values.data(), n,
+                           ref_count.data(), ref_sum.data());
+    for (const Backend backend : supported_backends()) {
+      force_backend(backend);
+      AlignedVector<std::uint32_t> count(16 * 256, 0);
+      AlignedVector<double> sum(16 * 256, 0.0);
+      accumulate_histogram16(blocks.data(), values.data(), n, count.data(),
+                             sum.data());
+      for (std::size_t bin = 0; bin < 16 * 256; ++bin) {
+        ASSERT_EQ(count[bin], ref_count[bin])
+            << backend_name(backend) << " bin " << bin;
+        ASSERT_EQ(sum[bin], ref_sum[bin])
+            << backend_name(backend) << " bin " << bin;
+      }
+    }
+  }
+}
+
+TEST(AlignedVector, DataIsCacheLineAligned) {
+  AlignedVector<double> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % cache_line_bytes,
+            0u);
+  AlignedVector<std::uint32_t> c(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % cache_line_bytes,
+            0u);
+}
+
+TEST(MomentStripesLayout, CacheLineAligned) {
+  EXPECT_EQ(alignof(MomentStripes), 64u);
+  MomentStripes m;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&m) % 64u, 0u);
+}
+
+}  // namespace
+}  // namespace psc::util::simd
