@@ -8,6 +8,8 @@
 // recorded in the benchmark context as `simd_backend`.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "sched/scheduler.h"
 #include "soc/chip.h"
 #include "util/aligned.h"
+#include "util/codec.h"
 #include "util/rng.h"
 #include "util/simd.h"
 #include "victim/fast_trace.h"
@@ -231,6 +234,75 @@ void BM_CpaAddTraceBatch(benchmark::State& state,
   util::simd::reset_backend();
 }
 
+// ---- PSTR v2 column codec: encode, decode, and the unpack kernel ----
+//
+// One chunk-sized quantized sensor column shaped like a recorded SMC
+// rail (µW grid, float32-truncated, ~250-step noise): what
+// delta_bitpack compresses in every v2 chunk flush, and what replay
+// decodes per chunk — the costs the store_v2 throughput gate bounds
+// end-to-end.
+
+std::vector<double> quantized_sensor_column(std::uint64_t seed,
+                                            std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> values(n);
+  double level = 4.0;
+  for (double& v : values) {
+    level += rng.gaussian(0.0, 10e-6);
+    v = static_cast<double>(static_cast<float>(
+        std::round((level + rng.gaussian(0.0, 250e-6)) / 1e-6) * 1e-6));
+  }
+  return values;
+}
+
+void BM_DeltaBitpackEncode(benchmark::State& state) {
+  const auto values = quantized_sensor_column(18, simd_bench_block);
+  std::vector<std::byte> enc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::delta_bitpack_encode(values.data(), values.size(), enc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+}
+BENCHMARK(BM_DeltaBitpackEncode);
+
+void BM_DeltaBitpackDecode(benchmark::State& state,
+                           util::simd::Backend backend) {
+  util::simd::force_backend(backend);
+  const auto values = quantized_sensor_column(19, simd_bench_block);
+  std::vector<std::byte> enc;
+  util::delta_bitpack_encode(values.data(), values.size(), enc);
+  std::vector<double> out(values.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::delta_bitpack_decode(
+        enc.data(), enc.size(), out.data(), out.size()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+  util::simd::reset_backend();
+}
+
+void BM_SimdUnpackBits(benchmark::State& state,
+                       util::simd::Backend backend) {
+  util::simd::force_backend(backend);
+  constexpr unsigned width = 12;  // typical packed sensor delta width
+  util::Xoshiro256 rng(20);
+  std::vector<std::byte> packed(simd_bench_block * width / 8 + 8);
+  for (std::byte& b : packed) {
+    b = static_cast<std::byte>(rng() & 0xff);
+  }
+  std::vector<std::uint64_t> out(simd_bench_block);
+  for (auto _ : state) {
+    util::simd::unpack_bits(packed.data(), packed.size(), 0, width,
+                            out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(simd_bench_block));
+  util::simd::reset_backend();
+}
+
 void register_simd_benchmarks() {
   for (const util::simd::Backend backend : util::simd::supported_backends()) {
     const std::string name(util::simd::backend_name(backend));
@@ -241,6 +313,10 @@ void register_simd_benchmarks() {
                                  BM_SimdHistogram16, backend);
     benchmark::RegisterBenchmark(("BM_CpaAddTraceBatch/" + name).c_str(),
                                  BM_CpaAddTraceBatch, backend);
+    benchmark::RegisterBenchmark(("BM_SimdUnpackBits/" + name).c_str(),
+                                 BM_SimdUnpackBits, backend);
+    benchmark::RegisterBenchmark(("BM_DeltaBitpackDecode/" + name).c_str(),
+                                 BM_DeltaBitpackDecode, backend);
   }
 }
 

@@ -21,6 +21,18 @@
 // (default 1.0 — reading back must not be slower than re-simulating).
 // Any failure exits non-zero so CI smoke runs catch regressions.
 //
+// The store_v2 stage gates the compressed format: a synthetic
+// quantized-sensor dataset (PSC_STORE_V2_CHANNELS rails through the
+// measurement path's noise + quantizer + float32 truncation) is written
+// as both v1 and v2; the v2 file must shrink bytes/trace by at least
+// PSC_STORE_V2_MIN_RATIO (default 2.0) and its compressed replay —
+// decode-ahead prefetch included — must reach PSC_STORE_V2_MIN_TPS_RATIO
+// (default 0.8) times the uncompressed mmap replay, with bit-identical
+// engines. The stage also compacts the live recording into the
+// PSC_BENCH_PSTR_V2 artifact (default BENCH_sample_v2.pstr), checks the
+// compacted replay bit-identical to the v1 replay, and reports — without
+// gating — the ratios real recorded data achieves.
+//
 // The worker sweep runs the *combined* CPA+TVLA campaign (one
 // acquisition, every analysis) on the persistent worker pool, 1/2/4/8
 // workers at a pinned shard count, and enforces a scaling gate: workers=4
@@ -45,12 +57,18 @@
 //   PSC_STORE_TRACES=N      record/replay trace count     (default 60000)
 //   PSC_REPLAY_MIN_RATIO=R  minimum replay/live ratio     (default 1.0)
 //   PSC_BENCH_PSTR=PATH     recorded store artifact path
+//   PSC_STORE_V2_TRACES=N   synthetic v1-vs-v2 trace count (default 60000)
+//   PSC_STORE_V2_CHANNELS=N synthetic sensor rail count    (default 16)
+//   PSC_STORE_V2_MIN_RATIO=R     minimum v1/v2 bytes-per-trace  (default 2.0)
+//   PSC_STORE_V2_MIN_TPS_RATIO=R minimum v2/v1 replay tps       (default 0.8)
+//   PSC_BENCH_PSTR_V2=PATH  compacted v2 store artifact path
 //   PSC_SEED=N              campaign seed
 //   PSC_BENCH_JSON=PATH     trajectory file path
 #include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -60,6 +78,7 @@
 
 #include "bench_common.h"
 #include "core/campaigns.h"
+#include "power/noise.h"
 #include "store/file_trace_source.h"
 #include "store/trace_file_writer.h"
 #include "util/aligned.h"
@@ -266,6 +285,179 @@ int main() {
             << " traces/s (replay/regen " << replay_ratio << ", "
             << (replay_identical ? "bit-identical" : "MISMATCH") << ", "
             << store_bytes << " bytes on disk)\n";
+
+  // ---- store v2: compressed codecs + prefetch vs uncompressed mmap ----
+  //
+  // The gated dataset is synthetic and shaped like the quantized sensor
+  // columns the codec targets: PSC_STORE_V2_CHANNELS rails, each a slow
+  // random walk pushed through power::GaussianNoise, power::Quantizer and
+  // the SMC client's float32 truncation (victim/fast_trace.cpp). Both a
+  // v1 and a v2 file of the same stream are written; the v2 file must
+  // shrink bytes/trace by >= PSC_STORE_V2_MIN_RATIO and its compressed
+  // replay (prefetch on, the default) must hold >=
+  // PSC_STORE_V2_MIN_TPS_RATIO of the uncompressed mmap replay while the
+  // replayed engines stay bit-identical. The live recording from the
+  // store stage above is then compacted into the PSC_BENCH_PSTR_V2
+  // artifact and cross-checked the same way, with its ratios reported
+  // but not gated (real captures carry fewer channels per byte of AES
+  // framing than the sensor-heavy synthetic set).
+  const std::size_t v2_traces = util::env_size("PSC_STORE_V2_TRACES", 60'000);
+  const std::size_t v2_channels = util::env_size("PSC_STORE_V2_CHANNELS", 16);
+  const double v2_min_ratio = util::env_double("PSC_STORE_V2_MIN_RATIO", 2.0);
+  const double v2_min_tps_ratio =
+      util::env_double("PSC_STORE_V2_MIN_TPS_RATIO", 0.8);
+  const std::string pstr_v2_path =
+      util::env_string("PSC_BENCH_PSTR_V2", "BENCH_sample_v2.pstr");
+  std::size_t v2_ref_bytes = 0;   // synthetic stream as v1
+  std::size_t v2_cmp_bytes = 0;   // same stream as v2
+  double v1_replay_tps = 0.0;
+  double v2_replay_tps = 0.0;
+  std::size_t v2_async_decodes = 0;
+  bool v2_identical = true;
+  std::size_t sample_v1_bytes = 0;
+  std::size_t sample_v2_bytes = 0;
+  double sample_chan_ratio = 0.0;
+  bool sample_identical = true;
+  {
+    std::vector<util::FourCc> channels;
+    for (std::size_t c = 0; c < v2_channels; ++c) {
+      char name[5];
+      std::snprintf(name, sizeof(name), "QT%02u",
+                    static_cast<unsigned>(c % 100));
+      channels.push_back(util::FourCc(name));
+    }
+    const std::string ref_path = "BENCH_store_v2_ref.pstr";
+    const std::string cmp_path = "BENCH_store_v2_cmp.pstr";
+    {
+      store::TraceFileWriter ref_writer(ref_path, {.channels = channels});
+      store::TraceFileWriter cmp_writer(
+          cmp_path, {.channels = channels,
+                     .channel_codecs = store::uniform_channel_codecs(
+                         channels.size(), store::ColumnCodec::delta_bitpack)});
+      util::Xoshiro256 rng(bench::bench_seed() + 23);
+      const power::GaussianNoise noise(250e-6);  // ~250 quantization steps
+      const power::Quantizer quant(1e-6);        // uW-resolution sensor
+      std::vector<double> levels(channels.size(), 4.0);
+      core::TraceBatch batch(channels.size());
+      std::size_t produced = 0;
+      while (produced < v2_traces) {
+        const std::size_t n = std::min<std::size_t>(1024, v2_traces - produced);
+        batch.clear();
+        batch.resize(n);
+        for (auto& pt : batch.plaintexts()) {
+          rng.fill_bytes(pt);
+        }
+        for (auto& ct : batch.ciphertexts()) {
+          rng.fill_bytes(ct);
+        }
+        for (std::size_t c = 0; c < channels.size(); ++c) {
+          auto column = batch.column(c);
+          for (std::size_t r = 0; r < n; ++r) {
+            levels[c] += rng.gaussian(0.0, 10e-6);  // slow baseline drift
+            column[r] = static_cast<double>(static_cast<float>(
+                quant.apply(noise.apply(levels[c], rng))));
+          }
+        }
+        ref_writer.append(batch);
+        cmp_writer.append(batch);
+        produced += n;
+      }
+      ref_writer.finalize();
+      cmp_writer.finalize();
+    }
+    v2_ref_bytes = store::TraceFileReader(ref_path).file_bytes();
+    v2_cmp_bytes = store::TraceFileReader(cmp_path).file_bytes();
+
+    // Replay throughput, best of 3 alternating reps; the engines of every
+    // rep must match bit-for-bit (column 0 — any rail works, they are
+    // statistically identical).
+    for (int rep = 0; rep < 3; ++rep) {
+      core::CpaEngine ref_engine(ingest_models);
+      core::CpaEngine cmp_engine(ingest_models);
+      {
+        store::FileTraceSource replay(ref_path);
+        util::Xoshiro256 unused_rng(0);
+        v1_replay_tps = std::max(
+            v1_replay_tps, time_accumulate(replay, unused_rng, ref_engine,
+                                           v2_traces, 0, nullptr, true));
+      }
+      {
+        store::FileTraceSource replay(cmp_path);
+        util::Xoshiro256 unused_rng(0);
+        v2_replay_tps = std::max(
+            v2_replay_tps, time_accumulate(replay, unused_rng, cmp_engine,
+                                           v2_traces, 0, nullptr, true));
+        v2_async_decodes = replay.async_completions();
+      }
+      v2_identical = v2_identical && engines_identical(ref_engine, cmp_engine);
+    }
+    std::remove(ref_path.c_str());
+    std::remove(cmp_path.c_str());
+
+    // Compact the live recording into the v2 CI artifact and cross-check
+    // its replay against the v1 replay.
+    {
+      store::TraceFileReader src(pstr_path);
+      store::TraceFileWriter compact(
+          pstr_v2_path,
+          {.channels = src.channels(),
+           .chunk_capacity = src.chunk_capacity(),
+           .metadata = src.metadata(),
+           .channel_codecs = store::uniform_channel_codecs(
+               src.channels().size(), store::ColumnCodec::delta_bitpack)});
+      core::TraceBatch batch(src.channels().size());
+      for (std::size_t i = 0; i < src.chunk_count(); ++i) {
+        batch.clear();
+        src.chunk(i).append_to(batch);
+        compact.append(batch);
+      }
+      compact.finalize();
+      sample_v1_bytes = src.file_bytes();
+      sample_chan_ratio =
+          compact.channel_stored_bytes() > 0
+              ? static_cast<double>(compact.channel_raw_bytes()) /
+                    static_cast<double>(compact.channel_stored_bytes())
+              : 0.0;
+    }
+    sample_v2_bytes = store::TraceFileReader(pstr_v2_path).file_bytes();
+    {
+      const std::vector<util::FourCc> channels =
+          core::LiveTraceSource::channel_names(live_config);
+      const std::size_t column = static_cast<std::size_t>(
+          std::find(channels.begin(), channels.end(), util::FourCc("PHPC")) -
+          channels.begin());
+      core::CpaEngine v1_engine(ingest_models);
+      core::CpaEngine v2_engine(ingest_models);
+      util::Xoshiro256 unused_rng(0);
+      store::FileTraceSource v1_replay(pstr_path);
+      time_accumulate(v1_replay, unused_rng, v1_engine, store_traces, column,
+                      nullptr, true);
+      store::FileTraceSource v2_replay(pstr_v2_path);
+      time_accumulate(v2_replay, unused_rng, v2_engine, store_traces, column,
+                      nullptr, true);
+      sample_identical = engines_identical(v1_engine, v2_engine);
+    }
+  }
+  const double v2_ratio =
+      v2_cmp_bytes > 0
+          ? static_cast<double>(v2_ref_bytes) / static_cast<double>(v2_cmp_bytes)
+          : 0.0;
+  const double v2_tps_ratio =
+      v1_replay_tps > 0.0 ? v2_replay_tps / v1_replay_tps : 0.0;
+  const double sample_file_ratio =
+      sample_v2_bytes > 0 ? static_cast<double>(sample_v1_bytes) /
+                                static_cast<double>(sample_v2_bytes)
+                          : 0.0;
+  std::cerr << "store_v2: " << v2_ref_bytes << " -> " << v2_cmp_bytes
+            << " bytes (" << v2_ratio << "x), replay v1 " << v1_replay_tps
+            << " traces/s, v2 " << v2_replay_tps << " traces/s (ratio "
+            << v2_tps_ratio << ", " << v2_async_decodes
+            << " async decodes, "
+            << (v2_identical ? "bit-identical" : "MISMATCH")
+            << "); sample " << sample_v1_bytes << " -> " << sample_v2_bytes
+            << " bytes (" << sample_file_ratio << "x file, "
+            << sample_chan_ratio << "x channels, "
+            << (sample_identical ? "bit-identical" : "MISMATCH") << ")\n";
 
   // ---- SIMD ingest kernels: each available backend vs forced scalar ----
   //
@@ -496,6 +688,22 @@ int main() {
               << "(ratio " << replay_ratio << ", required "
               << replay_min_ratio << ")\n";
   }
+  const bool store_v2_ok = v2_identical && sample_identical &&
+                           v2_ratio >= v2_min_ratio &&
+                           v2_tps_ratio >= v2_min_tps_ratio;
+  if (!store_v2_ok) {
+    std::cerr << "FAIL: PSTR v2 ";
+    if (!v2_identical || !sample_identical) {
+      std::cerr << "replay state mismatch";
+    } else if (v2_ratio < v2_min_ratio) {
+      std::cerr << "compression ratio " << v2_ratio << " below required "
+                << v2_min_ratio;
+    } else {
+      std::cerr << "compressed replay ratio " << v2_tps_ratio
+                << " below required " << v2_min_tps_ratio;
+    }
+    std::cerr << "\n";
+  }
   if (!simd_ok) {
     std::cerr << "FAIL: SIMD ingest "
               << (simd_identical ? "below required speedup over scalar "
@@ -568,6 +776,37 @@ int main() {
       "\"regen_traces_per_sec\":" + util::format_double(regen_tps) + ","
       "\"replay_over_regen\":" + util::format_double(replay_ratio) + ","
       "\"bit_identical\":" + (replay_identical ? "true" : "false") + "},"
+      "\"store_v2\":{"
+      "\"traces\":" + std::to_string(v2_traces) + ","
+      "\"channels\":" + std::to_string(v2_channels) + ","
+      "\"v1_file_bytes\":" + std::to_string(v2_ref_bytes) + ","
+      "\"v2_file_bytes\":" + std::to_string(v2_cmp_bytes) + ","
+      "\"bytes_per_trace_v1\":" +
+      util::format_double(v2_traces > 0
+                              ? static_cast<double>(v2_ref_bytes) /
+                                    static_cast<double>(v2_traces)
+                              : 0.0) + ","
+      "\"bytes_per_trace_v2\":" +
+      util::format_double(v2_traces > 0
+                              ? static_cast<double>(v2_cmp_bytes) /
+                                    static_cast<double>(v2_traces)
+                              : 0.0) + ","
+      "\"compression_ratio\":" + util::format_double(v2_ratio) + ","
+      "\"min_ratio\":" + util::format_double(v2_min_ratio) + ","
+      "\"v1_replay_traces_per_sec\":" + util::format_double(v1_replay_tps) + ","
+      "\"v2_replay_traces_per_sec\":" + util::format_double(v2_replay_tps) + ","
+      "\"replay_ratio\":" + util::format_double(v2_tps_ratio) + ","
+      "\"min_replay_ratio\":" + util::format_double(v2_min_tps_ratio) + ","
+      "\"async_chunk_decodes\":" + std::to_string(v2_async_decodes) + ","
+      "\"bit_identical\":" + (v2_identical ? "true" : "false") + ","
+      "\"sample\":{"
+      "\"path\":\"" + pstr_v2_path + "\","
+      "\"v1_bytes\":" + std::to_string(sample_v1_bytes) + ","
+      "\"v2_bytes\":" + std::to_string(sample_v2_bytes) + ","
+      "\"file_ratio\":" + util::format_double(sample_file_ratio) + ","
+      "\"channel_ratio\":" + util::format_double(sample_chan_ratio) + ","
+      "\"bit_identical\":" + (sample_identical ? "true" : "false") + "},"
+      "\"ok\":" + (store_v2_ok ? "true" : "false") + "},"
       "\"results\":[" + rows + "]}";
   std::cout << json << "\n";
   const std::string path =
@@ -577,5 +816,8 @@ int main() {
   } else {
     std::cerr << "warning: could not write " << path << "\n";
   }
-  return identical && ingest_ok && store_ok && simd_ok && scaling_ok ? 0 : 1;
+  return identical && ingest_ok && store_ok && store_v2_ok && simd_ok &&
+                 scaling_ok
+             ? 0
+             : 1;
 }

@@ -3,9 +3,13 @@
 // while a CPA sink consumes them; the recorded file is then replayed
 // out-of-core through store::FileTraceSource into a fresh engine — and
 // the two ModelResults are bit-identical, demonstrating that analysis is
-// fully decoupled from collection. CSV interchange (the format a
-// logging attacker might keep) is handled by the trace_convert tool:
-// csv2pstr / pstr2csv are value-exact in both directions.
+// fully decoupled from collection. The store is written as format v2:
+// the quantized sensor columns compress losslessly (delta_bitpack), and
+// replay decodes ahead on the worker pool (chunk prefetch, on by
+// default) — both change bytes and schedule, never a result bit. CSV
+// interchange (the format a logging attacker might keep) is handled by
+// the trace_convert tool: csv2pstr / pstr2csv are value-exact in both
+// directions.
 //
 //   ./offline_analysis [traces] [path.pstr]
 #include <algorithm>
@@ -45,7 +49,9 @@ int main(int argc, char** argv) {
   store::TraceFileWriter writer(
       path, {.channels = channels,
              .metadata = store::device_metadata(config.profile.name,
-                                                config.profile.os_version)});
+                                                config.profile.os_version),
+             .channel_codecs = store::uniform_channel_codecs(
+                 channels.size(), store::ColumnCodec::delta_bitpack)});
   core::CpaSink live_cpa(models, {column});
   store::RecordingSink recorder(writer);
   core::MultiSink multi({&live_cpa, &recorder});
@@ -60,14 +66,18 @@ int main(int argc, char** argv) {
   }
   writer.finalize();
   std::cout << "captured " << writer.trace_count() << " traces ("
-            << channels.size() << " channels) -> " << path << "\n";
+            << channels.size() << " channels) -> " << path << " (v"
+            << writer.format_version() << ", channel columns "
+            << writer.channel_raw_bytes() << " -> "
+            << writer.channel_stored_bytes() << " bytes)\n";
 
   // --- Analysis phase (possibly days later, on another machine): stream
   // the store back through the same analysis path, out-of-core.
   store::FileTraceSource replay(path);
   std::cout << "replaying " << *replay.remaining() << " traces ("
-            << (replay.reader().mapped() ? "mmap" : "stream")
-            << " reader)\n\n";
+            << (replay.reader().mapped() ? "mmap" : "stream") << " reader, "
+            << (replay.prefetch_enabled() ? "prefetch on" : "prefetch off")
+            << ")\n\n";
   util::Xoshiro256 unused_rng(0);  // replay returns its recorded plaintexts
   const core::CpaEngine engine = core::accumulate_cpa(
       replay, util::FourCc("PHPC"), models, /*count=*/0, unused_rng);

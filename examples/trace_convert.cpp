@@ -6,16 +6,29 @@
 //   trace_convert info     <file.pstr>
 //   trace_convert csv2pstr <in.csv>  <out.pstr> [chunk_rows]
 //   trace_convert pstr2csv <in.pstr> <out.csv>
+//   trace_convert compact  <in.pstr> <out.pstr> [chunk_rows]
+//   trace_convert verify   <file.pstr>
+//   trace_convert cat      <file.pstr> [begin [count]]
 //
 // Both conversions are value-exact: CSV cells use shortest-round-trip
 // float formatting and PSTR stores raw IEEE-754 doubles, so
 // csv -> pstr -> csv and pstr -> csv -> pstr reproduce the same bits.
 // pstr2csv streams chunk by chunk, so converting a file larger than RAM
 // is fine; csv2pstr currently loads the CSV through core::TraceSet.
+//
+// compact rewrites any readable store as a version-2 file with the
+// delta_bitpack codec requested on every channel (chunks that do not
+// compress stay identity — the output always round-trips bit-exactly);
+// verify walks every chunk, CRC-checking and decoding it, and exits
+// non-zero on the first corruption; cat streams a trace range to stdout
+// in the pstr2csv format. All three stream out-of-core.
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/trace.h"
 #include "store/file_trace_source.h"
@@ -29,7 +42,10 @@ int usage() {
   std::cerr << "usage:\n"
                "  trace_convert info     <file.pstr>\n"
                "  trace_convert csv2pstr <in.csv>  <out.pstr> [chunk_rows]\n"
-               "  trace_convert pstr2csv <in.pstr> <out.csv>\n";
+               "  trace_convert pstr2csv <in.pstr> <out.csv>\n"
+               "  trace_convert compact  <in.pstr> <out.pstr> [chunk_rows]\n"
+               "  trace_convert verify   <file.pstr>\n"
+               "  trace_convert cat      <file.pstr> [begin [count]]\n";
   return 2;
 }
 
@@ -39,6 +55,7 @@ int cmd_info(const std::string& path) {
   std::cout << "file        : " << path << " (" << reader.file_bytes()
             << " bytes, " << (reader.mapped() ? "mmap" : "stream")
             << " reader)\n"
+            << "version     : " << reader.format_version() << "\n"
             << "traces      : " << reader.trace_count() << "\n"
             << "channels    : " << reader.channels().size() << " [";
   for (std::size_t c = 0; c < reader.channels().size(); ++c) {
@@ -115,6 +132,103 @@ int cmd_pstr2csv(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+int cmd_compact(const std::string& in_path, const std::string& out_path,
+                std::size_t chunk_rows) {
+  using namespace psc;
+  store::TraceFileReader reader(in_path);
+  store::TraceFileWriter writer(
+      out_path,
+      {.channels = reader.channels(),
+       .chunk_capacity = chunk_rows ? chunk_rows : reader.chunk_capacity(),
+       .metadata = reader.metadata(),
+       .channel_codecs = store::uniform_channel_codecs(
+           reader.channels().size(), store::ColumnCodec::delta_bitpack)});
+  core::TraceBatch batch;
+  batch.reset_channels(reader.channels().size());
+  for (std::size_t i = 0; i < reader.chunk_count(); ++i) {
+    batch.clear();
+    reader.chunk(i).append_to(batch);
+    writer.append(batch);
+  }
+  writer.finalize();
+
+  store::TraceFileReader out(out_path);
+  const double file_ratio = out.file_bytes() > 0
+                                ? static_cast<double>(reader.file_bytes()) /
+                                      static_cast<double>(out.file_bytes())
+                                : 0.0;
+  const double channel_ratio =
+      writer.channel_stored_bytes() > 0
+          ? static_cast<double>(writer.channel_raw_bytes()) /
+                static_cast<double>(writer.channel_stored_bytes())
+          : 0.0;
+  std::cout << "compacted " << reader.trace_count() << " traces (v"
+            << reader.format_version() << " -> v" << out.format_version()
+            << ") " << reader.file_bytes() << " -> " << out.file_bytes()
+            << " bytes\n"
+            << std::fixed << std::setprecision(2)  //
+            << "file ratio  : " << file_ratio << "x\n"
+            << "chan ratio  : " << channel_ratio << "x ("
+            << writer.channel_raw_bytes() << " -> "
+            << writer.channel_stored_bytes() << " channel bytes)\n";
+  return 0;
+}
+
+int cmd_verify(const std::string& path) {
+  using namespace psc;
+  try {
+    store::TraceFileReader reader(path);
+    std::uint64_t rows = 0;
+    // chunk() decodes every column and checks the payload CRC, so this
+    // walk exercises exactly the bytes a replay campaign would consume.
+    for (std::size_t i = 0; i < reader.chunk_count(); ++i) {
+      rows += reader.chunk(i).rows();
+    }
+    if (rows != reader.trace_count()) {
+      std::cerr << "verify FAILED: " << path << ": chunk rows " << rows
+                << " != trace count " << reader.trace_count() << "\n";
+      return 1;
+    }
+    std::cout << "OK: " << path << " v" << reader.format_version() << ", "
+              << reader.trace_count() << " traces in "
+              << reader.chunk_count() << " chunks, "
+              << reader.channels().size() << " channels\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "verify FAILED: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_cat(const std::string& path, std::size_t begin, std::size_t count) {
+  using namespace psc;
+  store::FileTraceSource source(path, begin, count);
+  util::CsvWriter csv(std::cout);
+  std::vector<std::string> header = {"row", "plaintext", "ciphertext"};
+  for (const auto& key : source.keys()) {
+    header.push_back(key.str());
+  }
+  csv.row(header);
+  core::TraceBatch batch;
+  batch.reset_channels(source.keys().size());
+  std::size_t row_index = begin;
+  while (source.remaining().value() > 0) {
+    batch.resize(std::min<std::size_t>(4096, source.remaining().value()));
+    source.collect_batch(batch);
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      auto row = csv.start_row();
+      row.cell(std::to_string(row_index++));
+      row.cell(util::to_hex(batch.plaintexts()[r]));
+      row.cell(util::to_hex(batch.ciphertexts()[r]));
+      for (std::size_t c = 0; c < batch.channels(); ++c) {
+        row.cell(util::format_double_exact(batch.column(c)[r]));
+      }
+      row.done();
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +247,22 @@ int main(int argc, char** argv) {
     }
     if (command == "pstr2csv" && argc == 4) {
       return cmd_pstr2csv(argv[2], argv[3]);
+    }
+    if (command == "compact" && (argc == 4 || argc == 5)) {
+      const std::size_t chunk_rows =
+          argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 0;
+      return cmd_compact(argv[2], argv[3], chunk_rows);
+    }
+    if (command == "verify" && argc == 3) {
+      return cmd_verify(argv[2]);
+    }
+    if (command == "cat" && argc >= 3 && argc <= 5) {
+      const std::size_t begin =
+          argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 0;
+      const std::size_t count =
+          argc == 5 ? std::strtoull(argv[4], nullptr, 10)
+                    : std::numeric_limits<std::size_t>::max();
+      return cmd_cat(argv[2], begin, count);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

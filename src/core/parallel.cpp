@@ -33,6 +33,15 @@ thread_local bool tl_in_pool_job = false;
 
 }  // namespace
 
+// One post()ed side job. state transitions under mu_: queued -> running
+// (claimed by a worker, or erased from the deque by a stealing finish())
+// -> done. fn itself runs outside the lock.
+struct WorkerPool::AsyncJob {
+  enum State { queued, running, done };
+  std::function<void()> fn;
+  State state = queued;
+};
+
 WorkerPool& WorkerPool::instance() {
   static WorkerPool pool;
   return pool;
@@ -67,10 +76,27 @@ void WorkerPool::worker_loop() {
   // the spawn) must still see it as new and join it.
   std::uint64_t seen = 0;
   for (;;) {
-    work_cv_.wait(lock,
-                  [&] { return shutdown_ || generation_ != seen; });
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen || !async_jobs_.empty();
+    });
     if (shutdown_) {
       return;
+    }
+    // Async jobs are checked before the generation-skip path below: a
+    // thread that already saw the current (closed) generation must still
+    // drain the async queue instead of spinning back to sleep.
+    if (!async_jobs_.empty()) {
+      std::shared_ptr<AsyncJob> job = std::move(async_jobs_.front());
+      async_jobs_.pop_front();
+      job->state = AsyncJob::running;
+      lock.unlock();
+      tl_in_pool_job = true;
+      job->fn();
+      tl_in_pool_job = false;
+      lock.lock();
+      job->state = AsyncJob::done;
+      async_cv_.notify_all();
+      continue;
     }
     seen = generation_;
     if (!open_ || joined_ >= max_joiners_) {
@@ -139,6 +165,42 @@ void WorkerPool::run(std::size_t jobs, std::size_t participants,
   open_ = false;  // late wakers skip this generation entirely
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
+}
+
+WorkerPool::AsyncTicket WorkerPool::post(std::function<void()> fn) {
+  AsyncTicket ticket;
+  ticket.job_ = std::make_shared<AsyncJob>();
+  ticket.job_->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_threads(1);
+    async_jobs_.push_back(ticket.job_);
+  }
+  work_cv_.notify_all();
+  return ticket;
+}
+
+bool WorkerPool::finish(AsyncTicket& ticket) {
+  std::shared_ptr<AsyncJob> job = std::move(ticket.job_);
+  if (job == nullptr) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (job->state == AsyncJob::queued) {
+    // No worker has claimed it: steal it back and run inline. This is
+    // what makes finish() deadlock-free — a caller that is itself a pool
+    // job (sharded replay) never blocks on a queue no thread can drain.
+    async_jobs_.erase(
+        std::find(async_jobs_.begin(), async_jobs_.end(), job));
+    job->state = AsyncJob::running;
+    lock.unlock();
+    job->fn();
+    lock.lock();
+    job->state = AsyncJob::done;
+    return false;
+  }
+  async_cv_.wait(lock, [&] { return job->state == AsyncJob::done; });
+  return true;
 }
 
 }  // namespace psc::core

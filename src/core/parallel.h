@@ -40,8 +40,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -87,6 +89,8 @@ struct ShardPlan {
 // above). ParallelRunner::map is the intended interface; the pool is
 // public for tests and benches that assert on reuse.
 class WorkerPool {
+  struct AsyncJob;  // private; defined in parallel.cpp
+
  public:
   static WorkerPool& instance();
 
@@ -99,6 +103,36 @@ class WorkerPool {
   // caller.
   void run(std::size_t jobs, std::size_t participants,
            const std::function<void(std::size_t)>& fn);
+
+  // Handle to one post()ed side job; redeem with finish(). Default
+  // tickets and already-finished tickets are empty (finish() is a no-op
+  // on them). Dropping a ticket without finish() leaves the job to run
+  // whenever a pool thread gets to it, so its fn must own everything it
+  // touches.
+  class AsyncTicket {
+   public:
+    AsyncTicket() = default;
+    explicit operator bool() const noexcept { return job_ != nullptr; }
+
+   private:
+    friend class WorkerPool;
+    std::shared_ptr<AsyncJob> job_;
+  };
+
+  // Enqueues one side job for any idle pool thread — the async leg of a
+  // double-buffered producer/consumer (the store prefetcher decodes
+  // chunk N+1 here while the caller ingests chunk N). fn must not throw;
+  // it runs exactly once, on a pool thread or inline in finish().
+  AsyncTicket post(std::function<void()> fn);
+
+  // Waits until the ticket's job has run and empties the ticket. If no
+  // pool thread has claimed the job yet it is stolen back and run inline
+  // on the caller — so finish() never deadlocks, even when every pool
+  // thread is parked inside a run() generation that is itself waiting on
+  // this job. Returns true iff the job ran on a pool thread (the
+  // prefetcher's async-hit statistic); false for inline execution or an
+  // empty ticket.
+  bool finish(AsyncTicket& ticket);
 
   // Pool threads spawned so far (grow-only); exposed so tests can assert
   // the pool persists across campaigns.
@@ -115,9 +149,11 @@ class WorkerPool {
   void ensure_threads(std::size_t helpers);  // caller holds mu_
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // new generation published
-  std::condition_variable done_cv_;  // last active thread left
+  std::condition_variable work_cv_;   // new generation or async job
+  std::condition_variable done_cv_;   // last active thread left
+  std::condition_variable async_cv_;  // an async job completed
   std::vector<std::thread> threads_;
+  std::deque<std::shared_ptr<AsyncJob>> async_jobs_;  // posted, unclaimed
   bool shutdown_ = false;
 
   // Current generation, all guarded by mu_ except the ticket.

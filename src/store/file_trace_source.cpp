@@ -5,25 +5,52 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "util/env.h"
 
 namespace psc::store {
 
+namespace {
+
+bool resolve_prefetch(PrefetchMode mode) {
+  switch (mode) {
+    case PrefetchMode::on:
+      return true;
+    case PrefetchMode::off:
+      return false;
+    case PrefetchMode::automatic:
+      break;
+  }
+  return util::env_flag("PSC_STORE_PREFETCH", true);
+}
+
+}  // namespace
+
 FileTraceSource::FileTraceSource(const std::string& path, ReaderMode mode)
-    : FileTraceSource(std::make_unique<TraceFileReader>(path, mode), 0,
-                      std::numeric_limits<std::size_t>::max()) {}
+    : FileTraceSource(path, FileSourceOptions{.mode = mode}) {}
+
+FileTraceSource::FileTraceSource(const std::string& path,
+                                 const FileSourceOptions& options)
+    : FileTraceSource(std::make_unique<TraceFileReader>(path, options.mode),
+                      0, std::numeric_limits<std::size_t>::max(), options) {}
 
 FileTraceSource::FileTraceSource(const std::string& path, std::size_t begin,
                                  std::size_t count, ReaderMode mode)
-    : FileTraceSource(std::make_unique<TraceFileReader>(path, mode), begin,
-                      count) {}
+    : FileTraceSource(path, begin, count, FileSourceOptions{.mode = mode}) {}
+
+FileTraceSource::FileTraceSource(const std::string& path, std::size_t begin,
+                                 std::size_t count,
+                                 const FileSourceOptions& options)
+    : FileTraceSource(std::make_unique<TraceFileReader>(path, options.mode),
+                      begin, count, options) {}
 
 FileTraceSource::FileTraceSource(std::unique_ptr<TraceFileReader> reader)
     : FileTraceSource(std::move(reader), 0,
                       std::numeric_limits<std::size_t>::max()) {}
 
 FileTraceSource::FileTraceSource(std::unique_ptr<TraceFileReader> reader,
-                                 std::size_t begin, std::size_t count)
-    : reader_(std::move(reader)) {
+                                 std::size_t begin, std::size_t count,
+                                 const FileSourceOptions& options)
+    : reader_(std::move(reader)), prefetch_(resolve_prefetch(options.prefetch)) {
   if (!reader_) {
     throw std::invalid_argument("FileTraceSource: null reader");
   }
@@ -34,12 +61,41 @@ FileTraceSource::FileTraceSource(std::unique_ptr<TraceFileReader> reader,
                                                : pos_ + count;
 }
 
+const ChunkView& FileTraceSource::current_view(std::size_t row) {
+  if (!prefetcher_) {
+    // Built lazily on the first read so a source that is constructed but
+    // never consumed posts no decode work; [first, last) is the chunk
+    // range covering this source's rows.
+    const std::size_t first = reader_->chunk_containing(row);
+    const std::size_t last = reader_->chunk_containing(end_ - 1) + 1;
+    prefetcher_.emplace(*reader_, first, last);
+  }
+  while (!have_view_ || row < view_.row_begin() ||
+         row >= view_.row_begin() + view_.rows()) {
+    std::optional<ChunkView> next = prefetcher_->next_chunk();
+    if (!next.has_value()) {
+      // Unreachable when the bounds checks in collect()/collect_batch()
+      // hold; guard so a logic bug cannot become an infinite loop.
+      throw std::out_of_range("FileTraceSource: prefetch range exhausted");
+    }
+    view_ = *next;
+    have_view_ = true;
+  }
+  return view_;
+}
+
 core::TraceRecord FileTraceSource::collect(const aes::Block& /*plaintext*/) {
   if (pos_ >= end_) {
     throw std::out_of_range("FileTraceSource: file exhausted");
   }
   row_scratch_.clear();
-  reader_->read_rows(pos_++, 1, row_scratch_);
+  if (prefetch_) {
+    const ChunkView& view = current_view(pos_);
+    view.append_to(row_scratch_, pos_ - view.row_begin(), 1);
+    ++pos_;
+  } else {
+    reader_->read_rows(pos_++, 1, row_scratch_);
+  }
   core::TraceRecord record;
   record.plaintext = row_scratch_.plaintexts()[0];
   record.ciphertext = row_scratch_.ciphertexts()[0];
@@ -60,8 +116,22 @@ void FileTraceSource::collect_batch(core::TraceBatch& batch) {
     throw std::out_of_range("FileTraceSource: file exhausted");
   }
   batch.clear();
-  reader_->read_rows(pos_, n, batch);
-  pos_ += n;
+  if (!prefetch_) {
+    reader_->read_rows(pos_, n, batch);
+    pos_ += n;
+    return;
+  }
+  std::size_t row = pos_;
+  std::size_t left = n;
+  while (left > 0) {
+    const ChunkView& view = current_view(row);
+    const std::size_t local = row - view.row_begin();
+    const std::size_t take = std::min(left, view.rows() - local);
+    view.append_to(batch, local, take);
+    row += take;
+    left -= take;
+  }
+  pos_ = row;
 }
 
 std::pair<std::size_t, std::size_t> shard_row_range(

@@ -18,6 +18,21 @@
 //   | chunk 1  ... (every chunk holds chunk_capacity rows except a     |
 //   |          shorter final chunk)                                    |
 //   +------------------------------------------------------------------+
+//
+// Version 2 keeps the header, index and footer byte-identical and adds
+// per-column chunk compression. A v2 chunk carries a column directory
+// between the chunk header and the column blocks:
+//
+//   | chunk    "CHNK" u32 rows u32 payload_crc32 u32 reserved          |
+//   |          directory, one entry per column (pt, ct, channels...):  |
+//   |            u32 codec u32 reserved u64 raw_bytes u64 stored_bytes |
+//   |          column blocks, each padded to an 8-byte boundary        |
+//
+// rows and payload_crc32 still describe the *decoded* v1-layout payload
+// — the CRC is computed before compression and checked after decode, so
+// corruption inside a compressed block is as loud as in v1. A chunk
+// whose columns are all identity stores exactly the v1 payload bytes
+// after the directory, which lets a mapped reader serve it zero-copy.
 //   | index    "CIDX" u32 reserved u64 chunk_count                     |
 //   |          per chunk: u64 offset u64 row_begin u32 rows u32 crc32  |
 //   |          u32 index_crc32 (over the entries) u32 reserved         |
@@ -57,7 +72,17 @@ inline constexpr char chunk_magic[4] = {'C', 'H', 'N', 'K'};
 inline constexpr char index_magic[4] = {'C', 'I', 'D', 'X'};
 inline constexpr char footer_magic[4] = {'R', 'T', 'S', 'P'};
 
-inline constexpr std::uint16_t format_version = 1;
+// Version 1: identity chunk payloads. Version 2: per-column codecs. The
+// writer emits 1 unless a channel codec is configured; the reader
+// accepts both with no migration step.
+inline constexpr std::uint16_t format_version_v1 = 1;
+inline constexpr std::uint16_t format_version_v2 = 2;
+
+// Per-column codec of a v2 chunk directory entry.
+enum class ColumnCodec : std::uint32_t {
+  identity = 0,       // raw column bytes, stored_bytes == raw_bytes
+  delta_bitpack = 1,  // util/codec.h (quantized sensor double columns)
+};
 
 // Plaintext/ciphertext bytes per trace (an AES-128 block).
 inline constexpr std::size_t block_bytes = 16;
@@ -78,10 +103,29 @@ struct ChunkIndexEntry {
   std::uint32_t crc32 = 0;  // CRC of the chunk payload (also in the chunk)
 };
 
-// Bytes of one chunk on disk, header included.
+// Bytes of one v1 chunk on disk, header included. Its payload size
+// (chunk_bytes - chunk_header_bytes) is also the *decoded* payload size
+// of a v2 chunk — codecs change the stored bytes, never the layout a
+// ChunkView exposes.
 inline constexpr std::size_t chunk_bytes(std::size_t rows,
                                          std::size_t channels) noexcept {
   return chunk_header_bytes + rows * (2 * block_bytes + 8 * channels);
+}
+
+// Columns of one chunk: plaintexts, ciphertexts, then the channels.
+inline constexpr std::size_t chunk_column_count(std::size_t channels) noexcept {
+  return 2 + channels;
+}
+
+// v2 column directory entry: u32 codec, u32 reserved, u64 raw_bytes,
+// u64 stored_bytes.
+inline constexpr std::size_t column_entry_bytes = 24;
+
+// Column blocks start 8-aligned (the directory size is a multiple of 8)
+// and are padded to 8 bytes, so decoded and all-identity mapped columns
+// alike serve as aligned double spans.
+inline constexpr std::size_t pad8(std::size_t n) noexcept {
+  return (n + 7) & ~std::size_t{7};
 }
 
 // ---------- little-endian scalar encode/decode ----------

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/codec.h"
 #include "util/crc32.h"
+#include "util/env.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PSC_STORE_HAS_MMAP 1
@@ -52,6 +54,12 @@ void TraceFileReader::fail(const std::string& what) const {
 
 TraceFileReader::TraceFileReader(const std::string& path, ReaderMode mode)
     : path_(path) {
+  // PSC_NO_MMAP forces the buffered-read fallback everywhere automatic
+  // mode would map — the knob CI uses to run the whole suite down the
+  // stream path (an explicit ReaderMode::mmap request still maps).
+  if (mode == ReaderMode::automatic && util::env_flag("PSC_NO_MMAP")) {
+    mode = ReaderMode::stream;
+  }
   in_.open(path_, std::ios::binary);
   if (!in_) {
     fail("cannot open file");
@@ -110,10 +118,12 @@ void TraceFileReader::validate_structure() {
     fail("truncated file (no version field)");
   }
   const std::uint16_t version = get_u16(fixed + 4);
-  if (version != format_version) {
+  if (version != format_version_v1 && version != format_version_v2) {
     fail("unsupported format version " + std::to_string(version) +
-         " (expected " + std::to_string(format_version) + ")");
+         " (expected " + std::to_string(format_version_v1) + " or " +
+         std::to_string(format_version_v2) + ")");
   }
+  version_ = version;
   if (file_bytes_ < fixed_header_bytes + footer_bytes) {
     fail("truncated file (no room for header and footer)");
   }
@@ -209,6 +219,7 @@ void TraceFileReader::parse_footer_and_index() {
     fail("missing or corrupt footer (file truncated?)");
   }
   const std::uint64_t index_offset = get_u64(footer);
+  index_offset_ = index_offset;
   trace_count_ = get_u64(footer + 8);
   const std::uint64_t chunks = get_u64(footer + 16);
 
@@ -237,7 +248,17 @@ void TraceFileReader::parse_footer_and_index() {
     fail("corrupt chunk index (CRC mismatch)");
   }
 
+  // v1 chunks have a fixed rows->bytes mapping, so the index can bound
+  // rows exactly. A v2 chunk's size depends on its codecs; here we only
+  // require room for the chunk header and column directory — per-column
+  // block extents are validated against index_offset_ when the chunk is
+  // opened (parse_v2_directory).
   const std::uint64_t row_bytes = 2 * block_bytes + 8 * channels_.size();
+  const std::uint64_t min_chunk =
+      version_ >= format_version_v2
+          ? chunk_header_bytes +
+                chunk_column_count(channels_.size()) * column_entry_bytes
+          : chunk_header_bytes;
   index_.reserve(chunks);
   std::uint64_t expected_row = 0;
   for (std::uint64_t i = 0; i < chunks; ++i) {
@@ -248,9 +269,10 @@ void TraceFileReader::parse_footer_and_index() {
                           .crc32 = get_u32(e + 20)};
     const bool in_bounds =
         entry.offset >= header_bytes_ && entry.offset <= index_offset &&
-        index_offset - entry.offset >= chunk_header_bytes &&
-        entry.rows <=
-            (index_offset - entry.offset - chunk_header_bytes) / row_bytes;
+        index_offset - entry.offset >= min_chunk &&
+        (version_ >= format_version_v2 ||
+         entry.rows <=
+             (index_offset - entry.offset - chunk_header_bytes) / row_bytes);
     if (entry.rows == 0 || entry.rows > chunk_capacity_ ||
         entry.row_begin != expected_row || !in_bounds) {
       fail("corrupt chunk index (entry " + std::to_string(i) +
@@ -297,7 +319,20 @@ const std::byte* TraceFileReader::chunk_base(const ChunkIndexEntry& entry,
   return scratch_.data();
 }
 
+ChunkView TraceFileReader::make_view(const std::byte* payload,
+                                     const ChunkIndexEntry& entry) {
+  ChunkView view;
+  view.payload_ = payload;
+  view.rows_ = entry.rows;
+  view.row_begin_ = entry.row_begin;
+  view.channels_ = channels_.size();
+  return view;
+}
+
 ChunkView TraceFileReader::chunk(std::size_t i) {
+  if (version_ >= format_version_v2) {
+    return chunk_v2(i);
+  }
   const ChunkIndexEntry& entry = index_.at(i);
   const std::byte* base = chunk_base(entry, i);
 
@@ -316,12 +351,214 @@ ChunkView TraceFileReader::chunk(std::size_t i) {
     }
     crc_checked_[i] = 1;
   }
+  return make_view(base + chunk_header_bytes, entry);
+}
 
-  ChunkView view;
-  view.payload_ = base + chunk_header_bytes;
-  view.rows_ = entry.rows;
-  view.row_begin_ = entry.row_begin;
-  view.channels_ = channels_.size();
+// v1 chunk into caller-owned storage: zero-copy from an aligned mapping,
+// else the whole chunk lands in `storage` (validated + CRC-checked).
+ChunkView TraceFileReader::chunk_v1_into(std::size_t i,
+                                         std::vector<std::byte>& storage) {
+  const ChunkIndexEntry& entry = index_.at(i);
+  const std::size_t size = chunk_bytes(entry.rows, channels_.size());
+  const std::byte* base = nullptr;
+  bool fresh = false;
+  if (map_ != nullptr) {
+    const std::byte* mapped = map_ + entry.offset;
+    if (reinterpret_cast<std::uintptr_t>(mapped + chunk_header_bytes) %
+            alignof(double) ==
+        0) {
+      base = mapped;
+    }
+  }
+  if (base == nullptr) {
+    storage.resize(size);
+    load_bytes(entry.offset, storage);
+    base = storage.data();
+    fresh = true;  // private bytes: always verify this copy
+  }
+  if (!magic_matches(base, chunk_magic)) {
+    fail("corrupt chunk " + std::to_string(i) + " (bad magic)");
+  }
+  if (get_u32(base + 4) != entry.rows || get_u32(base + 8) != entry.crc32) {
+    fail("corrupt chunk " + std::to_string(i) +
+         " (header disagrees with index)");
+  }
+  if (fresh || !crc_checked_[i]) {
+    if (util::crc32(base + chunk_header_bytes, size - chunk_header_bytes) !=
+        entry.crc32) {
+      fail("chunk " + std::to_string(i) + " payload CRC mismatch");
+    }
+    if (!fresh) {
+      crc_checked_[i] = 1;
+    }
+  }
+  return make_view(base + chunk_header_bytes, entry);
+}
+
+bool TraceFileReader::parse_v2_directory(std::size_t i,
+                                         const std::byte*& payload) {
+  const ChunkIndexEntry& entry = index_.at(i);
+  const std::size_t columns = chunk_column_count(channels_.size());
+  const std::size_t dir_bytes = columns * column_entry_bytes;
+
+  const std::byte* head = nullptr;
+  if (map_ != nullptr) {
+    head = map_ + entry.offset;
+  } else {
+    dir_scratch_.resize(chunk_header_bytes + dir_bytes);
+    load_bytes(entry.offset, dir_scratch_);
+    head = dir_scratch_.data();
+  }
+  if (!magic_matches(head, chunk_magic)) {
+    fail("corrupt chunk " + std::to_string(i) + " (bad magic)");
+  }
+  if (get_u32(head + 4) != entry.rows || get_u32(head + 8) != entry.crc32) {
+    fail("corrupt chunk " + std::to_string(i) +
+         " (header disagrees with index)");
+  }
+
+  // Bytes this chunk may occupy before the index; parse_footer_and_index
+  // already guaranteed header + directory fit, so the subtraction below
+  // cannot wrap. Every stored size from the directory is tested against
+  // the remaining budget in subtraction form.
+  const std::uint64_t budget =
+      index_offset_ - entry.offset - chunk_header_bytes - dir_bytes;
+  dir_.resize(columns);
+  std::uint64_t block_off = chunk_header_bytes + dir_bytes;
+  std::uint64_t used = 0;
+  bool all_identity = true;
+  for (std::size_t col = 0; col < columns; ++col) {
+    const std::byte* e = head + chunk_header_bytes + col * column_entry_bytes;
+    const std::uint32_t codec_raw = get_u32(e);
+    ColumnBlock& block = dir_[col];
+    block.raw_bytes = get_u64(e + 8);
+    block.stored_bytes = get_u64(e + 16);
+    block.offset = block_off + used;
+    const std::uint64_t expected_raw = col < 2
+                                           ? entry.rows * std::uint64_t{16}
+                                           : entry.rows * std::uint64_t{8};
+    if (block.raw_bytes != expected_raw) {
+      fail("corrupt chunk " + std::to_string(i) + " (column " +
+           std::to_string(col) + " raw size mismatch)");
+    }
+    if (codec_raw == static_cast<std::uint32_t>(ColumnCodec::identity)) {
+      block.codec = ColumnCodec::identity;
+      if (block.stored_bytes != block.raw_bytes) {
+        fail("corrupt chunk " + std::to_string(i) + " (column " +
+             std::to_string(col) + " identity size mismatch)");
+      }
+    } else if (codec_raw ==
+               static_cast<std::uint32_t>(ColumnCodec::delta_bitpack)) {
+      if (col < 2) {
+        fail("corrupt chunk " + std::to_string(i) +
+             " (codec on a block column)");
+      }
+      block.codec = ColumnCodec::delta_bitpack;
+      all_identity = false;
+    } else {
+      fail("corrupt chunk " + std::to_string(i) + " (unknown codec " +
+           std::to_string(codec_raw) + " in column " + std::to_string(col) +
+           ")");
+    }
+    if (used > budget || block.stored_bytes > budget - used) {
+      fail("corrupt chunk " + std::to_string(i) + " (column " +
+           std::to_string(col) + " block out of bounds)");
+    }
+    const std::uint64_t padded = pad8(block.stored_bytes);
+    if (padded > budget - used) {
+      fail("corrupt chunk " + std::to_string(i) + " (column " +
+           std::to_string(col) + " block padding out of bounds)");
+    }
+    used += padded;
+  }
+
+  // An all-identity mapped chunk stores exactly the v1 payload bytes
+  // after the directory: serve it zero-copy when aligned, CRC-checking
+  // the mapped bytes once.
+  if (all_identity && map_ != nullptr) {
+    const std::byte* mapped = map_ + entry.offset + chunk_header_bytes +
+                              dir_bytes;
+    if (reinterpret_cast<std::uintptr_t>(mapped) % alignof(double) == 0) {
+      if (!crc_checked_[i]) {
+        const std::size_t payload_size =
+            chunk_bytes(entry.rows, channels_.size()) - chunk_header_bytes;
+        if (util::crc32(mapped, payload_size) != entry.crc32) {
+          fail("chunk " + std::to_string(i) + " payload CRC mismatch");
+        }
+        crc_checked_[i] = 1;
+      }
+      payload = mapped;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceFileReader::decode_v2_chunk(std::size_t i,
+                                      std::vector<std::byte>& dest) {
+  const ChunkIndexEntry& entry = index_.at(i);
+  const std::size_t rows = entry.rows;
+  const std::size_t payload_size =
+      chunk_bytes(rows, channels_.size()) - chunk_header_bytes;
+  dest.resize(payload_size);
+
+  std::uint64_t raw_off = 0;
+  for (std::size_t col = 0; col < dir_.size(); ++col) {
+    const ColumnBlock& block = dir_[col];
+    const std::byte* src;
+    if (map_ != nullptr) {
+      src = map_ + entry.offset + block.offset;
+    } else {
+      comp_scratch_.resize(block.stored_bytes);
+      load_bytes(entry.offset + block.offset, comp_scratch_);
+      src = comp_scratch_.data();
+    }
+    std::byte* out = dest.data() + raw_off;
+    if (block.codec == ColumnCodec::identity) {
+      std::memcpy(out, src, block.raw_bytes);
+    } else if (!util::delta_bitpack_decode(
+                   src, block.stored_bytes,
+                   reinterpret_cast<double*>(out), rows)) {
+      fail("chunk " + std::to_string(i) + " column " + std::to_string(col) +
+           ": corrupt compressed block");
+    }
+    raw_off += block.raw_bytes;
+  }
+  // The CRC was computed over the decoded payload before compression, so
+  // a bit flip anywhere in a compressed block that survives decoding is
+  // still caught here, on the bytes the analysis will actually read.
+  if (util::crc32(dest.data(), payload_size) != entry.crc32) {
+    fail("chunk " + std::to_string(i) + " payload CRC mismatch");
+  }
+}
+
+ChunkView TraceFileReader::chunk_v2(std::size_t i) {
+  const std::byte* payload = nullptr;
+  if (parse_v2_directory(i, payload)) {
+    return make_view(payload, index_[i]);
+  }
+  if (loaded_chunk_ != i) {
+    decode_v2_chunk(i, decode_);
+    loaded_chunk_ = i;
+  }
+  return make_view(decode_.data(), index_[i]);
+}
+
+ChunkView TraceFileReader::chunk_v2_into(std::size_t i,
+                                         std::vector<std::byte>& storage) {
+  const std::byte* payload = nullptr;
+  if (parse_v2_directory(i, payload)) {
+    return make_view(payload, index_.at(i));
+  }
+  decode_v2_chunk(i, storage);
+  return make_view(storage.data(), index_.at(i));
+}
+
+ChunkView TraceFileReader::read_chunk_into(std::size_t i, ChunkBuffer& buf) {
+  if (version_ >= format_version_v2) {
+    return chunk_v2_into(i, buf.bytes);
+  }
+  ChunkView view = chunk_v1_into(i, buf.bytes);
   return view;
 }
 

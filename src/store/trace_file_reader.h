@@ -33,7 +33,8 @@
 namespace psc::store {
 
 enum class ReaderMode {
-  automatic,  // mmap where the platform supports it, else stream
+  automatic,  // mmap where the platform supports it, else stream; the
+              // PSC_NO_MMAP env flag forces the stream fallback
   mmap,       // require the memory-mapped path (StoreError if unsupported)
   stream,     // force the buffered-read fallback (one chunk resident)
 };
@@ -86,6 +87,8 @@ class TraceFileReader {
   TraceFileReader& operator=(const TraceFileReader&) = delete;
 
   const std::string& path() const noexcept { return path_; }
+  // On-disk format version (1 or 2; see store/pstr_format.h).
+  std::uint16_t format_version() const noexcept { return version_; }
   const std::vector<util::FourCc>& channels() const noexcept {
     return channels_;
   }
@@ -97,9 +100,14 @@ class TraceFileReader {
 
   // True when the file is memory-mapped (the zero-copy path).
   bool mapped() const noexcept { return map_ != nullptr; }
-  // Bytes of chunk data the reader itself keeps resident: one chunk's
-  // scratch in stream mode, 0 when mapped (pages belong to the OS cache).
-  std::size_t resident_bytes() const noexcept { return scratch_.size(); }
+  // Bytes of chunk data the reader itself keeps resident: at most one
+  // chunk's scratch (stream mode) plus one decoded chunk and its
+  // compressed bytes (v2); 0 when mapped v1 (pages belong to the OS
+  // cache). Bounded by a small constant number of chunks regardless of
+  // file size — the out-of-core property.
+  std::size_t resident_bytes() const noexcept {
+    return scratch_.size() + decode_.size() + comp_scratch_.size();
+  }
 
   std::size_t chunk_rows(std::size_t i) const { return index_.at(i).rows; }
   std::size_t chunk_row_begin(std::size_t i) const {
@@ -113,12 +121,36 @@ class TraceFileReader {
   // chunk()/read_rows() call.
   ChunkView chunk(std::size_t i);
 
+  // Caller-owned decoded-chunk storage for read_chunk_into: lets the
+  // prefetcher keep two chunks alive while the reader's internal
+  // resident chunk advances.
+  struct ChunkBuffer {
+    std::vector<std::byte> bytes;
+  };
+
+  // Like chunk(), but materializes into `buf` when the chunk cannot be
+  // served zero-copy from the mapping, leaving the reader's internal
+  // resident chunk untouched. The view stays valid until `buf` is
+  // reused, even across later chunk()/read_chunk_into() calls — the
+  // contract the double-buffered prefetcher needs. Not thread-safe:
+  // callers serialize all access to the reader (see
+  // store/chunk_prefetcher.h).
+  ChunkView read_chunk_into(std::size_t i, ChunkBuffer& buf);
+
   // Appends rows [begin, begin + count) to `batch`, seeking through the
   // chunk index in O(1) per chunk touched.
   void read_rows(std::size_t begin, std::size_t count,
                  core::TraceBatch& batch);
 
  private:
+  // Parsed v2 column directory of one chunk.
+  struct ColumnBlock {
+    ColumnCodec codec = ColumnCodec::identity;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t offset = 0;  // of the column block, relative to the chunk
+  };
+
   [[noreturn]] void fail(const std::string& what) const;
   void validate_structure();
   void unmap() noexcept;
@@ -126,6 +158,15 @@ class TraceFileReader {
   void parse_footer_and_index();
   void load_bytes(std::uint64_t offset, std::span<std::byte> out);
   const std::byte* chunk_base(const ChunkIndexEntry& entry, std::size_t i);
+  ChunkView chunk_v1_into(std::size_t i, std::vector<std::byte>& storage);
+  ChunkView chunk_v2(std::size_t i);
+  ChunkView chunk_v2_into(std::size_t i, std::vector<std::byte>& storage);
+  // Loads + validates chunk i's header and column directory; returns
+  // true with `payload` set when the all-identity mapped chunk can be
+  // served zero-copy (CRC checked once).
+  bool parse_v2_directory(std::size_t i, const std::byte*& payload);
+  void decode_v2_chunk(std::size_t i, std::vector<std::byte>& dest);
+  ChunkView make_view(const std::byte* payload, const ChunkIndexEntry& entry);
 
   std::string path_;
   std::size_t file_bytes_ = 0;
@@ -139,10 +180,19 @@ class TraceFileReader {
   std::vector<std::byte> scratch_;
   std::size_t loaded_chunk_ = static_cast<std::size_t>(-1);
 
+  // v2 path: decoded resident chunk (both modes), compressed staging and
+  // the parsed directory of the chunk being opened.
+  std::vector<std::byte> decode_;
+  std::vector<std::byte> comp_scratch_;
+  std::vector<std::byte> dir_scratch_;
+  std::vector<ColumnBlock> dir_;
+
+  std::uint16_t version_ = format_version_v1;
   std::vector<util::FourCc> channels_;
   Metadata metadata_;
   std::size_t chunk_capacity_ = 0;
   std::size_t header_bytes_ = 0;
+  std::uint64_t index_offset_ = 0;  // chunk data ends here
   std::uint64_t trace_count_ = 0;
   std::vector<ChunkIndexEntry> index_;
   std::vector<std::uint8_t> crc_checked_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/codec.h"
 #include "util/crc32.h"
 
 namespace psc::store {
@@ -11,7 +12,8 @@ namespace {
 
 // Serialized header: fixed fields, channel codes, metadata pairs, zero
 // padding to an 8-byte boundary.
-std::vector<std::byte> render_header(const TraceFileWriterConfig& config) {
+std::vector<std::byte> render_header(const TraceFileWriterConfig& config,
+                                     std::uint16_t version) {
   std::size_t size = fixed_header_bytes + 4 * config.channels.size() + 4;
   for (const auto& [key, value] : config.metadata) {
     size += 8 + key.size() + value.size();
@@ -20,7 +22,7 @@ std::vector<std::byte> render_header(const TraceFileWriterConfig& config) {
 
   std::vector<std::byte> header(size, std::byte{0});
   std::memcpy(header.data(), file_magic, 4);
-  put_u16(header.data() + 4, format_version);
+  put_u16(header.data() + 4, version);
   put_u16(header.data() + 6, 0);  // flags
   put_u32(header.data() + 8, static_cast<std::uint32_t>(size));
   put_u32(header.data() + 12, static_cast<std::uint32_t>(block_bytes));
@@ -50,11 +52,31 @@ std::vector<std::byte> render_header(const TraceFileWriterConfig& config) {
   return header;
 }
 
+// The staging batch's columns laid out back to back — the v1 chunk
+// payload, and the decoded form a v2 chunk's CRC covers.
+void serialize_payload(const psc::core::TraceBatch& staging,
+                       std::byte* payload) {
+  const std::size_t rows = staging.size();
+  const std::size_t channels = staging.channels();
+  std::memcpy(payload, staging.plaintexts().data(), rows * block_bytes);
+  std::memcpy(payload + rows * block_bytes, staging.ciphertexts().data(),
+              rows * block_bytes);
+  std::byte* columns = payload + 2 * rows * block_bytes;
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::memcpy(columns + c * rows * 8, staging.column(c).data(), rows * 8);
+  }
+}
+
 }  // namespace
 
 Metadata device_metadata(const std::string& device_name,
                          const std::string& os_version) {
   return {{"device", device_name}, {"os", os_version}};
+}
+
+std::vector<ColumnCodec> uniform_channel_codecs(std::size_t channels,
+                                                ColumnCodec codec) {
+  return std::vector<ColumnCodec>(channels, codec);
 }
 
 TraceFileWriter::TraceFileWriter(const std::string& path,
@@ -66,14 +88,30 @@ TraceFileWriter::TraceFileWriter(const std::string& path,
   if (config_.chunk_capacity == 0) {
     throw StoreError("TraceFileWriter: chunk capacity must be positive");
   }
+  if (!config_.channel_codecs.empty() &&
+      config_.channel_codecs.size() != config_.channels.size()) {
+    throw StoreError(
+        "TraceFileWriter: channel_codecs size must match channels");
+  }
+  for (const ColumnCodec codec : config_.channel_codecs) {
+    if (codec != ColumnCodec::identity &&
+        codec != ColumnCodec::delta_bitpack) {
+      throw StoreError("TraceFileWriter: unknown channel codec");
+    }
+    v2_ = v2_ || codec != ColumnCodec::identity;
+  }
   out_.open(path_, std::ios::binary | std::ios::trunc);
   if (!out_) {
     throw StoreError("TraceFileWriter: cannot create " + path_);
   }
   staging_.reset_channels(config_.channels.size());
   staging_.reserve(config_.chunk_capacity);
+  if (v2_) {
+    enc_cols_.resize(config_.channels.size());
+  }
 
-  const std::vector<std::byte> header = render_header(config_);
+  const std::vector<std::byte> header =
+      render_header(config_, format_version());
   write_bytes(header.data(), header.size());
 }
 
@@ -122,24 +160,85 @@ void TraceFileWriter::flush_chunk() {
     return;
   }
   const std::size_t channels = staging_.channels();
-  scratch_.resize(chunk_bytes(rows, channels));
 
-  // Payload: the staging batch's columns, laid out back to back.
-  std::byte* payload = scratch_.data() + chunk_header_bytes;
-  std::memcpy(payload, staging_.plaintexts().data(), rows * block_bytes);
-  std::memcpy(payload + rows * block_bytes, staging_.ciphertexts().data(),
-              rows * block_bytes);
-  std::byte* columns = payload + 2 * rows * block_bytes;
-  for (std::size_t c = 0; c < channels; ++c) {
-    std::memcpy(columns + c * rows * 8, staging_.column(c).data(), rows * 8);
+  if (!v2_) {
+    scratch_.resize(chunk_bytes(rows, channels));
+    std::byte* payload = scratch_.data() + chunk_header_bytes;
+    serialize_payload(staging_, payload);
+    const std::size_t payload_size = scratch_.size() - chunk_header_bytes;
+    const std::uint32_t crc = util::crc32(payload, payload_size);
+
+    std::memcpy(scratch_.data(), chunk_magic, 4);
+    put_u32(scratch_.data() + 4, static_cast<std::uint32_t>(rows));
+    put_u32(scratch_.data() + 8, crc);
+    put_u32(scratch_.data() + 12, 0);  // reserved
+
+    index_.push_back({.offset = file_offset_,
+                      .row_begin = rows_flushed_,
+                      .rows = static_cast<std::uint32_t>(rows),
+                      .crc32 = crc});
+    write_bytes(scratch_.data(), scratch_.size());
+    rows_flushed_ += rows;
+    staging_.clear();
+    return;
   }
-  const std::size_t payload_size = scratch_.size() - chunk_header_bytes;
-  const std::uint32_t crc = util::crc32(payload, payload_size);
 
+  // v2: CRC the decoded payload first (codec-independent), then encode
+  // each channel column, falling back to identity per chunk when the
+  // codec cannot represent the data bit-exactly or would not shrink it.
+  const std::size_t payload_size =
+      chunk_bytes(rows, channels) - chunk_header_bytes;
+  payload_scratch_.resize(payload_size);
+  serialize_payload(staging_, payload_scratch_.data());
+  const std::uint32_t crc =
+      util::crc32(payload_scratch_.data(), payload_size);
+
+  const std::size_t columns = chunk_column_count(channels);
+  const std::size_t dir_bytes = columns * column_entry_bytes;
+  std::vector<ColumnCodec> codecs(columns, ColumnCodec::identity);
+  std::vector<std::size_t> stored(columns);
+  stored[0] = stored[1] = rows * block_bytes;
+  std::size_t blocks_bytes = pad8(stored[0]) + pad8(stored[1]);
+  for (std::size_t c = 0; c < channels; ++c) {
+    const std::size_t raw = rows * sizeof(double);
+    stored[2 + c] = raw;
+    if (config_.channel_codecs[c] == ColumnCodec::delta_bitpack &&
+        util::delta_bitpack_encode(staging_.column(c).data(), rows,
+                                   enc_cols_[c])) {
+      codecs[2 + c] = ColumnCodec::delta_bitpack;
+      stored[2 + c] = enc_cols_[c].size();
+    }
+    channel_raw_bytes_ += raw;
+    channel_stored_bytes_ += stored[2 + c];
+    blocks_bytes += pad8(stored[2 + c]);
+  }
+
+  scratch_.assign(chunk_header_bytes + dir_bytes + blocks_bytes,
+                  std::byte{0});
   std::memcpy(scratch_.data(), chunk_magic, 4);
   put_u32(scratch_.data() + 4, static_cast<std::uint32_t>(rows));
   put_u32(scratch_.data() + 8, crc);
   put_u32(scratch_.data() + 12, 0);  // reserved
+
+  std::byte* dir = scratch_.data() + chunk_header_bytes;
+  std::byte* block = dir + dir_bytes;
+  const std::byte* raw_col = payload_scratch_.data();
+  for (std::size_t col = 0; col < columns; ++col) {
+    const std::size_t raw =
+        col < 2 ? rows * block_bytes : rows * sizeof(double);
+    std::byte* e = dir + col * column_entry_bytes;
+    put_u32(e, static_cast<std::uint32_t>(codecs[col]));
+    put_u32(e + 4, 0);  // reserved
+    put_u64(e + 8, raw);
+    put_u64(e + 16, stored[col]);
+    if (codecs[col] == ColumnCodec::identity) {
+      std::memcpy(block, raw_col, raw);
+    } else {
+      std::memcpy(block, enc_cols_[col - 2].data(), stored[col]);
+    }
+    block += pad8(stored[col]);
+    raw_col += raw;
+  }
 
   index_.push_back({.offset = file_offset_,
                     .row_begin = rows_flushed_,

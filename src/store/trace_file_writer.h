@@ -40,7 +40,20 @@ struct TraceFileWriterConfig {
   // Free-form provenance pairs stored in the header (device profile,
   // OS, victim...). See device_metadata().
   Metadata metadata = {};
+  // Requested codec per channel column, for version-2 files. Empty (the
+  // default) keeps the writer emitting byte-identical version-1 files;
+  // otherwise the size must equal channels.size(). Plaintext/ciphertext
+  // columns are always identity (uniformly random AES blocks do not
+  // compress). A requested codec is per-chunk best-effort: a chunk whose
+  // column fails the codec's bit-exact verification — or would not
+  // shrink — is stored identity, so any data round-trips exactly.
+  std::vector<ColumnCodec> channel_codecs = {};
 };
+
+// `codec` for every one of `channels` columns — the "compress
+// everything" config of trace_convert compact and the v2 benches.
+std::vector<ColumnCodec> uniform_channel_codecs(std::size_t channels,
+                                                ColumnCodec codec);
 
 // Header metadata describing the capture device, for
 // TraceFileWriterConfig::metadata.
@@ -67,6 +80,21 @@ class TraceFileWriter {
   // Rows appended so far (buffered rows included).
   std::size_t trace_count() const noexcept { return rows_appended_; }
 
+  // On-disk format version this writer emits (1, or 2 when any channel
+  // codec is configured).
+  std::uint16_t format_version() const noexcept {
+    return v2_ ? format_version_v2 : format_version_v1;
+  }
+  // Compression accounting over flushed chunks: decoded vs stored bytes
+  // of the channel columns (pt/ct and framing excluded) — the ratio the
+  // store_v2 bench gates on.
+  std::uint64_t channel_raw_bytes() const noexcept {
+    return channel_raw_bytes_;
+  }
+  std::uint64_t channel_stored_bytes() const noexcept {
+    return channel_stored_bytes_;
+  }
+
   // Appends every row of `batch` (channel count must match); slices
   // across chunk boundaries internally, so any batch size works.
   void append(const core::TraceBatch& batch);
@@ -81,10 +109,15 @@ class TraceFileWriter {
   void write_bytes(const std::byte* data, std::size_t size);
 
   TraceFileWriterConfig config_;
+  bool v2_ = false;
   std::string path_;
   std::ofstream out_;
   core::TraceBatch staging_;
   std::vector<std::byte> scratch_;  // chunk serialization buffer, reused
+  std::vector<std::byte> payload_scratch_;        // decoded payload (v2)
+  std::vector<std::vector<std::byte>> enc_cols_;  // per-channel encodings
+  std::uint64_t channel_raw_bytes_ = 0;
+  std::uint64_t channel_stored_bytes_ = 0;
   std::vector<ChunkIndexEntry> index_;
   std::uint64_t file_offset_ = 0;
   std::uint64_t rows_appended_ = 0;

@@ -213,22 +213,103 @@ __attribute__((target("avx512f"))) void histogram16_avx512(
 #endif  // PSC_SIMD_HAVE_AVX512
 
 // ---------------------------------------------------------------------------
+// Bit-unpack bodies. Each field (width <= 56) is one shifted 8-byte
+// little-endian window; near the end of the buffer the window is
+// assembled byte-wise so the kernel never reads past packed_bytes. The
+// AVX2 body replaces the window load + shift with a 4-lane byte-offset
+// gather and a per-lane variable shift; everything is integer, so the
+// backends are bit-identical without any ordering discipline.
+
+// One field at bit index `bit`, safe at any distance from the end.
+inline std::uint64_t unpack_one(const std::byte* packed,
+                                std::size_t packed_bytes, std::uint64_t bit,
+                                std::uint64_t mask) noexcept {
+  const std::size_t byte = static_cast<std::size_t>(bit >> 3);
+  const unsigned shift = static_cast<unsigned>(bit & 7);
+  std::uint64_t window = 0;
+  const std::size_t avail =
+      byte < packed_bytes ? std::min<std::size_t>(8, packed_bytes - byte) : 0;
+  for (std::size_t i = avail; i-- > 0;) {
+    window = (window << 8) | static_cast<std::uint64_t>(packed[byte + i]);
+  }
+  return (window >> shift) & mask;
+}
+
+void unpack_bits_scalar(const std::byte* packed, std::size_t packed_bytes,
+                        std::uint64_t bit0, unsigned width,
+                        std::uint64_t* out, std::size_t n) noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  std::uint64_t bit = bit0;
+  for (std::size_t j = 0; j < n; ++j, bit += width) {
+    out[j] = unpack_one(packed, packed_bytes, bit, mask);
+  }
+}
+
+#if defined(PSC_SIMD_HAVE_AVX2)
+__attribute__((target("avx2"))) void unpack_bits_avx2(
+    const std::byte* packed, std::size_t packed_bytes, std::uint64_t bit0,
+    unsigned width, std::uint64_t* out, std::size_t n) noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t j = 0;
+  if (width > 0) {
+    while (j + 4 <= n) {
+      const std::uint64_t b0 = bit0 + j * width;
+      const std::uint64_t b3 = b0 + 3 * width;
+      // Gather loads a full 8-byte window per lane; stop vectorizing when
+      // the last lane's window would cross the end of the buffer (or the
+      // byte offset no longer fits the i32 gather index).
+      if ((b3 >> 3) + 8 > packed_bytes || (b3 >> 3) > 0x7fffffff) {
+        break;
+      }
+      const __m128i idx = _mm_set_epi32(
+          static_cast<int>(b3 >> 3), static_cast<int>((b0 + 2 * width) >> 3),
+          static_cast<int>((b0 + width) >> 3), static_cast<int>(b0 >> 3));
+      const __m256i shifts = _mm256_set_epi64x(
+          static_cast<long long>(b3 & 7),
+          static_cast<long long>((b0 + 2 * width) & 7),
+          static_cast<long long>((b0 + width) & 7),
+          static_cast<long long>(b0 & 7));
+      __m256i v = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(packed), idx, 1);
+      v = _mm256_srlv_epi64(v, shifts);
+      v = _mm256_and_si256(v, vmask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), v);
+      j += 4;
+    }
+  }
+  for (std::uint64_t bit = bit0 + j * width; j < n; ++j, bit += width) {
+    out[j] = unpack_one(packed, packed_bytes, bit, mask);
+  }
+}
+#endif  // PSC_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
 // Dispatch.
 
 struct KernelTable {
   void (*moments_body)(const double*, std::size_t, MomentStripes&) noexcept;
   void (*histogram16)(const std::uint8_t*, const double*, std::size_t,
                       std::uint32_t*, double*) noexcept;
+  void (*unpack_bits)(const std::byte*, std::size_t, std::uint64_t, unsigned,
+                      std::uint64_t*, std::size_t) noexcept;
 };
 
-constexpr KernelTable scalar_table{moments_body_scalar, histogram16_scalar};
+constexpr KernelTable scalar_table{moments_body_scalar, histogram16_scalar,
+                                   unpack_bits_scalar};
 #if defined(PSC_SIMD_HAVE_SSE2)
-constexpr KernelTable sse2_table{moments_body_sse2, histogram16_scalar};
-constexpr KernelTable avx2_table{moments_body_avx2, histogram16_scalar};
-constexpr KernelTable avx512_table{moments_body_avx512, histogram16_avx512};
+// SSE2 lacks per-lane variable shifts, so its unpack is the scalar body;
+// AVX-512 gains nothing over the AVX2 gather for 4-lane 64-bit windows.
+constexpr KernelTable sse2_table{moments_body_sse2, histogram16_scalar,
+                                 unpack_bits_scalar};
+constexpr KernelTable avx2_table{moments_body_avx2, histogram16_scalar,
+                                 unpack_bits_avx2};
+constexpr KernelTable avx512_table{moments_body_avx512, histogram16_avx512,
+                                   unpack_bits_avx2};
 #endif
 #if defined(PSC_SIMD_HAVE_NEON)
-constexpr KernelTable neon_table{moments_body_neon, histogram16_scalar};
+constexpr KernelTable neon_table{moments_body_neon, histogram16_scalar,
+                                 unpack_bits_scalar};
 #endif
 
 const KernelTable* table_for(Backend backend) noexcept {
@@ -423,6 +504,12 @@ void accumulate_histogram16(const std::uint8_t* blocks, const double* values,
                             std::size_t n, std::uint32_t* count,
                             double* sum) noexcept {
   active_table().histogram16(blocks, values, n, count, sum);
+}
+
+void unpack_bits(const std::byte* packed, std::size_t packed_bytes,
+                 std::uint64_t bit0, unsigned width, std::uint64_t* out,
+                 std::size_t n) noexcept {
+  active_table().unpack_bits(packed, packed_bytes, bit0, width, out, n);
 }
 
 }  // namespace psc::util::simd

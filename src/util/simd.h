@@ -135,4 +135,24 @@ void accumulate_histogram16(const std::uint8_t* blocks, const double* values,
                             std::size_t n, std::uint32_t* count,
                             double* sum) noexcept;
 
+// ---------------------------------------------------------------------------
+// Fixed-width bit-field unpack (store codec decode hot loop).
+
+// Field widths the kernel accepts: with width <= 56, any field starting
+// at bit b lies entirely inside the 8-byte window at byte b/8 after a
+// shift of b%8 (<= 7) — one load, one variable shift, one mask per
+// field, and the AVX2 body turns that into 4-lane gathers.
+inline constexpr unsigned unpack_bits_max_width = 56;
+
+// Unpacks n little-endian bit fields of `width` bits (0 <= width <= 56)
+// starting at bit `bit0` of `packed` into out[0..n): field j occupies
+// bits [bit0 + j*width, bit0 + (j+1)*width) of the stream, where bit b
+// lives in byte b/8 at in-byte position b%8. width == 0 zero-fills.
+// `packed_bytes` must cover the last field's final byte; near the buffer
+// end the kernels assemble the window byte-wise instead of over-reading.
+// Pure integer, so every backend is bit-identical by construction.
+void unpack_bits(const std::byte* packed, std::size_t packed_bytes,
+                 std::uint64_t bit0, unsigned width, std::uint64_t* out,
+                 std::size_t n) noexcept;
+
 }  // namespace psc::util::simd

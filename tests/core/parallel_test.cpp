@@ -206,6 +206,74 @@ TEST(WorkerPool, NestedRunExecutesInline) {
   EXPECT_EQ(inner_total.load(), 12);
 }
 
+// ---------- async side jobs (post/finish) ----------
+
+TEST(WorkerPoolAsync, PostedJobRunsExactlyOnce) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    auto ticket = WorkerPool::instance().post(
+        [&] { hits.fetch_add(1, std::memory_order_relaxed); });
+    WorkerPool::instance().finish(ticket);
+    EXPECT_EQ(hits.load(), 1) << "round " << round;
+    EXPECT_FALSE(static_cast<bool>(ticket));  // redeemed tickets empty
+    // finish() on an empty ticket is a harmless no-op.
+    EXPECT_FALSE(WorkerPool::instance().finish(ticket));
+  }
+}
+
+TEST(WorkerPoolAsync, ManyOutstandingJobsAllComplete) {
+  constexpr std::size_t jobs = 64;
+  std::array<std::atomic<int>, jobs> hits{};
+  std::vector<WorkerPool::AsyncTicket> tickets;
+  tickets.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    tickets.push_back(WorkerPool::instance().post(
+        [&hits, i] { hits[i].fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& ticket : tickets) {
+    WorkerPool::instance().finish(ticket);
+  }
+  for (std::size_t i = 0; i < jobs; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+// finish() from inside a pool job steals unclaimed work back and runs it
+// inline — the property that makes prefetch-inside-sharded-replay
+// deadlock-free even when every pool thread is busy with shard jobs.
+TEST(WorkerPoolAsync, FinishInsidePoolJobNeverDeadlocks) {
+  constexpr std::size_t shards = 8;
+  std::array<std::atomic<int>, shards> hits{};
+  WorkerPool::instance().run(shards, 4, [&](std::size_t s) {
+    auto ticket = WorkerPool::instance().post(
+        [&hits, s] { hits[s].fetch_add(1, std::memory_order_relaxed); });
+    WorkerPool::instance().finish(ticket);
+  });
+  for (std::size_t s = 0; s < shards; ++s) {
+    ASSERT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+// Async jobs posted while a generation is in flight complete, and the
+// generation still runs every job exactly once.
+TEST(WorkerPoolAsync, InterleavesWithRunGenerations) {
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> async_hits{0};
+    auto ticket = WorkerPool::instance().post(
+        [&] { async_hits.fetch_add(1, std::memory_order_relaxed); });
+    constexpr std::size_t jobs = 8;
+    std::array<std::atomic<int>, jobs> hits{};
+    WorkerPool::instance().run(jobs, 4, [&](std::size_t s) {
+      hits[s].fetch_add(1, std::memory_order_relaxed);
+    });
+    WorkerPool::instance().finish(ticket);
+    EXPECT_EQ(async_hits.load(), 1) << "round " << round;
+    for (std::size_t s = 0; s < jobs; ++s) {
+      ASSERT_EQ(hits[s].load(), 1) << "round " << round << " job " << s;
+    }
+  }
+}
+
 // ---------- campaign-level invariance ----------
 
 // The headline guarantee of the sharded pipeline: for a fixed shard count,

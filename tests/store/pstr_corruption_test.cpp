@@ -95,9 +95,9 @@ TEST(PstrCorruption, BadMagic) {
 TEST(PstrCorruption, VersionMismatch) {
   const std::string path = write_valid_file("version.pstr");
   auto bytes = slurp(path);
-  bytes[4] = 2;  // version field (little-endian u16 at offset 4)
+  bytes[4] = 3;  // version field (little-endian u16 at offset 4)
   dump(path, bytes);
-  expect_open_fails(path, "unsupported format version 2");
+  expect_open_fails(path, "unsupported format version 3");
 }
 
 TEST(PstrCorruption, TruncatedTail) {

@@ -268,5 +268,106 @@ TEST(MomentStripesLayout, CacheLineAligned) {
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&m) % 64u, 0u);
 }
 
+// Bit-level reference packer for unpack_bits: width-bit fields appended
+// little-endian starting at bit 0.
+std::vector<std::byte> pack_fields(const std::vector<std::uint64_t>& fields,
+                                   unsigned width) {
+  std::vector<std::byte> packed((fields.size() * width + 7) / 8,
+                                std::byte{0});
+  std::size_t bit = 0;
+  for (std::uint64_t f : fields) {
+    for (unsigned b = 0; b < width; ++b, ++bit) {
+      if ((f >> b) & 1) {
+        packed[bit >> 3] |=
+            static_cast<std::byte>(1u << (bit & 7));
+      }
+    }
+  }
+  return packed;
+}
+
+TEST(SimdUnpackBits, AllWidthsRoundTripOnEveryBackend) {
+  BackendGuard guard;
+  util::Xoshiro256 rng(0x5eed);
+  for (unsigned width = 1; width <= unpack_bits_max_width; ++width) {
+    const std::size_t n = 257;  // odd tail for the vector loop
+    std::vector<std::uint64_t> fields(n);
+    const std::uint64_t mask =
+        width == 64 ? ~0ull : ((1ull << width) - 1);
+    for (auto& f : fields) {
+      f = rng() & mask;
+    }
+    const auto packed = pack_fields(fields, width);
+    for (const Backend backend : supported_backends()) {
+      force_backend(backend);
+      std::vector<std::uint64_t> out(n, ~0ull);
+      unpack_bits(packed.data(), packed.size(), 0, width, out.data(), n);
+      ASSERT_EQ(out, fields)
+          << backend_name(backend) << " width " << width;
+    }
+  }
+}
+
+TEST(SimdUnpackBits, NonZeroBitOffsets) {
+  BackendGuard guard;
+  util::Xoshiro256 rng(0xabc);
+  const unsigned width = 13;
+  const std::size_t total = 500;
+  std::vector<std::uint64_t> fields(total);
+  for (auto& f : fields) {
+    f = rng() & ((1ull << width) - 1);
+  }
+  const auto packed = pack_fields(fields, width);
+  for (const Backend backend : supported_backends()) {
+    force_backend(backend);
+    for (const std::size_t first : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{63}, std::size_t{255}}) {
+      const std::size_t n = total - first;
+      std::vector<std::uint64_t> out(n);
+      unpack_bits(packed.data(), packed.size(),
+                  static_cast<std::uint64_t>(first) * width, width,
+                  out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], fields[first + i])
+            << backend_name(backend) << " first " << first << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdUnpackBits, WidthZeroAndEmpty) {
+  BackendGuard guard;
+  for (const Backend backend : supported_backends()) {
+    force_backend(backend);
+    std::vector<std::uint64_t> out(5, 42);
+    unpack_bits(nullptr, 0, 0, 0, out.data(), out.size());
+    for (const std::uint64_t v : out) {
+      EXPECT_EQ(v, 0u) << backend_name(backend);
+    }
+    unpack_bits(nullptr, 0, 0, 17, out.data(), 0);  // n == 0: no touch
+  }
+}
+
+TEST(SimdUnpackBits, TightBufferEndIsSafe) {
+  // The last field ends exactly at the final byte: every backend must
+  // read it correctly without touching past the buffer.
+  BackendGuard guard;
+  const unsigned width = 56;
+  const std::size_t n = 8;  // 56 bytes exactly
+  std::vector<std::uint64_t> fields(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fields[i] = (0x0123456789abcdull + i * 0x1111111111ull) &
+                ((1ull << width) - 1);
+  }
+  const auto packed = pack_fields(fields, width);
+  ASSERT_EQ(packed.size(), n * width / 8);
+  for (const Backend backend : supported_backends()) {
+    force_backend(backend);
+    std::vector<std::uint64_t> out(n);
+    unpack_bits(packed.data(), packed.size(), 0, width, out.data(), n);
+    EXPECT_EQ(out, fields) << backend_name(backend);
+  }
+}
+
 }  // namespace
 }  // namespace psc::util::simd
