@@ -33,6 +33,14 @@
 // compacted replay bit-identical to the v1 replay, and reports — without
 // gating — the ratios real recorded data achieves.
 //
+// The bus stage serves that v2 artifact from an in-process psc::bus
+// daemon and measures aggregate campaign throughput for 1/2/4 concurrent
+// clients, each submitting a full-dataset CPA job over the shared
+// mapping. One served result is cross-checked bit-identical against
+// run_cpa_job invoked directly; the 4-client aggregate must reach
+// PSC_BUS_MIN_SCALING (default 2.0) times the single-client aggregate
+// (enforced only with >= 4 hardware threads).
+//
 // The worker sweep runs the *combined* CPA+TVLA campaign (one
 // acquisition, every analysis) on the persistent worker pool, 1/2/4/8
 // workers at a pinned shard count, and enforces a scaling gate: workers=4
@@ -62,10 +70,15 @@
 //   PSC_STORE_V2_MIN_RATIO=R     minimum v1/v2 bytes-per-trace  (default 2.0)
 //   PSC_STORE_V2_MIN_TPS_RATIO=R minimum v2/v1 replay tps       (default 0.8)
 //   PSC_BENCH_PSTR_V2=PATH  compacted v2 store artifact path
+//   PSC_BUS_MIN_SCALING=R   minimum 4-client/1-client aggregate (default 2.0)
 //   PSC_SEED=N              campaign seed
 //   PSC_BENCH_JSON=PATH     trajectory file path
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -77,9 +90,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bus/client.h"
+#include "bus/daemon.h"
+#include "bus/jobs.h"
 #include "core/campaigns.h"
 #include "power/noise.h"
 #include "store/file_trace_source.h"
+#include "store/shared_mapping.h"
 #include "store/trace_file_writer.h"
 #include "util/aligned.h"
 #include "util/csv.h"
@@ -459,6 +476,113 @@ int main() {
             << sample_chan_ratio << "x channels, "
             << (sample_identical ? "bit-identical" : "MISMATCH") << ")\n";
 
+  // ---- bus: daemon-served campaigns vs concurrent client count ----
+  //
+  // An in-process BusDaemon serves the compacted v2 artifact over a unix
+  // socket; 1, 2 and 4 concurrent clients each submit one full-dataset
+  // CPA campaign and the aggregate traces/sec is measured per client
+  // count. Jobs are single-threaded inside (shards merge sequentially for
+  // bit-identity), so scaling comes purely from the daemon running
+  // concurrent jobs on the worker pool over one shared mapping. The gate
+  // requires the 4-client aggregate to reach PSC_BUS_MIN_SCALING (default
+  // 2.0) times the single-client aggregate, enforced only with >= 4
+  // hardware threads; one served result is also cross-checked bit-for-bit
+  // against run_cpa_job invoked directly on the same file.
+  const double bus_min_scaling = util::env_double("PSC_BUS_MIN_SCALING", 2.0);
+  double bus_tps_1 = 0.0;
+  double bus_tps_2 = 0.0;
+  double bus_tps_4 = 0.0;
+  bool bus_identical = true;
+  bool bus_clients_ok = true;
+  {
+    bus::BusDaemonConfig bus_config;
+    bus_config.socket_path =
+        "/tmp/psc_bus_bench_" + std::to_string(::getpid()) + ".sock";
+    bus_config.per_session_quota = 2;
+    bus_config.pool_reserve = 4;
+    bus_config.datasets = {{"bench", pstr_v2_path}};
+    bus::BusDaemon daemon(bus_config);
+    daemon.start();
+
+    bus::CpaJobSpec spec;
+    spec.channel = util::FourCc("PHPC").code();
+    spec.known_key = victim_key;
+    spec.models = {power::PowerModel::rd0_hw};
+    spec.shards = 4;
+
+    // Warm-up pass doubling as the correctness check: the daemon-served
+    // result must be bit-identical to the same job run in-process.
+    {
+      bus::BusClient client(bus_config.socket_path);
+      const std::uint64_t id = client.submit_cpa("bench", spec);
+      client.watch(id);
+      const bus::CpaJobResult served = client.cpa_result(id);
+      const bus::CpaJobResult local =
+          bus::run_cpa_job(store::SharedMapping::open(pstr_v2_path), spec);
+      const auto bits = [](double v) {
+        return std::bit_cast<std::uint64_t>(v);
+      };
+      bus_identical = served.traces == local.traces &&
+                      served.models.size() == local.models.size();
+      for (std::size_t m = 0; bus_identical && m < served.models.size(); ++m) {
+        const core::ModelResult& sm = served.models[m];
+        const core::ModelResult& lm = local.models[m];
+        bus_identical = bits(sm.ge_bits) == bits(lm.ge_bits) &&
+                        sm.true_ranks == lm.true_ranks &&
+                        sm.scored_key == lm.scored_key;
+        for (std::size_t b = 0; bus_identical && b < 16; ++b) {
+          for (std::size_t g = 0; g < 256; ++g) {
+            if (bits(sm.bytes[b].correlation[g]) !=
+                bits(lm.bytes[b].correlation[g])) {
+              bus_identical = false;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    const auto run_clients = [&](std::size_t n) {
+      std::atomic<bool> ok{true};
+      std::vector<std::thread> clients;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t c = 0; c < n; ++c) {
+        clients.emplace_back([&] {
+          try {
+            bus::BusClient client(bus_config.socket_path);
+            const std::uint64_t id = client.submit_cpa("bench", spec);
+            client.watch(id);
+            if (client.cpa_result(id).traces != store_traces) {
+              ok.store(false);
+            }
+          } catch (const std::exception&) {
+            ok.store(false);
+          }
+        });
+      }
+      for (std::thread& t : clients) {
+        t.join();
+      }
+      const double tps = static_cast<double>(n * store_traces) /
+                         seconds_since(start);
+      bus_clients_ok = bus_clients_ok && ok.load();
+      return tps;
+    };
+    bus_tps_1 = run_clients(1);
+    bus_tps_2 = run_clients(2);
+    bus_tps_4 = run_clients(4);
+    daemon.stop();
+  }
+  const double bus_scaling = bus_tps_1 > 0.0 ? bus_tps_4 / bus_tps_1 : 0.0;
+  const unsigned bus_hw_threads = std::thread::hardware_concurrency();
+  const bool bus_gate_enforced = bus_hw_threads >= 4 && bus_tps_4 > 0.0;
+  const bool bus_ok = bus_identical && bus_clients_ok &&
+                      (!bus_gate_enforced || bus_scaling >= bus_min_scaling);
+  std::cerr << "bus: 1 client " << bus_tps_1 << " traces/s, 2 clients "
+            << bus_tps_2 << " traces/s, 4 clients " << bus_tps_4
+            << " traces/s aggregate (scaling " << bus_scaling << ", "
+            << (bus_identical ? "bit-identical" : "MISMATCH") << ")\n";
+
   // ---- SIMD ingest kernels: each available backend vs forced scalar ----
   //
   // Times the two dispatched kernels the engines ingest through — the
@@ -704,6 +828,18 @@ int main() {
     }
     std::cerr << "\n";
   }
+  if (!bus_ok) {
+    std::cerr << "FAIL: bus daemon ";
+    if (!bus_identical) {
+      std::cerr << "served result differs from in-process run";
+    } else if (!bus_clients_ok) {
+      std::cerr << "client campaign errored";
+    } else {
+      std::cerr << "4-client aggregate scaling " << bus_scaling
+                << " below required " << bus_min_scaling;
+    }
+    std::cerr << "\n";
+  }
   if (!simd_ok) {
     std::cerr << "FAIL: SIMD ingest "
               << (simd_identical ? "below required speedup over scalar "
@@ -807,6 +943,21 @@ int main() {
       "\"channel_ratio\":" + util::format_double(sample_chan_ratio) + ","
       "\"bit_identical\":" + (sample_identical ? "true" : "false") + "},"
       "\"ok\":" + (store_v2_ok ? "true" : "false") + "},"
+      "\"bus\":{"
+      "\"dataset\":\"" + pstr_v2_path + "\","
+      "\"traces_per_job\":" + std::to_string(store_traces) + ","
+      "\"clients\":["
+      "{\"clients\":1,\"aggregate_traces_per_sec\":" +
+      util::format_double(bus_tps_1) + "},"
+      "{\"clients\":2,\"aggregate_traces_per_sec\":" +
+      util::format_double(bus_tps_2) + "},"
+      "{\"clients\":4,\"aggregate_traces_per_sec\":" +
+      util::format_double(bus_tps_4) + "}],"
+      "\"scaling_4_over_1\":" + util::format_double(bus_scaling) + ","
+      "\"min_scaling\":" + util::format_double(bus_min_scaling) + ","
+      "\"gate\":\"" + (bus_gate_enforced ? "enforced" : "skipped") + "\","
+      "\"bit_identical\":" + (bus_identical ? "true" : "false") + ","
+      "\"ok\":" + (bus_ok ? "true" : "false") + "},"
       "\"results\":[" + rows + "]}";
   std::cout << json << "\n";
   const std::string path =
@@ -816,8 +967,8 @@ int main() {
   } else {
     std::cerr << "warning: could not write " << path << "\n";
   }
-  return identical && ingest_ok && store_ok && store_v2_ok && simd_ok &&
-                 scaling_ok
+  return identical && ingest_ok && store_ok && store_v2_ok && bus_ok &&
+                 simd_ok && scaling_ok
              ? 0
              : 1;
 }

@@ -1,0 +1,448 @@
+// psc_busctl: CLI for the psc::bus campaign daemon — one binary that is
+// both the server (`serve`) and every client verb.
+//
+//   psc_busctl serve    --socket S --dataset name=path [--dataset ...]
+//                       [--quota N] [--threads N]
+//   psc_busctl ping     --socket S
+//   psc_busctl datasets --socket S
+//   psc_busctl open     --socket S <name> <path.pstr>
+//   psc_busctl submit   --socket S cpa  <dataset> --channel CCCC --key HEX32
+//                       [--model NAME]... [--traces N] [--shards N]
+//                       [--watch] [--verify-local]
+//   psc_busctl submit   --socket S tvla <dataset> [--per-set N] [--shards N]
+//                       [--watch] [--verify-local]
+//   psc_busctl watch    --socket S <job-id>
+//   psc_busctl result   --socket S cpa|tvla <job-id>
+//   psc_busctl shutdown --socket S
+//
+// `submit --verify-local` is the bit-identity check the CI smoke job
+// leans on: after the daemon finishes the job, the same spec is rerun
+// in-process (run_*_job over the same file) and every result double is
+// compared bit-for-bit — any drift between daemon-served and local
+// analysis exits non-zero. `serve` installs SIGINT/SIGTERM handlers and
+// drains running jobs before exiting, so `kill -TERM` is a clean stop.
+#include <bit>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.h"
+#include "bus/client.h"
+#include "bus/daemon.h"
+#include "bus/jobs.h"
+#include "core/report.h"
+#include "store/shared_mapping.h"
+#include "util/hex.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace psc;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  psc_busctl serve    --socket S --dataset name=path [...]\n"
+         "                      [--quota N] [--threads N]\n"
+         "  psc_busctl ping     --socket S\n"
+         "  psc_busctl datasets --socket S\n"
+         "  psc_busctl open     --socket S <name> <path.pstr>\n"
+         "  psc_busctl submit   --socket S cpa  <dataset> --channel CCCC\n"
+         "                      --key HEX32 [--model NAME]... [--traces N]\n"
+         "                      [--shards N] [--watch] [--verify-local]\n"
+         "  psc_busctl submit   --socket S tvla <dataset> [--per-set N]\n"
+         "                      [--shards N] [--watch] [--verify-local]\n"
+         "  psc_busctl watch    --socket S <job-id>\n"
+         "  psc_busctl result   --socket S cpa|tvla <job-id>\n"
+         "  psc_busctl shutdown --socket S\n";
+  return 2;
+}
+
+// argv cursor: flags may appear anywhere after the verb.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;  // --name value
+  bool watch = false;
+  bool verify_local = false;
+
+  std::optional<std::string> flag(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> flag_all(const std::string& name) const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : flags) {
+      if (key == name) {
+        out.push_back(value);
+      }
+    }
+    return out;
+  }
+};
+
+bool parse_args(int argc, char** argv, int from, Args& args) {
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--watch") {
+      args.watch = true;
+    } else if (arg == "--verify-local") {
+      args.verify_local = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "flag " << arg << " needs a value\n";
+        return false;
+      }
+      args.flags.emplace_back(arg.substr(2), argv[++i]);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+std::string require_socket(const Args& args) {
+  const auto socket = args.flag("socket");
+  if (!socket.has_value()) {
+    throw std::invalid_argument("--socket is required");
+  }
+  return *socket;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+power::PowerModel parse_model(const std::string& name) {
+  for (const power::PowerModel model : power::all_power_models) {
+    if (power::power_model_name(model) == name) {
+      return model;
+    }
+  }
+  throw std::invalid_argument("unknown power model: " + name);
+}
+
+void print_progress(const bus::ProgressMsg& msg) {
+  std::cout << "job " << msg.id << ": " << msg.consumed << "/" << msg.total
+            << " traces\n";
+}
+
+void print_cpa_result(std::uint64_t id, const bus::CpaJobResult& result) {
+  std::cout << "job " << id << ": CPA over " << result.traces << " traces\n";
+  std::vector<core::RankColumn> columns;
+  for (const core::ModelResult& model : result.models) {
+    columns.push_back({std::string(power::power_model_name(model.model)),
+                       &model});
+  }
+  core::cpa_rank_table("CPA key ranks (daemon job " + std::to_string(id) + ")",
+                       columns)
+      .render(std::cout);
+  for (const core::ModelResult& model : result.models) {
+    std::cout << power::power_model_name(model.model) << ": GE "
+              << model.ge_bits << " bits, " << model.recovered_bytes
+              << "/16 recovered, best key "
+              << util::to_hex(model.best_round_key) << "\n";
+  }
+}
+
+void print_tvla_result(std::uint64_t id, const bus::TvlaJobResult& result) {
+  std::cout << "job " << id << ": TVLA with " << result.traces_per_set
+            << " traces per set\n";
+  core::tvla_table("TVLA t-scores (daemon job " + std::to_string(id) + ")",
+                   result.channels)
+      .render(std::cout);
+}
+
+// ---------- bit-identity comparison (submit --verify-local) ----------
+
+bool bits_equal(double a, double b) {
+  // == would call 0.0 and -0.0 identical and NaN unequal to itself; the
+  // contract is bit-identity, so compare the representation.
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool cpa_equal(const bus::CpaJobResult& a, const bus::CpaJobResult& b) {
+  if (a.traces != b.traces || a.models.size() != b.models.size()) {
+    return false;
+  }
+  for (std::size_t m = 0; m < a.models.size(); ++m) {
+    const core::ModelResult& x = a.models[m];
+    const core::ModelResult& y = b.models[m];
+    if (x.model != y.model || x.true_ranks != y.true_ranks ||
+        x.scored_key != y.scored_key || !bits_equal(x.ge_bits, y.ge_bits) ||
+        !bits_equal(x.mean_rank, y.mean_rank) ||
+        x.best_round_key != y.best_round_key ||
+        x.implied_master_key != y.implied_master_key ||
+        x.recovered_bytes != y.recovered_bytes ||
+        x.near_recovered_bytes != y.near_recovered_bytes) {
+      return false;
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t g = 0; g < 256; ++g) {
+        if (!bits_equal(x.bytes[i].correlation[g], y.bytes[i].correlation[g])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool tvla_equal(const bus::TvlaJobResult& a, const bus::TvlaJobResult& b) {
+  if (a.traces_per_set != b.traces_per_set ||
+      a.channels.size() != b.channels.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    if (a.channels[c].channel != b.channels[c].channel) {
+      return false;
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (!bits_equal(a.channels[c].matrix.t[i][j],
+                        b.channels[c].matrix.t[i][j])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// The daemon's stored path for `dataset` (the summary travels with the
+// dataset list), so --verify-local can open the same file in-process.
+std::string dataset_path(bus::BusClient& client, const std::string& dataset) {
+  for (const auto& entry : client.list_datasets()) {
+    if (entry.name == dataset) {
+      return entry.summary.path;
+    }
+  }
+  throw std::runtime_error("dataset not listed by daemon: " + dataset);
+}
+
+// ---------- verbs ----------
+
+int cmd_serve(const Args& args) {
+  bus::BusDaemonConfig config;
+  config.socket_path = require_socket(args);
+  if (const auto quota = args.flag("quota")) {
+    config.per_session_quota = parse_u64(*quota);
+  }
+  if (const auto threads = args.flag("threads")) {
+    config.pool_reserve = parse_u64(*threads);
+  }
+  for (const std::string& spec : args.flag_all("dataset")) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::cerr << "--dataset wants name=path, got: " << spec << "\n";
+      return 2;
+    }
+    config.datasets.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+  }
+
+  bus::BusDaemon daemon(std::move(config));
+  bus::BusDaemon::install_signal_handlers(daemon);
+  daemon.start();
+  std::cout << "psc_busctl: serving on " << daemon.socket_path() << " ("
+            << daemon.registry().size() << " datasets)\n"
+            << std::flush;
+  daemon.wait();
+  std::cout << "psc_busctl: stopped\n";
+  return 0;
+}
+
+int cmd_datasets(const Args& args) {
+  bus::BusClient client(require_socket(args));
+  const auto datasets = client.list_datasets();
+  std::cout << datasets.size() << " dataset(s)\n";
+  for (const auto& entry : datasets) {
+    std::cout << entry.name << ":\n";
+    store::print_dataset_summary(std::cout, entry.summary, "  ");
+  }
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  if (args.positional.size() != 2) {
+    return usage();
+  }
+  const std::string& kind = args.positional[0];
+  const std::string& dataset = args.positional[1];
+  bus::BusClient client(require_socket(args));
+
+  std::uint64_t id = 0;
+  bus::CpaJobSpec cpa;
+  bus::TvlaJobSpec tvla;
+  if (kind == "cpa") {
+    const auto channel = args.flag("channel");
+    const auto key = args.flag("key");
+    if (!channel.has_value() || !key.has_value()) {
+      std::cerr << "submit cpa needs --channel and --key\n";
+      return 2;
+    }
+    const auto fourcc = util::FourCc::parse(*channel);
+    if (!fourcc.has_value()) {
+      std::cerr << "--channel wants a 4-character FourCC\n";
+      return 2;
+    }
+    cpa.channel = fourcc->code();
+    if (!util::from_hex_exact(*key, cpa.known_key)) {
+      std::cerr << "--key wants 32 hex characters\n";
+      return 2;
+    }
+    const std::vector<std::string> models = args.flag_all("model");
+    if (!models.empty()) {
+      cpa.models.clear();
+      for (const std::string& name : models) {
+        cpa.models.push_back(parse_model(name));
+      }
+    }
+    if (const auto traces = args.flag("traces")) {
+      cpa.trace_count = parse_u64(*traces);
+    }
+    if (const auto shards = args.flag("shards")) {
+      cpa.shards = static_cast<std::uint32_t>(parse_u64(*shards));
+    }
+    id = client.submit_cpa(dataset, cpa);
+  } else if (kind == "tvla") {
+    if (const auto per_set = args.flag("per-set")) {
+      tvla.traces_per_set = parse_u64(*per_set);
+    }
+    if (const auto shards = args.flag("shards")) {
+      tvla.shards = static_cast<std::uint32_t>(parse_u64(*shards));
+    }
+    id = client.submit_tvla(dataset, tvla);
+  } else {
+    return usage();
+  }
+  std::cout << "accepted job " << id << "\n";
+
+  if (!args.watch && !args.verify_local) {
+    return 0;
+  }
+  const bus::JobStatusMsg final_status =
+      client.watch(id, args.watch ? print_progress : bus::BusClient::WatchFn{});
+  if (final_status.state == bus::JobState::failed) {
+    std::cerr << "job " << id << " FAILED: " << final_status.error << "\n";
+    return 1;
+  }
+
+  if (kind == "cpa") {
+    const bus::CpaJobResult remote = client.cpa_result(id);
+    print_cpa_result(id, remote);
+    if (args.verify_local) {
+      const bus::CpaJobResult local =
+          bus::run_cpa_job(store::SharedMapping::open(
+                               dataset_path(client, dataset)),
+                           cpa);
+      const bool same = cpa_equal(remote, local);
+      std::cout << "verify-local: " << (same ? "bit-identical" : "MISMATCH")
+                << "\n";
+      return same ? 0 : 1;
+    }
+  } else {
+    const bus::TvlaJobResult remote = client.tvla_result(id);
+    print_tvla_result(id, remote);
+    if (args.verify_local) {
+      const bus::TvlaJobResult local =
+          bus::run_tvla_job(store::SharedMapping::open(
+                                dataset_path(client, dataset)),
+                            tvla);
+      const bool same = tvla_equal(remote, local);
+      std::cout << "verify-local: " << (same ? "bit-identical" : "MISMATCH")
+                << "\n";
+      return same ? 0 : 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_watch(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  bus::BusClient client(require_socket(args));
+  const std::uint64_t id = parse_u64(args.positional[0]);
+  const bus::JobStatusMsg status = client.watch(id, print_progress);
+  std::cout << "job " << id << ": " << bus::job_state_name(status.state);
+  if (status.state == bus::JobState::failed) {
+    std::cout << " (" << status.error << ")";
+  }
+  std::cout << "\n";
+  return status.state == bus::JobState::done ? 0 : 1;
+}
+
+int cmd_result(const Args& args) {
+  if (args.positional.size() != 2) {
+    return usage();
+  }
+  bus::BusClient client(require_socket(args));
+  const std::string& kind = args.positional[0];
+  const std::uint64_t id = parse_u64(args.positional[1]);
+  if (kind == "cpa") {
+    print_cpa_result(id, client.cpa_result(id));
+  } else if (kind == "tvla") {
+    print_tvla_result(id, client.tvla_result(id));
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string verb = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, 2, args)) {
+    return 2;
+  }
+  try {
+    if (verb == "serve") {
+      return cmd_serve(args);
+    }
+    if (verb == "ping") {
+      bus::BusClient(require_socket(args)).ping();
+      std::cout << "pong\n";
+      return 0;
+    }
+    if (verb == "datasets") {
+      return cmd_datasets(args);
+    }
+    if (verb == "open") {
+      if (args.positional.size() != 2) {
+        return usage();
+      }
+      bus::BusClient(require_socket(args))
+          .open_dataset(args.positional[0], args.positional[1]);
+      std::cout << "opened " << args.positional[0] << "\n";
+      return 0;
+    }
+    if (verb == "submit") {
+      return cmd_submit(args);
+    }
+    if (verb == "watch") {
+      return cmd_watch(args);
+    }
+    if (verb == "result") {
+      return cmd_result(args);
+    }
+    if (verb == "shutdown") {
+      bus::BusClient(require_socket(args)).shutdown_server();
+      std::cout << "daemon draining\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "store/dataset_summary.h"
 #include "store/file_trace_source.h"
 #include "store/trace_file_writer.h"
 #include "util/csv.h"
@@ -52,28 +53,20 @@ int usage() {
 int cmd_info(const std::string& path) {
   using namespace psc;
   store::TraceFileReader reader(path);
-  std::cout << "file        : " << path << " (" << reader.file_bytes()
-            << " bytes, " << (reader.mapped() ? "mmap" : "stream")
-            << " reader)\n"
-            << "version     : " << reader.format_version() << "\n"
-            << "traces      : " << reader.trace_count() << "\n"
-            << "channels    : " << reader.channels().size() << " [";
-  for (std::size_t c = 0; c < reader.channels().size(); ++c) {
-    std::cout << (c ? " " : "") << reader.channels()[c].str();
-  }
-  std::cout << "]\n"
-            << "chunks      : " << reader.chunk_count() << " x up to "
-            << reader.chunk_capacity() << " traces ("
-            << store::chunk_bytes(reader.chunk_capacity(),
-                                  reader.channels().size())
-            << " bytes full)\n";
+  // The shared summary (store/dataset_summary.h) is what the bus daemon
+  // serves for `psc_busctl datasets` — same struct, same formatter, so
+  // local and daemon-side views of a dataset print identically. It walks
+  // chunk headers and column directories only; per-column codec,
+  // raw/stored bytes and compression ratios come without decoding a
+  // single payload byte.
+  const store::DatasetSummary summary = store::summarize_dataset(reader);
+  print_dataset_summary(std::cout, summary);
+  std::cout << "reader      : " << (reader.mapped() ? "mmap" : "stream")
+            << "\n";
   if (reader.chunk_count() > 0) {
     const std::size_t last = reader.chunk_count() - 1;
     std::cout << "last chunk  : " << reader.chunk_rows(last)
               << " traces at row " << reader.chunk_row_begin(last) << "\n";
-  }
-  for (const auto& [key, value] : reader.metadata()) {
-    std::cout << "meta        : " << key << " = " << value << "\n";
   }
   return 0;
 }

@@ -1,0 +1,131 @@
+#include "bus/client.h"
+
+#include <utility>
+
+namespace psc::bus {
+
+namespace {
+
+[[noreturn]] void throw_unexpected(MsgType got, MsgType expected) {
+  throw ProtocolError("daemon sent message type " +
+                      std::to_string(static_cast<unsigned>(got)) +
+                      " where type " +
+                      std::to_string(static_cast<unsigned>(expected)) +
+                      " was expected");
+}
+
+}  // namespace
+
+BusClient::BusClient(const std::string& socket_path)
+    : socket_(connect_unix(socket_path)) {}
+
+void BusClient::request(MsgType type, const PayloadWriter& body,
+                        MsgType expected) {
+  send_frame(socket_, type, body);
+  const std::optional<MsgType> got = recv_frame(socket_, payload_);
+  if (!got.has_value()) {
+    throw BusError("daemon closed the connection mid-request");
+  }
+  if (*got == MsgType::error) {
+    PayloadReader r(payload_);
+    const ErrorMsg err = ErrorMsg::decode(r);
+    throw BusRemoteError(err.code, err.message);
+  }
+  if (*got != expected) {
+    throw_unexpected(*got, expected);
+  }
+}
+
+void BusClient::ping() {
+  request(MsgType::ping, PayloadWriter{}, MsgType::ok);
+}
+
+std::vector<DatasetListMsg::Entry> BusClient::list_datasets() {
+  request(MsgType::list_datasets, PayloadWriter{}, MsgType::dataset_list);
+  PayloadReader r(payload_);
+  return DatasetListMsg::decode(r).datasets;
+}
+
+void BusClient::open_dataset(const std::string& name, const std::string& path) {
+  PayloadWriter w;
+  OpenDatasetMsg{name, path}.encode(w);
+  request(MsgType::open_dataset, w, MsgType::ok);
+}
+
+std::uint64_t BusClient::submit_cpa(const std::string& dataset,
+                                    const CpaJobSpec& spec) {
+  PayloadWriter w;
+  SubmitCpaMsg{dataset, spec}.encode(w);
+  request(MsgType::submit_cpa, w, MsgType::job_accepted);
+  PayloadReader r(payload_);
+  return JobIdMsg::decode(r).id;
+}
+
+std::uint64_t BusClient::submit_tvla(const std::string& dataset,
+                                     const TvlaJobSpec& spec) {
+  PayloadWriter w;
+  SubmitTvlaMsg{dataset, spec}.encode(w);
+  request(MsgType::submit_tvla, w, MsgType::job_accepted);
+  PayloadReader r(payload_);
+  return JobIdMsg::decode(r).id;
+}
+
+JobStatusMsg BusClient::status(std::uint64_t id) {
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  request(MsgType::job_status, w, MsgType::job_status_r);
+  PayloadReader r(payload_);
+  return JobStatusMsg::decode(r);
+}
+
+JobStatusMsg BusClient::watch(std::uint64_t id, const WatchFn& on_progress) {
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  send_frame(socket_, MsgType::watch_job, w);
+  for (;;) {
+    const std::optional<MsgType> got = recv_frame(socket_, payload_);
+    if (!got.has_value()) {
+      throw BusError("daemon closed the connection mid-watch");
+    }
+    PayloadReader r(payload_);
+    switch (*got) {
+      case MsgType::progress: {
+        const ProgressMsg msg = ProgressMsg::decode(r);
+        if (on_progress) {
+          on_progress(msg);
+        }
+        break;
+      }
+      case MsgType::job_done:
+        return JobStatusMsg::decode(r);
+      case MsgType::error: {
+        const ErrorMsg err = ErrorMsg::decode(r);
+        throw BusRemoteError(err.code, err.message);
+      }
+      default:
+        throw_unexpected(*got, MsgType::job_done);
+    }
+  }
+}
+
+CpaJobResult BusClient::cpa_result(std::uint64_t id) {
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  request(MsgType::fetch_result, w, MsgType::cpa_result);
+  PayloadReader r(payload_);
+  return CpaResultMsg::decode(r).result;
+}
+
+TvlaJobResult BusClient::tvla_result(std::uint64_t id) {
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  request(MsgType::fetch_result, w, MsgType::tvla_result);
+  PayloadReader r(payload_);
+  return TvlaResultMsg::decode(r).result;
+}
+
+void BusClient::shutdown_server() {
+  request(MsgType::shutdown, PayloadWriter{}, MsgType::ok);
+}
+
+}  // namespace psc::bus

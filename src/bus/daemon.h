@@ -1,0 +1,132 @@
+// BusDaemon: the long-running campaign server of psc::bus.
+//
+// One accept-loop thread plus one thread per client connection speak the
+// framed protocol of bus/protocol.h over a Unix-domain socket. Submitted
+// campaigns become job-table entries executed on the process-wide
+// core::WorkerPool — each job is one posted pool task running
+// bus/jobs.h's run_*_job sequentially, so concurrent clients get true
+// parallelism across jobs while every job's result stays a pure function
+// of (dataset, spec). Datasets resolve through the DatasetRegistry: one
+// shared mmap per file, any number of jobs on top.
+//
+// Shutdown is graceful by construction: a stop request (stop(), the
+// SHUTDOWN message, or SIGINT/SIGTERM via install_signal_handlers) first
+// flips `stopping_` — new submits are rejected with shutting_down —
+// then drains the job table, and only then tears down sockets and joins
+// threads. A client watching a job across shutdown sees its final
+// JOB_DONE before the connection drops. All teardown runs on a
+// dedicated stopper thread, so stop may be requested from a signal
+// handler (async-signal-safe self-pipe write), a connection thread
+// (SHUTDOWN message) or any caller without self-join deadlocks.
+//
+// A misbehaving client costs exactly its own connection: frame-level
+// garbage (bad magic/version/CRC, oversize, truncation) raises
+// ProtocolError in that connection's thread, which answers with one
+// best-effort ERROR frame and closes — the daemon, other sessions, and
+// any jobs the client had in flight are untouched (quota slots release
+// when those jobs finish).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bus/dataset_registry.h"
+#include "bus/framing.h"
+#include "bus/job_table.h"
+
+namespace psc::bus {
+
+struct BusDaemonConfig {
+  std::string socket_path;
+  // Max queued+running jobs per client connection.
+  std::size_t per_session_quota = 4;
+  // Worker-pool threads reserved at start() so that many concurrent
+  // posted jobs actually run in parallel (core::WorkerPool::reserve).
+  std::size_t pool_reserve = 4;
+  // Datasets registered before the socket opens: (name, path).
+  std::vector<std::pair<std::string, std::string>> datasets;
+};
+
+class BusDaemon {
+ public:
+  explicit BusDaemon(BusDaemonConfig config);
+  ~BusDaemon();  // stops gracefully if still running
+  BusDaemon(const BusDaemon&) = delete;
+  BusDaemon& operator=(const BusDaemon&) = delete;
+
+  // Opens registered datasets, binds the socket and starts serving.
+  // Throws (and leaves nothing running) when a dataset or the socket
+  // path is unusable.
+  void start();
+
+  // Requests a graceful stop and blocks until teardown finished.
+  // Idempotent; callable from any thread.
+  void stop();
+
+  // Blocks until the daemon stopped (by stop(), SHUTDOWN or a signal).
+  void wait();
+
+  bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+  DatasetRegistry& registry() noexcept { return registry_; }
+  JobTable& jobs() noexcept { return *jobs_; }
+
+  // Routes SIGINT/SIGTERM to daemon.stop() via an async-signal-safe
+  // self-pipe write. One daemon per process can own the handlers.
+  static void install_signal_handlers(BusDaemon& daemon);
+
+ private:
+  void accept_loop();
+  void handle_connection(Socket* socket, std::uint64_t session);
+  // One request; returns false when the connection should close.
+  bool dispatch(Socket& socket, std::uint64_t session, MsgType type,
+                const std::vector<std::byte>& payload);
+  void submit_job(Socket& socket, std::uint64_t session, JobKind kind,
+                  std::string dataset, const CpaJobSpec& cpa,
+                  const TvlaJobSpec& tvla);
+  void stream_watch(Socket& socket, std::uint64_t id);
+  void send_result(Socket& socket, std::uint64_t id);
+  void request_stop();  // async: nudges the stopper thread
+  void stopper_loop();
+  void do_stop();
+
+  BusDaemonConfig config_;
+  DatasetRegistry registry_;
+  // shared_ptr: posted job closures capture the table so a job finishing
+  // after teardown (never happens under the drain, but the pool contract
+  // demands ownership) touches valid memory.
+  std::shared_ptr<JobTable> jobs_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::thread stopper_thread_;
+  int stop_pipe_[2] = {-1, -1};  // [0] read end, [1] write end
+
+  std::mutex conn_mu_;
+  std::uint64_t next_session_ = 1;
+  // Live connections by session; entries point at the owning thread's
+  // stack Socket and are erased (under conn_mu_) before that Socket
+  // closes, so do_stop's shutdown sweep never touches a dead fd.
+  std::vector<std::pair<std::uint64_t, Socket*>> connections_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace psc::bus

@@ -1,0 +1,210 @@
+#include "bus/framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "store/pstr_format.h"
+#include "util/crc32.h"
+
+namespace psc::bus {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw BusError("bus: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw BusError("bus: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// Full write; throws BusError on failure (EPIPE surfaces here rather
+// than as SIGPIPE thanks to MSG_NOSIGNAL).
+void send_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      sys_fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Full read. Returns false on EOF with zero bytes read; throws
+// ProtocolError when EOF lands mid-buffer (a truncated frame) and
+// BusError on socket errors.
+bool recv_all(int fd, std::byte* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      sys_fail("recv");
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return false;
+      }
+      throw ProtocolError("bus: connection closed mid-frame (truncated)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    sys_fail("socket");
+  }
+  Socket socket(fd);
+  const sockaddr_un addr = unix_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw BusError("bus: connect " + path + ": " + std::strerror(errno));
+  }
+  return socket;
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    sys_fail("socket");
+  }
+  socket_ = Socket(fd);
+  const sockaddr_un addr = unix_address(path);
+  ::unlink(path.c_str());  // a stale file from a dead daemon blocks bind
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw BusError("bus: bind " + path + ": " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    sys_fail("listen");
+  }
+}
+
+Listener::~Listener() {
+  socket_.close();
+  ::unlink(path_.c_str());
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // The daemon shut the listener down (or closed it) to stop the
+    // accept loop; anything else is a real error.
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
+      return Socket();
+    }
+    sys_fail("accept");
+  }
+}
+
+void send_frame(const Socket& socket, MsgType type,
+                std::span<const std::byte> payload) {
+  if (payload.size() > max_payload_bytes) {
+    throw BusError("bus: frame payload too large");
+  }
+  std::vector<std::byte> frame(frame_header_bytes + payload.size());
+  std::memcpy(frame.data(), frame_magic, 4);
+  store::put_u16(frame.data() + 4, protocol_version);
+  store::put_u16(frame.data() + 6, static_cast<std::uint16_t>(type));
+  store::put_u32(frame.data() + 8,
+                 static_cast<std::uint32_t>(payload.size()));
+  store::put_u32(frame.data() + 12,
+                 util::crc32(payload.data(), payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + frame_header_bytes, payload.data(),
+                payload.size());
+  }
+  send_all(socket.fd(), frame.data(), frame.size());
+}
+
+void send_frame(const Socket& socket, MsgType type, const PayloadWriter& w) {
+  send_frame(socket, type, std::span<const std::byte>(w.bytes()));
+}
+
+std::optional<MsgType> recv_frame(const Socket& socket,
+                                  std::vector<std::byte>& payload) {
+  std::byte header[frame_header_bytes];
+  if (!recv_all(socket.fd(), header, sizeof(header))) {
+    return std::nullopt;
+  }
+  if (std::memcmp(header, frame_magic, 4) != 0) {
+    throw ProtocolError("bus: bad frame magic");
+  }
+  const std::uint16_t version = store::get_u16(header + 4);
+  if (version != protocol_version) {
+    throw ProtocolError("bus: unsupported protocol version " +
+                        std::to_string(version));
+  }
+  const std::uint16_t type = store::get_u16(header + 6);
+  const std::uint32_t length = store::get_u32(header + 8);
+  const std::uint32_t crc = store::get_u32(header + 12);
+  // Bound the declared length before allocating anything: a hostile or
+  // corrupt length can demand gigabytes.
+  if (length > max_payload_bytes) {
+    throw ProtocolError("bus: declared payload length " +
+                        std::to_string(length) + " exceeds limit");
+  }
+  payload.resize(length);
+  if (length > 0 && !recv_all(socket.fd(), payload.data(), length)) {
+    throw ProtocolError("bus: connection closed mid-frame (truncated)");
+  }
+  if (util::crc32(payload.data(), payload.size()) != crc) {
+    throw ProtocolError("bus: frame payload CRC mismatch");
+  }
+  return static_cast<MsgType>(type);
+}
+
+}  // namespace psc::bus

@@ -1,0 +1,88 @@
+// Socket plumbing for the bus protocol: RAII fds, Unix-domain
+// listen/connect, and frame send/recv implementing the header layout of
+// bus/protocol.h.
+//
+// Failure taxonomy (the daemon's robustness tests exercise each):
+//   - clean EOF at a frame boundary   -> recv_frame returns nullopt
+//   - EOF mid-frame (truncated frame) -> ProtocolError
+//   - bad magic / version / CRC /
+//     oversized declared length       -> ProtocolError
+//   - socket-level errors             -> BusError
+// A ProtocolError means the peer is speaking garbage: the daemon answers
+// with one best-effort ERROR frame and closes that connection, touching
+// nothing else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/protocol.h"
+
+namespace psc::bus {
+
+// Move-only owning fd. -1 = empty.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  // shutdown(SHUT_RDWR): unblocks a thread parked in recv on this fd
+  // without racing the close of the fd number itself.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// Connects to a Unix-domain socket path; throws BusError on failure.
+Socket connect_unix(const std::string& path);
+
+// Bound + listening Unix-domain server socket. Unlinks a stale socket
+// file at bind and its own file on destruction.
+class Listener {
+ public:
+  explicit Listener(const std::string& path);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const noexcept { return socket_.fd(); }
+  const std::string& path() const noexcept { return path_; }
+
+  // Accepts one connection; empty Socket when the listener was shut
+  // down. Throws BusError on unexpected accept failures.
+  Socket accept();
+
+  void shutdown() noexcept { socket_.shutdown_both(); }
+
+ private:
+  Socket socket_;
+  std::string path_;
+};
+
+// Sends one complete frame (header + payload); throws BusError when the
+// peer is gone (EPIPE/ECONNRESET — common when a client disconnects
+// mid-watch) or on any short write.
+void send_frame(const Socket& socket, MsgType type,
+                std::span<const std::byte> payload);
+void send_frame(const Socket& socket, MsgType type, const PayloadWriter& w);
+
+// Receives one complete frame into `payload`. Returns the message type,
+// or nullopt on clean EOF before any header byte. Validates magic,
+// version, declared length and payload CRC (ProtocolError on each).
+std::optional<MsgType> recv_frame(const Socket& socket,
+                                  std::vector<std::byte>& payload);
+
+}  // namespace psc::bus

@@ -1,0 +1,157 @@
+#include "bus/job_table.h"
+
+#include <utility>
+
+namespace psc::bus {
+
+namespace {
+
+JobStatusMsg status_of(const Job& job) {
+  JobStatusMsg msg;
+  msg.id = job.id;
+  msg.state = job.state;
+  msg.consumed = job.consumed;
+  msg.total = job.total;
+  msg.error = job.error;
+  return msg;
+}
+
+bool terminal(JobState state) {
+  return state == JobState::done || state == JobState::failed;
+}
+
+}  // namespace
+
+std::uint64_t JobTable::submit(std::uint64_t session, JobKind kind,
+                               std::string dataset, const CpaJobSpec& cpa,
+                               const TvlaJobSpec& tvla) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t& in_flight = in_flight_[session];
+  if (in_flight >= quota_) {
+    return 0;
+  }
+  ++in_flight;
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->session = session;
+  job->kind = kind;
+  job->dataset = std::move(dataset);
+  job->cpa_spec = cpa;
+  job->tvla_spec = tvla;
+  jobs_.emplace(job->id, job);
+  change_cv_.notify_all();
+  return job->id;
+}
+
+std::unique_ptr<JobStatusMsg> JobTable::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return nullptr;
+  }
+  return std::make_unique<JobStatusMsg>(status_of(*it->second));
+}
+
+std::shared_ptr<Job> JobTable::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+void JobTable::mark_running(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end() && it->second->state == JobState::queued) {
+    it->second->state = JobState::running;
+    change_cv_.notify_all();
+  }
+}
+
+void JobTable::update_progress(std::uint64_t id, std::uint64_t consumed,
+                               std::uint64_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) {
+    it->second->consumed = consumed;
+    it->second->total = total;
+    change_cv_.notify_all();
+  }
+}
+
+void JobTable::mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
+                         std::unique_ptr<TvlaJobResult> tvla) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || terminal(it->second->state)) {
+    return;
+  }
+  Job& job = *it->second;
+  job.state = JobState::done;
+  job.cpa_result = std::move(cpa);
+  job.tvla_result = std::move(tvla);
+  job.consumed = job.total;
+  release_slot_locked(job.session);
+  change_cv_.notify_all();
+}
+
+void JobTable::mark_failed(std::uint64_t id, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || terminal(it->second->state)) {
+    return;
+  }
+  Job& job = *it->second;
+  job.state = JobState::failed;
+  job.error = error;
+  release_slot_locked(job.session);
+  change_cv_.notify_all();
+}
+
+std::unique_ptr<JobStatusMsg> JobTable::wait_change(
+    std::uint64_t id, JobState seen_state, std::uint64_t seen_consumed,
+    std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return nullptr;
+  }
+  const std::shared_ptr<Job> job = it->second;
+  change_cv_.wait_for(lock, timeout, [&] {
+    return job->state != seen_state || job->consumed != seen_consumed;
+  });
+  return std::make_unique<JobStatusMsg>(status_of(*job));
+}
+
+void JobTable::wait_idle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  change_cv_.wait(lock, [&] {
+    for (const auto& [id, job] : jobs_) {
+      if (!terminal(job->state)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+std::size_t JobTable::in_flight(std::uint64_t session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = in_flight_.find(session);
+  return it == in_flight_.end() ? 0 : it->second;
+}
+
+std::size_t JobTable::job_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+void JobTable::release_slot_locked(std::uint64_t session) {
+  const auto it = in_flight_.find(session);
+  if (it != in_flight_.end() && it->second > 0) {
+    if (--it->second == 0) {
+      in_flight_.erase(it);
+    }
+  }
+}
+
+}  // namespace psc::bus

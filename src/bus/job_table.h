@@ -1,0 +1,110 @@
+// Session + job table of the bus daemon: tracks every submitted
+// campaign job through queued -> running -> done/failed, enforces
+// per-session in-flight quotas, and wakes watchers on any change.
+//
+// Quota accounting is the part the robustness tests lean on: a session's
+// in-flight count is charged at submit and released exactly once when
+// the job reaches a terminal state — even if the submitting client
+// disconnected long before (mid-job disconnect must not leak the job
+// slot, and the job itself runs to completion; results stay fetchable by
+// job id from any connection).
+//
+// The table owns jobs as shared_ptr so worker-pool closures can hold a
+// job across the daemon's lifetime edges; all mutable state is guarded
+// by one mutex, with a single condition variable for watchers
+// (wait_change) and the drain barrier (wait_idle).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/jobs.h"
+#include "bus/protocol.h"
+
+namespace psc::bus {
+
+enum class JobKind : std::uint8_t { cpa, tvla };
+
+// One submitted campaign. Immutable identity fields are set at submit;
+// everything mutable is written under JobTable::mu_.
+struct Job {
+  std::uint64_t id = 0;
+  std::uint64_t session = 0;
+  JobKind kind = JobKind::cpa;
+  std::string dataset;
+  CpaJobSpec cpa_spec;
+  TvlaJobSpec tvla_spec;
+
+  JobState state = JobState::queued;
+  std::uint64_t consumed = 0;
+  std::uint64_t total = 0;
+  std::string error;
+  // Set on done, by kind.
+  std::unique_ptr<CpaJobResult> cpa_result;
+  std::unique_ptr<TvlaJobResult> tvla_result;
+};
+
+class JobTable {
+ public:
+  explicit JobTable(std::size_t per_session_quota)
+      : quota_(per_session_quota) {}
+
+  // Registers a job for `session`, charging its quota. Returns the job
+  // id, or 0 when the session already has `quota` jobs in flight.
+  std::uint64_t submit(std::uint64_t session, JobKind kind,
+                       std::string dataset, const CpaJobSpec& cpa,
+                       const TvlaJobSpec& tvla);
+
+  // Point-in-time status copy; nullptr when the id is unknown.
+  std::unique_ptr<JobStatusMsg> status(std::uint64_t id) const;
+
+  // The job's shared handle (for the executor and result fetch);
+  // nullptr when unknown.
+  std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  // State transitions, called from the executing worker thread. Each
+  // terminal transition (done/failed) releases the owning session's
+  // quota slot exactly once and wakes all waiters.
+  void mark_running(std::uint64_t id);
+  void update_progress(std::uint64_t id, std::uint64_t consumed,
+                       std::uint64_t total);
+  void mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
+                 std::unique_ptr<TvlaJobResult> tvla);
+  void mark_failed(std::uint64_t id, const std::string& error);
+
+  // Blocks until the job's (state, consumed) differs from the caller's
+  // last observation or `timeout` elapses; returns the fresh status
+  // (nullptr for unknown id). The watch loop's building block.
+  std::unique_ptr<JobStatusMsg> wait_change(std::uint64_t id,
+                                            JobState seen_state,
+                                            std::uint64_t seen_consumed,
+                                            std::chrono::milliseconds timeout)
+      const;
+
+  // Blocks until no job is queued or running — the graceful-shutdown
+  // drain barrier.
+  void wait_idle() const;
+
+  // In-flight (queued + running) jobs charged to `session`.
+  std::size_t in_flight(std::uint64_t session) const;
+
+  std::size_t job_count() const;
+
+ private:
+  void release_slot_locked(std::uint64_t session);
+
+  const std::size_t quota_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable change_cv_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::unordered_map<std::uint64_t, std::size_t> in_flight_;
+};
+
+}  // namespace psc::bus

@@ -1,0 +1,167 @@
+#include "bus/jobs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/analysis_sink.h"
+#include "core/parallel.h"
+#include "core/trace_batch.h"
+#include "store/file_trace_source.h"
+#include "util/fourcc.h"
+
+namespace psc::bus {
+
+namespace {
+
+// Batch granularity of job ingest (and thus of progress callbacks).
+// Matches the campaigns' acquisition batch so replayed jobs feed the
+// engines the same batch shapes a live campaign would.
+constexpr std::size_t job_batch = 1024;
+
+std::uint32_t resolved_shards(std::uint32_t shards) {
+  return shards == 0 ? 1 : shards;
+}
+
+}  // namespace
+
+CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
+                         const CpaJobSpec& spec,
+                         const JobProgressFn& progress) {
+  if (dataset == nullptr) {
+    throw std::invalid_argument("run_cpa_job: null dataset");
+  }
+  if (spec.models.empty()) {
+    throw std::invalid_argument("run_cpa_job: no power models");
+  }
+  // A throwaway reader resolves the dataset's shape; each shard below
+  // builds its own single-threaded reader over the same shared bytes.
+  store::TraceFileReader probe(dataset);
+  const auto& channels = probe.channels();
+  const util::FourCc wanted(spec.channel);
+  const auto it = std::find(channels.begin(), channels.end(), wanted);
+  if (it == channels.end()) {
+    throw std::invalid_argument("run_cpa_job: dataset has no channel " +
+                                wanted.str());
+  }
+  const std::size_t column = static_cast<std::size_t>(it - channels.begin());
+
+  const std::uint64_t total =
+      spec.trace_count == 0 ? probe.trace_count()
+                            : std::min<std::uint64_t>(spec.trace_count,
+                                                      probe.trace_count());
+  if (total == 0) {
+    throw std::invalid_argument("run_cpa_job: dataset holds no traces");
+  }
+  const std::uint32_t shards = resolved_shards(spec.shards);
+  if (shards > total) {
+    throw std::invalid_argument("run_cpa_job: more shards than traces");
+  }
+
+  // Shards run sequentially and merge in shard order: the result depends
+  // on (dataset, spec) only, never on scheduling. The daemon gets its
+  // concurrency from running many jobs at once, not from one job.
+  core::CpaEngine engine(spec.models);
+  core::TraceBatch batch(channels.size());
+  std::uint64_t consumed = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::size_t begin = core::shard_begin(total, shards, s);
+    const std::size_t count = core::shard_size(total, shards, s);
+    core::CpaEngine shard_engine(spec.models);
+    store::FileTraceSource source(
+        std::make_unique<store::TraceFileReader>(dataset), begin, count);
+    std::size_t left = count;
+    while (left > 0) {
+      const std::size_t take = std::min(job_batch, left);
+      batch.clear();
+      batch.resize(take);
+      source.collect_batch(batch);
+      shard_engine.add_batch(batch, column);
+      left -= take;
+      consumed += take;
+      if (progress) {
+        progress(consumed, total);
+      }
+    }
+    engine.merge(shard_engine);
+  }
+
+  CpaJobResult result;
+  result.traces = total;
+  const auto round_keys = aes::Aes128::expand_key(spec.known_key);
+  result.models.reserve(spec.models.size());
+  for (const power::PowerModel model : spec.models) {
+    result.models.push_back(engine.analyze(model, round_keys));
+  }
+  return result;
+}
+
+TvlaJobResult run_tvla_job(std::shared_ptr<const store::SharedMapping> dataset,
+                           const TvlaJobSpec& spec,
+                           const JobProgressFn& progress) {
+  if (dataset == nullptr) {
+    throw std::invalid_argument("run_tvla_job: null dataset");
+  }
+  store::TraceFileReader probe(dataset);
+  const std::size_t channel_count = probe.channels().size();
+  const std::uint64_t block = probe.trace_count() / 6;
+  if (block == 0) {
+    throw std::invalid_argument(
+        "run_tvla_job: dataset holds fewer than 6 traces");
+  }
+  const std::uint64_t per_set =
+      spec.traces_per_set == 0 ? block : spec.traces_per_set;
+  if (per_set > block) {
+    throw std::invalid_argument(
+        "run_tvla_job: traces_per_set exceeds the dataset's set size");
+  }
+  const std::uint32_t shards = resolved_shards(spec.shards);
+  if (shards > per_set) {
+    throw std::invalid_argument("run_tvla_job: more shards than traces");
+  }
+  const std::uint64_t total = 6 * per_set;
+
+  // Positional labels (see jobs.h): set k = rows [k * block, k * block +
+  // per_set), class k % 3, primed k >= 3 — TVLA protocol order. Shard s
+  // takes its shard_size slice of every set; one sink per shard, merged
+  // in shard order, mirrors the live campaign's structure.
+  core::TvlaSink merged(channel_count);
+  core::TraceBatch batch(channel_count);
+  std::uint64_t consumed = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    core::TvlaSink sink(channel_count);
+    for (std::size_t set = 0; set < 6; ++set) {
+      const core::BatchLabel label = core::BatchLabel::tvla(
+          core::all_plaintext_classes[set % 3], set >= 3);
+      const std::size_t begin = set * block +
+                                core::shard_begin(per_set, shards, s);
+      const std::size_t count = core::shard_size(per_set, shards, s);
+      store::FileTraceSource source(
+          std::make_unique<store::TraceFileReader>(dataset), begin, count);
+      std::size_t left = count;
+      while (left > 0) {
+        const std::size_t take = std::min(job_batch, left);
+        batch.clear();
+        batch.resize(take);
+        source.collect_batch(batch);
+        sink.consume(batch, label);
+        left -= take;
+        consumed += take;
+        if (progress) {
+          progress(consumed, total);
+        }
+      }
+    }
+    merged.merge(sink);
+  }
+
+  TvlaJobResult result;
+  result.traces_per_set = per_set;
+  result.channels.reserve(channel_count);
+  for (std::size_t c = 0; c < channel_count; ++c) {
+    result.channels.push_back({probe.channels()[c].str(),
+                               merged.accumulator(c).matrix()});
+  }
+  return result;
+}
+
+}  // namespace psc::bus

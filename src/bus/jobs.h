@@ -1,0 +1,83 @@
+// Campaign jobs the bus daemon executes over shared mmap'd datasets.
+//
+// run_cpa_job / run_tvla_job are the single compute path for a campaign
+// over a recorded PSTR dataset: the daemon runs them on worker-pool
+// threads, and in-process verification (`psc_busctl submit --verify-local`,
+// the ctest bit-identity suite) calls the same functions directly. A job
+// result is a pure function of (dataset bytes, spec): shards execute
+// sequentially inside the job and merge in shard order, so the identical
+// spec yields bit-identical doubles wherever it runs — which is what
+// makes the daemon's results checkable against an independent local run.
+// Cross-job parallelism comes from the daemon scheduling many jobs on
+// the pool, not from threads inside one job.
+//
+// TVLA replay labeling: a PSTR file carries no (class, collection)
+// labels, so TVLA-over-file assumes the dataset was recorded in TVLA
+// protocol order — six equal consecutive sets, unprimed collections of
+// (all-0s, all-1s, random) then the primed three, exactly the order
+// run_tvla_campaign acquires. Set k of N/6 rows is labeled
+// (class k % 3, primed = k >= 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.h"
+#include "core/campaigns.h"
+#include "core/cpa.h"
+#include "core/tvla.h"
+#include "power/hypothetical.h"
+#include "store/shared_mapping.h"
+
+namespace psc::bus {
+
+// Progress hook: (traces consumed so far, traces total). Invoked from
+// the thread running the job after every ingested batch.
+using JobProgressFn =
+    std::function<void(std::uint64_t consumed, std::uint64_t total)>;
+
+struct CpaJobSpec {
+  std::uint32_t channel = 0;  // FourCC code of the attacked column
+  aes::Block known_key{};     // victim key, for ranking/GE
+  std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
+  std::uint64_t trace_count = 0;  // 0 = every recorded trace
+  std::uint32_t shards = 1;       // result-determining (0 = 1)
+};
+
+struct CpaJobResult {
+  std::uint64_t traces = 0;
+  // One entry per spec model, in spec order.
+  std::vector<core::ModelResult> models;
+};
+
+struct TvlaJobSpec {
+  std::uint64_t traces_per_set = 0;  // 0 = trace_count / 6
+  std::uint32_t shards = 1;          // result-determining (0 = 1)
+};
+
+struct TvlaJobResult {
+  std::uint64_t traces_per_set = 0;
+  // One entry per dataset channel, in column order.
+  std::vector<core::TvlaChannelResult> channels;
+};
+
+// Runs CPA over the dataset: feeds the spec's trace budget (sharded,
+// merged in shard order) into one CpaEngine per run and analyzes every
+// spec model against the known key. Throws std::invalid_argument on a
+// spec the dataset cannot satisfy (unknown channel, trace_count or
+// shards beyond the data).
+CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
+                         const CpaJobSpec& spec,
+                         const JobProgressFn& progress = {});
+
+// Runs TVLA over the dataset under the positional labeling rule above,
+// producing one matrix per channel. Throws std::invalid_argument when
+// the dataset holds fewer than 6 traces or the spec oversubscribes it.
+TvlaJobResult run_tvla_job(std::shared_ptr<const store::SharedMapping> dataset,
+                           const TvlaJobSpec& spec,
+                           const JobProgressFn& progress = {});
+
+}  // namespace psc::bus

@@ -1,0 +1,243 @@
+// psc::bus wire protocol: length-prefixed, versioned, CRC-checked binary
+// frames over a local Unix-domain socket.
+//
+// Frame layout (little-endian, 16-byte header):
+//
+//   offset  size  field
+//   0       4     magic "PSCB"
+//   4       2     protocol version (= 1)
+//   6       2     message type (MsgType)
+//   8       4     payload length in bytes (<= max_payload_bytes)
+//   12      4     CRC32 of the payload bytes (util/crc32)
+//   16      n     payload
+//
+// Payloads are flat little-endian scalar sequences built and consumed by
+// PayloadWriter/PayloadReader: u8/u16/u32/u64, f64 carried as its IEEE-754
+// bit pattern (so results cross the wire bit-exactly — the daemon's
+// bit-identity contract extends to the client), and length-prefixed (u32)
+// strings/byte blocks. Every decode bound-checks; a malformed payload is
+// a ProtocolError, never UB.
+//
+// A peer that sends garbage gets one ERROR frame (bad_request) where
+// possible and its connection closed; the daemon survives any byte
+// stream. Responses to one request arrive in order on the same
+// connection; WATCH_JOB is the only request answered by more than one
+// frame (a stream of PROGRESS then one JOB_DONE).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bus/jobs.h"
+#include "store/dataset_summary.h"
+
+namespace psc::bus {
+
+inline constexpr char frame_magic[4] = {'P', 'S', 'C', 'B'};
+inline constexpr std::uint16_t protocol_version = 1;
+inline constexpr std::size_t frame_header_bytes = 16;
+// Largest payload either side accepts; a declared length beyond this is
+// rejected before any allocation (oversize-length robustness).
+inline constexpr std::size_t max_payload_bytes = 8 * 1024 * 1024;
+
+// Peer sent malformed bytes: bad magic/version/CRC, truncated frame,
+// oversized declared length, or a payload that does not decode.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Local socket failure (connect/send/recv), as opposed to peer-sent
+// garbage.
+class BusError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint16_t {
+  // Requests (client -> daemon).
+  list_datasets = 1,
+  open_dataset = 2,
+  submit_cpa = 3,
+  submit_tvla = 4,
+  job_status = 5,
+  watch_job = 6,
+  fetch_result = 7,
+  shutdown = 8,
+  ping = 9,
+  // Responses (daemon -> client).
+  ok = 64,
+  error = 65,
+  dataset_list = 66,
+  job_accepted = 67,
+  job_status_r = 68,
+  progress = 69,
+  job_done = 70,
+  cpa_result = 71,
+  tvla_result = 72,
+};
+
+enum class ErrorCode : std::uint16_t {
+  bad_request = 1,     // malformed frame/payload or unsupported request
+  unknown_dataset = 2,
+  unknown_job = 3,
+  quota_exceeded = 4,  // per-session in-flight job quota hit
+  shutting_down = 5,   // daemon draining; no new jobs
+  internal = 6,        // job failed server-side (message carries why)
+};
+
+const char* error_code_name(ErrorCode code) noexcept;
+
+// ---------- payload building / parsing ----------
+
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  // IEEE-754 bit pattern, bit-exact round trip
+  void str(const std::string& s);
+  void block(const void* data, std::size_t size);  // u32 length + bytes
+
+  const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class PayloadReader {
+ public:
+  PayloadReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit PayloadReader(const std::vector<std::byte>& payload)
+      : PayloadReader(payload.data(), payload.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> block();
+  // Fixed-size copy (e.g. an aes::Block), no length prefix.
+  void raw(void* out, std::size_t size);
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  // Throws ProtocolError unless the payload was consumed exactly.
+  void expect_end() const;
+
+ private:
+  const std::byte* need(std::size_t n);
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------- message bodies ----------
+//
+// Each message struct encodes itself into a PayloadWriter and decodes
+// from a PayloadReader (throwing ProtocolError on malformed payloads).
+// Requests with no body (list_datasets, shutdown, ping) have no struct.
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::internal;
+  std::string message;
+
+  void encode(PayloadWriter& w) const;
+  static ErrorMsg decode(PayloadReader& r);
+};
+
+struct OpenDatasetMsg {
+  std::string name;
+  std::string path;
+
+  void encode(PayloadWriter& w) const;
+  static OpenDatasetMsg decode(PayloadReader& r);
+};
+
+struct DatasetListMsg {
+  struct Entry {
+    std::string name;
+    store::DatasetSummary summary;
+  };
+  std::vector<Entry> datasets;
+
+  void encode(PayloadWriter& w) const;
+  static DatasetListMsg decode(PayloadReader& r);
+};
+
+struct SubmitCpaMsg {
+  std::string dataset;
+  CpaJobSpec spec;
+
+  void encode(PayloadWriter& w) const;
+  static SubmitCpaMsg decode(PayloadReader& r);
+};
+
+struct SubmitTvlaMsg {
+  std::string dataset;
+  TvlaJobSpec spec;
+
+  void encode(PayloadWriter& w) const;
+  static SubmitTvlaMsg decode(PayloadReader& r);
+};
+
+// job_accepted, job_status, watch_job, fetch_result all carry one id.
+struct JobIdMsg {
+  std::uint64_t id = 0;
+
+  void encode(PayloadWriter& w) const;
+  static JobIdMsg decode(PayloadReader& r);
+};
+
+enum class JobState : std::uint8_t {
+  queued = 0,
+  running = 1,
+  done = 2,
+  failed = 3,
+};
+
+const char* job_state_name(JobState state) noexcept;
+
+struct JobStatusMsg {
+  std::uint64_t id = 0;
+  JobState state = JobState::queued;
+  std::uint64_t consumed = 0;
+  std::uint64_t total = 0;
+  std::string error;  // non-empty iff state == failed
+
+  void encode(PayloadWriter& w) const;
+  static JobStatusMsg decode(PayloadReader& r);
+};
+
+struct ProgressMsg {
+  std::uint64_t id = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t total = 0;
+
+  void encode(PayloadWriter& w) const;
+  static ProgressMsg decode(PayloadReader& r);
+};
+
+struct CpaResultMsg {
+  std::uint64_t id = 0;
+  CpaJobResult result;
+
+  void encode(PayloadWriter& w) const;
+  static CpaResultMsg decode(PayloadReader& r);
+};
+
+struct TvlaResultMsg {
+  std::uint64_t id = 0;
+  TvlaJobResult result;
+
+  void encode(PayloadWriter& w) const;
+  static TvlaResultMsg decode(PayloadReader& r);
+};
+
+}  // namespace psc::bus

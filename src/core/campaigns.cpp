@@ -1,6 +1,7 @@
 #include "core/campaigns.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <optional>
@@ -100,6 +101,27 @@ void reduce_cpa_sinks(std::vector<std::vector<GeCheckpointSink>>& shard_sinks,
   }
 }
 
+// Cumulative cross-shard progress counter feeding a CampaignProgressFn;
+// null hook = no-op, so the acquisition loops call add() unconditionally.
+// Lives on the campaign's stack and is captured by reference in shard
+// lambdas — safe because ParallelRunner::map joins before returning.
+class ProgressMeter {
+ public:
+  ProgressMeter(const CampaignProgressFn& fn, std::size_t total)
+      : fn_(fn), total_(total) {}
+
+  void add(std::size_t n) {
+    if (fn_) {
+      fn_(consumed_.fetch_add(n, std::memory_order_relaxed) + n, total_);
+    }
+  }
+
+ private:
+  const CampaignProgressFn& fn_;
+  std::size_t total_;
+  std::atomic<std::size_t> consumed_{0};
+};
+
 }  // namespace
 
 const TvlaChannelResult* TvlaCampaignResult::find(
@@ -134,6 +156,7 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
   ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
+  ProgressMeter meter(config.progress, 6 * config.traces_per_set);
 
   const auto partials = runner.map([&](std::size_t s) {
     // A single-shard run continues the campaign stream so the sharded
@@ -158,6 +181,7 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
           }
           source.collect_batch(*batch);
           sink.consume(*batch, BatchLabel::tvla(cls, primed));
+          meter.add(chunk);
           produced += chunk;
         }
       }
@@ -225,6 +249,7 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
   ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
+  ProgressMeter meter(config.progress, config.trace_count);
 
   // One single pass per shard: sinks snapshot engine state at the shard's
   // share of each checkpoint, so no mid-campaign merge barriers are
@@ -256,6 +281,7 @@ CpaCampaignResult run_cpa_campaign(const CpaCampaignConfig& config) {
           std::min(acquisition_batch, total - produced);
       collect_random_batch(source, chunk, shard_rng, *batch);
       multi.consume(*batch, BatchLabel::unlabeled());
+      meter.add(chunk);
       produced += chunk;
     }
     return sinks;
@@ -324,6 +350,7 @@ CombinedCampaignResult run_combined_campaign(
   ParallelRunner runner(plan);
   const std::size_t shards = runner.shards();
   TraceBatchPool pool(channels.size(), acquisition_batch);
+  ProgressMeter meter(config.progress, 6 * config.traces_per_set);
 
   struct ShardResult {
     TvlaSink tvla;
@@ -372,6 +399,7 @@ CombinedCampaignResult run_combined_campaign(
           }
           source.collect_batch(*batch);
           multi.consume(*batch, BatchLabel::tvla(cls, primed));
+          meter.add(chunk);
           produced += chunk;
         }
       }

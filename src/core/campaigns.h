@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,17 @@
 #include "victim/fast_trace.h"
 
 namespace psc::core {
+
+// Optional job-level progress hook: invoked after every consumed
+// acquisition batch with (traces_consumed_so_far, traces_total),
+// cumulative across all shards of the campaign. Worker threads call it
+// concurrently, so the callee must be thread-safe; each call carries a
+// unique cumulative count, but calls from different shards may arrive
+// out of order (a callee tracking a high-water mark should max(), not
+// assign). The hook observes — it must not mutate campaign state, and
+// it runs on the acquisition path, so keep it cheap.
+using CampaignProgressFn =
+    std::function<void(std::size_t consumed, std::size_t total)>;
 
 // ---------- TVLA campaigns (Tables 3 and 5; Table 6 first column) ----------
 
@@ -46,6 +58,7 @@ struct TvlaCampaignConfig {
   // shards = partial-state count (0 = one per worker; 1 = sequential).
   std::size_t workers = 1;
   std::size_t shards = 0;
+  CampaignProgressFn progress{};  // see CampaignProgressFn above
 };
 
 struct TvlaChannelResult {
@@ -83,6 +96,7 @@ struct CpaCampaignConfig {
   // shards = partial-state count (0 = one per worker; 1 = sequential).
   std::size_t workers = 1;
   std::size_t shards = 0;
+  CampaignProgressFn progress{};  // see CampaignProgressFn above
 };
 
 struct GeCurvePoint {
@@ -138,6 +152,7 @@ struct CombinedCampaignConfig {
   std::uint64_t seed = 1;
   std::size_t workers = 1;
   std::size_t shards = 0;
+  CampaignProgressFn progress{};  // see CampaignProgressFn above
 };
 
 struct CombinedCampaignResult {

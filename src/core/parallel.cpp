@@ -63,6 +63,11 @@ std::size_t WorkerPool::thread_count() const {
   return threads_.size();
 }
 
+void WorkerPool::reserve(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_threads(threads);
+}
+
 void WorkerPool::ensure_threads(std::size_t helpers) {
   while (threads_.size() < helpers) {
     threads_.emplace_back([this] { worker_loop(); });

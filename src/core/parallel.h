@@ -134,6 +134,13 @@ class WorkerPool {
   // empty ticket.
   bool finish(AsyncTicket& ticket);
 
+  // Grows the pool to at least `threads` pool threads up front. post()
+  // alone only guarantees one pool thread, so a server expecting N
+  // concurrent posted jobs (the bus daemon's job executor) reserves its
+  // concurrency target once at startup instead of having posted jobs
+  // queue behind each other. Never shrinks; safe to call concurrently.
+  void reserve(std::size_t threads);
+
   // Pool threads spawned so far (grow-only); exposed so tests can assert
   // the pool persists across campaigns.
   std::size_t thread_count() const;

@@ -1,0 +1,108 @@
+#include "store/dataset_summary.h"
+
+#include <cstdio>
+
+#include "store/trace_file_reader.h"
+
+namespace psc::store {
+namespace {
+
+// Codec label for a column: what the chunks actually use, including the
+// per-chunk fallback case where the codec only took on some chunks.
+std::string codec_label(const DatasetColumnSummary& col,
+                        std::size_t chunk_count) {
+  if (col.chunks_coded == 0) {
+    return "identity";
+  }
+  if (col.chunks_coded == chunk_count) {
+    return "delta_bitpack";
+  }
+  return "delta_bitpack " + std::to_string(col.chunks_coded) + "/" +
+         std::to_string(chunk_count);
+}
+
+std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t DatasetSummary::raw_bytes_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const DatasetColumnSummary& col : columns) {
+    total += col.raw_bytes;
+  }
+  return total;
+}
+
+std::uint64_t DatasetSummary::stored_bytes_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const DatasetColumnSummary& col : columns) {
+    total += col.stored_bytes;
+  }
+  return total;
+}
+
+double DatasetSummary::ratio() const noexcept {
+  const std::uint64_t stored = stored_bytes_total();
+  return stored == 0 ? 1.0
+                     : static_cast<double>(raw_bytes_total()) /
+                           static_cast<double>(stored);
+}
+
+DatasetSummary summarize_dataset(TraceFileReader& reader) {
+  DatasetSummary summary;
+  summary.path = reader.path();
+  summary.format_version = reader.format_version();
+  summary.trace_count = reader.trace_count();
+  summary.file_bytes = reader.file_bytes();
+  summary.chunk_count = reader.chunk_count();
+  summary.chunk_capacity = reader.chunk_capacity();
+  for (const util::FourCc& channel : reader.channels()) {
+    summary.channels.push_back(channel.str());
+  }
+  summary.metadata = reader.metadata();
+  for (const TraceFileReader::ColumnStats& stats : reader.column_stats()) {
+    summary.columns.push_back({.name = stats.name,
+                               .chunks_coded = stats.chunks_coded,
+                               .raw_bytes = stats.raw_bytes,
+                               .stored_bytes = stats.stored_bytes});
+  }
+  return summary;
+}
+
+void print_dataset_summary(std::ostream& os, const DatasetSummary& summary,
+                           const std::string& prefix) {
+  os << prefix << "file        : " << summary.path << " (v"
+     << summary.format_version << ", " << summary.file_bytes << " bytes)\n"
+     << prefix << "traces      : " << summary.trace_count << "\n"
+     << prefix << "channels    : " << summary.channels.size() << " [";
+  for (std::size_t c = 0; c < summary.channels.size(); ++c) {
+    os << (c ? " " : "") << summary.channels[c];
+  }
+  os << "]\n"
+     << prefix << "chunks      : " << summary.chunk_count << " x up to "
+     << summary.chunk_capacity << " traces\n";
+  for (const DatasetColumnSummary& col : summary.columns) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "column      : %-10s  %-17s  raw %12llu B  stored %12llu B"
+                  "  %sx",
+                  col.name.c_str(),
+                  codec_label(col, summary.chunk_count).c_str(),
+                  static_cast<unsigned long long>(col.raw_bytes),
+                  static_cast<unsigned long long>(col.stored_bytes),
+                  fixed2(col.ratio()).c_str());
+    os << prefix << line << "\n";
+  }
+  os << prefix << "payload     : raw " << summary.raw_bytes_total()
+     << " B -> stored " << summary.stored_bytes_total() << " B ("
+     << fixed2(summary.ratio()) << "x)\n";
+  for (const auto& [key, value] : summary.metadata) {
+    os << prefix << "meta        : " << key << " = " << value << "\n";
+  }
+}
+
+}  // namespace psc::store

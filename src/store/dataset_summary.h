@@ -1,0 +1,60 @@
+// Cheap whole-dataset summary shared by `trace_convert info` and the bus
+// daemon's dataset registry (`psc_busctl datasets`): one struct, one
+// formatter, so the CLI and the wire both describe a dataset the same
+// way. Built from chunk headers and v2 column directories only — no
+// chunk payload is decoded (see TraceFileReader::column_stats), which is
+// what lets the daemon list multi-gigabyte datasets instantly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "store/pstr_format.h"
+
+namespace psc::store {
+
+class TraceFileReader;
+
+// One chunk column (plaintexts, ciphertexts, then each channel).
+struct DatasetColumnSummary {
+  std::string name;              // "plaintext", "ciphertext" or FourCC
+  std::size_t chunks_coded = 0;  // chunks stored with a non-identity codec
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+
+  // raw/stored; 1.0 for identity columns and empty files.
+  double ratio() const noexcept {
+    return stored_bytes == 0 ? 1.0
+                             : static_cast<double>(raw_bytes) /
+                                   static_cast<double>(stored_bytes);
+  }
+};
+
+struct DatasetSummary {
+  std::string path;
+  std::uint16_t format_version = format_version_v1;
+  std::uint64_t trace_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::size_t chunk_count = 0;
+  std::size_t chunk_capacity = 0;
+  std::vector<std::string> channels;  // FourCC strings, in column order
+  Metadata metadata;
+  std::vector<DatasetColumnSummary> columns;
+
+  std::uint64_t raw_bytes_total() const noexcept;
+  std::uint64_t stored_bytes_total() const noexcept;
+  double ratio() const noexcept;
+};
+
+// Walks the reader's index and column directories; never touches chunk
+// payload bytes.
+DatasetSummary summarize_dataset(TraceFileReader& reader);
+
+// Human-readable dump, one `prefix`-indented line per fact — the exact
+// output both `trace_convert info` and `psc_busctl datasets` print.
+void print_dataset_summary(std::ostream& os, const DatasetSummary& summary,
+                           const std::string& prefix = "");
+
+}  // namespace psc::store

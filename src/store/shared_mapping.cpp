@@ -1,0 +1,71 @@
+#include "store/shared_mapping.h"
+
+#include <fstream>
+
+#include "store/pstr_format.h"
+#include "util/env.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSC_SHARED_MAPPING_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define PSC_SHARED_MAPPING_HAS_MMAP 0
+#endif
+
+namespace psc::store {
+
+std::shared_ptr<const SharedMapping> SharedMapping::open(
+    const std::string& path) {
+  // shared_ptr with a custom-constructible target: the constructor is
+  // private, so go through a local subclass-free allocation.
+  std::shared_ptr<SharedMapping> mapping(new SharedMapping());
+  mapping->path_ = path;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError("PSTR " + path + ": cannot open file");
+  }
+  in.seekg(0, std::ios::end);
+  const std::size_t size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  mapping->size_ = size;
+
+#if PSC_SHARED_MAPPING_HAS_MMAP
+  if (!util::env_flag("PSC_NO_MMAP") && size > 0) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        mapping->data_ = static_cast<const std::byte*>(map);
+        mapping->mapped_ = true;
+        return mapping;
+      }
+    }
+  }
+#endif
+
+  // Heap fallback: one shared copy of the file.
+  mapping->heap_.resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(mapping->heap_.data()),
+            static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      throw StoreError("PSTR " + path + ": short read loading file");
+    }
+  }
+  mapping->data_ = mapping->heap_.data();
+  return mapping;
+}
+
+SharedMapping::~SharedMapping() {
+#if PSC_SHARED_MAPPING_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace psc::store

@@ -1,0 +1,56 @@
+// Refcounted read-only bytes of one PSTR file, shared across readers.
+//
+// A TraceFileReader normally owns a private mmap of its file; N readers
+// over the same dataset each pay their own open/map and page-table setup.
+// The bus daemon serves many concurrent jobs over one dataset, so it
+// opens the file once as a SharedMapping and builds each job's (and each
+// shard's) reader over the same bytes: one mapping, one page-cache
+// working set, any number of single-threaded readers on top. The handle
+// is handed around as shared_ptr<const SharedMapping>; the bytes unmap
+// when the last reader and the registry drop it.
+//
+// On platforms without mmap (or under PSC_NO_MMAP) the whole file is
+// loaded into one heap buffer instead — still a single shared copy, so
+// the sharing contract survives the fallback; out-of-core streaming is
+// lost, which matches what a no-mmap platform could do anyway.
+//
+// The bytes are immutable after open(), so concurrent readers need no
+// locking on the mapping itself.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc::store {
+
+class SharedMapping {
+ public:
+  // Opens `path` and maps (or loads) its current contents. Throws
+  // StoreError when the file cannot be opened, mapped or read.
+  static std::shared_ptr<const SharedMapping> open(const std::string& path);
+
+  ~SharedMapping();
+
+  SharedMapping(const SharedMapping&) = delete;
+  SharedMapping& operator=(const SharedMapping&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  // True when the bytes are an mmap of the file (zero-copy reads); false
+  // for the heap-loaded fallback.
+  bool mmap_backed() const noexcept { return mapped_; }
+
+ private:
+  SharedMapping() = default;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> heap_;  // fallback storage when not mapped
+};
+
+}  // namespace psc::store

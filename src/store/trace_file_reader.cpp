@@ -103,6 +103,21 @@ TraceFileReader::TraceFileReader(const std::string& path, ReaderMode mode)
   }
 }
 
+TraceFileReader::TraceFileReader(std::shared_ptr<const SharedMapping> mapping)
+    : path_(mapping != nullptr ? mapping->path() : std::string()) {
+  if (mapping == nullptr) {
+    throw std::invalid_argument("TraceFileReader: null SharedMapping");
+  }
+  // Borrowed bytes: both the mmap and the heap-fallback flavors of
+  // SharedMapping present one contiguous buffer, so the reader always
+  // takes its (zero-copy) mapped path; no stream state is opened.
+  mapping_ = std::move(mapping);
+  file_bytes_ = mapping_->size();
+  map_ = mapping_->data();
+  map_size_ = file_bytes_;
+  validate_structure();
+}
+
 void TraceFileReader::validate_structure() {
   // Structural validation, cheapest check first so each failure mode gets
   // its own message: magic, version, gross size, header, footer, index.
@@ -142,6 +157,13 @@ void TraceFileReader::validate_structure() {
 }
 
 void TraceFileReader::unmap() noexcept {
+  if (mapping_ != nullptr) {
+    // Borrowed bytes: the SharedMapping releases them when its last
+    // reference drops, which may be long after this reader dies.
+    map_ = nullptr;
+    mapping_.reset();
+    return;
+  }
 #if PSC_STORE_HAS_MMAP
   if (map_ != nullptr) {
     ::munmap(const_cast<std::byte*>(map_), map_size_);
@@ -395,8 +417,7 @@ ChunkView TraceFileReader::chunk_v1_into(std::size_t i,
   return make_view(base + chunk_header_bytes, entry);
 }
 
-bool TraceFileReader::parse_v2_directory(std::size_t i,
-                                         const std::byte*& payload) {
+bool TraceFileReader::load_v2_directory(std::size_t i) {
   const ChunkIndexEntry& entry = index_.at(i);
   const std::size_t columns = chunk_column_count(channels_.size());
   const std::size_t dir_bytes = columns * column_entry_bytes;
@@ -471,6 +492,15 @@ bool TraceFileReader::parse_v2_directory(std::size_t i,
     }
     used += padded;
   }
+  return all_identity;
+}
+
+bool TraceFileReader::parse_v2_directory(std::size_t i,
+                                         const std::byte*& payload) {
+  const bool all_identity = load_v2_directory(i);
+  const ChunkIndexEntry& entry = index_.at(i);
+  const std::size_t dir_bytes =
+      chunk_column_count(channels_.size()) * column_entry_bytes;
 
   // An all-identity mapped chunk stores exactly the v1 payload bytes
   // after the directory: serve it zero-copy when aligned, CRC-checking
@@ -560,6 +590,38 @@ ChunkView TraceFileReader::read_chunk_into(std::size_t i, ChunkBuffer& buf) {
   }
   ChunkView view = chunk_v1_into(i, buf.bytes);
   return view;
+}
+
+std::vector<TraceFileReader::ColumnStats> TraceFileReader::column_stats() {
+  const std::size_t columns = chunk_column_count(channels_.size());
+  std::vector<ColumnStats> stats(columns);
+  stats[0].name = "plaintext";
+  stats[1].name = "ciphertext";
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    stats[2 + c].name = channels_[c].str();
+  }
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    const std::uint64_t rows = index_[i].rows;
+    if (version_ < format_version_v2) {
+      // v1 columns are always identity with a fixed rows->bytes mapping.
+      for (std::size_t col = 0; col < columns; ++col) {
+        const std::uint64_t bytes =
+            rows * (col < 2 ? std::uint64_t{block_bytes} : std::uint64_t{8});
+        stats[col].raw_bytes += bytes;
+        stats[col].stored_bytes += bytes;
+      }
+      continue;
+    }
+    load_v2_directory(i);
+    for (std::size_t col = 0; col < columns; ++col) {
+      stats[col].raw_bytes += dir_[col].raw_bytes;
+      stats[col].stored_bytes += dir_[col].stored_bytes;
+      if (dir_[col].codec != ColumnCodec::identity) {
+        ++stats[col].chunks_coded;
+      }
+    }
+  }
+  return stats;
 }
 
 void TraceFileReader::read_rows(std::size_t begin, std::size_t count,

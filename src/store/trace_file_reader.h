@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "aes/aes128.h"
 #include "core/trace_batch.h"
 #include "store/pstr_format.h"
+#include "store/shared_mapping.h"
 #include "util/fourcc.h"
 
 namespace psc::store {
@@ -81,6 +83,10 @@ class TraceFileReader {
   // index); chunk payload CRCs are checked lazily on first access.
   explicit TraceFileReader(const std::string& path,
                            ReaderMode mode = ReaderMode::automatic);
+  // Reads through an already-open SharedMapping instead of opening the
+  // file again: N readers (one per job or shard) share one mapping of
+  // the dataset. The reader keeps a reference, so the bytes outlive it.
+  explicit TraceFileReader(std::shared_ptr<const SharedMapping> mapping);
   ~TraceFileReader();
 
   TraceFileReader(const TraceFileReader&) = delete;
@@ -142,6 +148,22 @@ class TraceFileReader {
   void read_rows(std::size_t begin, std::size_t count,
                  core::TraceBatch& batch);
 
+  // Per-column storage accounting over the whole file: codec usage plus
+  // raw vs. stored bytes, one entry per chunk column (plaintexts,
+  // ciphertexts, then each channel). Walks chunk headers and v2 column
+  // directories only — no chunk payload is decoded and no payload CRC is
+  // checked, so listing a dataset stays cheap no matter its size (the
+  // contract the bus daemon's dataset registry relies on). Corrupt
+  // directory structure still fails loudly; corrupt payload *data* is
+  // only caught when a chunk is actually decoded.
+  struct ColumnStats {
+    std::string name;              // "plaintext", "ciphertext" or FourCC
+    std::size_t chunks_coded = 0;  // chunks stored with a real codec
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t stored_bytes = 0;
+  };
+  std::vector<ColumnStats> column_stats();
+
  private:
   // Parsed v2 column directory of one chunk.
   struct ColumnBlock {
@@ -161,6 +183,10 @@ class TraceFileReader {
   ChunkView chunk_v1_into(std::size_t i, std::vector<std::byte>& storage);
   ChunkView chunk_v2(std::size_t i);
   ChunkView chunk_v2_into(std::size_t i, std::vector<std::byte>& storage);
+  // Loads + validates chunk i's header and column directory into dir_;
+  // returns true when every column is stored identity. No payload bytes
+  // are touched.
+  bool load_v2_directory(std::size_t i);
   // Loads + validates chunk i's header and column directory; returns
   // true with `payload` set when the all-identity mapped chunk can be
   // served zero-copy (CRC checked once).
@@ -174,6 +200,8 @@ class TraceFileReader {
   // mmap path (null when streaming).
   const std::byte* map_ = nullptr;
   std::size_t map_size_ = 0;
+  // Set when map_ points into a SharedMapping this reader does not own.
+  std::shared_ptr<const SharedMapping> mapping_;
 
   // stream path.
   std::ifstream in_;

@@ -206,6 +206,76 @@ TEST(WorkerPool, NestedRunExecutesInline) {
   EXPECT_EQ(inner_total.load(), 12);
 }
 
+// reserve() pre-spawns pool threads so N posted jobs can run truly
+// concurrently (post() alone only guarantees one thread) — the bus
+// daemon's startup contract.
+TEST(WorkerPool, ReserveGrowsThePoolUpFront) {
+  WorkerPool::instance().reserve(3);
+  EXPECT_GE(WorkerPool::instance().thread_count(), 3u);
+  const std::size_t after = WorkerPool::instance().thread_count();
+  // Never shrinks, and re-reserving a smaller count is a no-op.
+  WorkerPool::instance().reserve(1);
+  EXPECT_EQ(WorkerPool::instance().thread_count(), after);
+
+  // Reserved threads actually serve posted jobs.
+  std::atomic<int> hits{0};
+  std::vector<WorkerPool::AsyncTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(WorkerPool::instance().post(
+        [&] { hits.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& ticket : tickets) {
+    WorkerPool::instance().finish(ticket);
+  }
+  EXPECT_EQ(hits.load(), 8);
+}
+
+// The campaign progress hook reports every consumed trace exactly once,
+// cumulatively across shards, and observing progress does not change the
+// campaign's result.
+TEST(CampaignProgress, CountsEveryTraceAndLeavesResultsUntouched) {
+  CpaCampaignConfig config{
+      .profile = soc::DeviceProfile::macbook_air_m2(),
+      .victim = victim::VictimModel::user_space(),
+      .trace_count = 4000,
+      .models = {power::PowerModel::rd0_hw},
+      .keys = {smc::FourCc("PHPC")},
+      .checkpoints = {},
+      .seed = 17,
+      .workers = 2,
+      .shards = 2,
+  };
+  const auto plain = run_cpa_campaign(config);
+
+  std::atomic<std::size_t> high_water{0};
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> reported_total{0};
+  config.progress = [&](std::size_t consumed, std::size_t total) {
+    // Cross-shard calls may arrive out of order: track the max.
+    std::size_t seen = high_water.load(std::memory_order_relaxed);
+    while (consumed > seen &&
+           !high_water.compare_exchange_weak(seen, consumed,
+                                             std::memory_order_relaxed)) {
+    }
+    calls.fetch_add(1, std::memory_order_relaxed);
+    reported_total.store(total, std::memory_order_relaxed);
+  };
+  const auto observed = run_cpa_campaign(config);
+
+  EXPECT_EQ(high_water.load(), config.trace_count);
+  EXPECT_EQ(reported_total.load(), config.trace_count);
+  EXPECT_GE(calls.load(), 2u);  // at least one call per shard
+  ASSERT_EQ(observed.keys.size(), plain.keys.size());
+  EXPECT_EQ(observed.keys[0].final_results[0].true_ranks,
+            plain.keys[0].final_results[0].true_ranks);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t g = 0; g < 256; ++g) {
+      ASSERT_EQ(observed.keys[0].final_results[0].bytes[i].correlation[g],
+                plain.keys[0].final_results[0].bytes[i].correlation[g]);
+    }
+  }
+}
+
 // ---------- async side jobs (post/finish) ----------
 
 TEST(WorkerPoolAsync, PostedJobRunsExactlyOnce) {

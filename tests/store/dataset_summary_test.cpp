@@ -1,0 +1,187 @@
+// DatasetSummary / TraceFileReader::column_stats: whole-file metadata
+// (trace counts, per-column codec and compression stats) must come from
+// chunk headers and column directories alone — never from decoding a
+// chunk payload. Proven the hard way: corrupt a payload byte, summarize
+// successfully, then watch the actual chunk read fail its CRC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "store/dataset_summary.h"
+#include "store/shared_mapping.h"
+#include "store/trace_file_reader.h"
+#include "store/trace_file_writer.h"
+#include "util/rng.h"
+
+namespace psc::store {
+namespace {
+
+constexpr std::size_t rows = 700;
+constexpr std::size_t chunk_rows = 128;
+constexpr std::size_t n_channels = 2;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+core::TraceBatch make_batch() {
+  util::Xoshiro256 rng(31);
+  core::TraceBatch batch(n_channels);
+  batch.resize(rows);
+  for (auto& pt : batch.plaintexts()) {
+    rng.fill_bytes(pt);
+  }
+  for (auto& ct : batch.ciphertexts()) {
+    rng.fill_bytes(ct);
+  }
+  // Float32-truncated values on a quantization grid — the sensor shape
+  // delta_bitpack compresses (same recipe as pstr_v2_test).
+  const double steps[n_channels] = {1e-6, 1e-3};
+  for (std::size_t c = 0; c < n_channels; ++c) {
+    double level = 4.0;
+    for (auto& v : batch.column(c)) {
+      level += rng.gaussian(0.0, 50 * steps[c]);
+      v = static_cast<double>(
+          static_cast<float>(std::round(level / steps[c]) * steps[c]));
+    }
+  }
+  return batch;
+}
+
+std::string write_file(const std::string& name, bool v2) {
+  const std::string path = temp_path(name);
+  TraceFileWriterConfig config{
+      .channels = {util::FourCc("PHPC"), util::FourCc("PMVC")},
+      .chunk_capacity = chunk_rows,
+      .metadata = {{"device", "test"}}};
+  if (v2) {
+    config.channel_codecs =
+        uniform_channel_codecs(n_channels, ColumnCodec::delta_bitpack);
+  }
+  TraceFileWriter writer(path, config);
+  writer.append(make_batch());
+  writer.finalize();
+  return path;
+}
+
+TEST(DatasetSummary, V2SummaryMatchesWriterAccounting) {
+  const std::string path = write_file("summary_v2.pstr", /*v2=*/true);
+  TraceFileReader reader(path);
+  const DatasetSummary summary = summarize_dataset(reader);
+
+  EXPECT_EQ(summary.path, path);
+  EXPECT_EQ(summary.format_version, format_version_v2);
+  EXPECT_EQ(summary.trace_count, rows);
+  EXPECT_EQ(summary.chunk_count, (rows + chunk_rows - 1) / chunk_rows);
+  EXPECT_EQ(summary.chunk_capacity, chunk_rows);
+  EXPECT_EQ(summary.channels, (std::vector<std::string>{"PHPC", "PMVC"}));
+  EXPECT_EQ(summary.metadata, (Metadata{{"device", "test"}}));
+
+  // Columns: plaintext, ciphertext, then each channel, in order.
+  ASSERT_EQ(summary.columns.size(), 2 + n_channels);
+  EXPECT_EQ(summary.columns[0].name, "plaintext");
+  EXPECT_EQ(summary.columns[1].name, "ciphertext");
+  EXPECT_EQ(summary.columns[2].name, "PHPC");
+  EXPECT_EQ(summary.columns[3].name, "PMVC");
+  // AES blocks are incompressible identity columns: 16 bytes/row.
+  EXPECT_EQ(summary.columns[0].raw_bytes, rows * 16);
+  EXPECT_EQ(summary.columns[0].stored_bytes, rows * 16);
+  EXPECT_EQ(summary.columns[0].chunks_coded, 0u);
+  // Quantized channels compress: stored < raw, every chunk coded.
+  for (std::size_t c = 2; c < summary.columns.size(); ++c) {
+    EXPECT_EQ(summary.columns[c].raw_bytes, rows * 8);
+    EXPECT_LT(summary.columns[c].stored_bytes, summary.columns[c].raw_bytes);
+    EXPECT_EQ(summary.columns[c].chunks_coded, summary.chunk_count);
+    EXPECT_GT(summary.columns[c].ratio(), 1.0);
+  }
+  EXPECT_GT(summary.ratio(), 1.0);
+
+  // The formatter prints one line per column plus the totals.
+  std::ostringstream os;
+  print_dataset_summary(os, summary, "  ");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("delta_bitpack"), std::string::npos);
+  EXPECT_NE(text.find("payload"), std::string::npos);
+  EXPECT_NE(text.find("device = test"), std::string::npos);
+}
+
+TEST(DatasetSummary, V1ColumnsAreArithmeticIdentity) {
+  const std::string path = write_file("summary_v1.pstr", /*v2=*/false);
+  TraceFileReader reader(path);
+  const DatasetSummary summary = summarize_dataset(reader);
+  EXPECT_EQ(summary.format_version, format_version_v1);
+  ASSERT_EQ(summary.columns.size(), 2 + n_channels);
+  for (const DatasetColumnSummary& col : summary.columns) {
+    EXPECT_EQ(col.chunks_coded, 0u);
+    EXPECT_EQ(col.raw_bytes, col.stored_bytes);
+    EXPECT_EQ(col.ratio(), 1.0);
+  }
+  EXPECT_EQ(summary.columns[2].raw_bytes, rows * 8);
+}
+
+// The satellite contract: metadata never decodes payloads. A flipped
+// payload byte leaves open + column_stats + summarize working, while an
+// actual chunk read fails its CRC loudly.
+TEST(DatasetSummary, SummarizingNeverTouchesChunkPayloads) {
+  const std::string path = write_file("summary_corrupt.pstr", /*v2=*/true);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Find the second chunk by its magic and flip a byte well inside its
+  // payload (past the header and the column directory).
+  std::size_t victim = bytes.size();
+  int seen = 0;
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    if (std::memcmp(bytes.data() + i, "CHNK", 4) == 0 && ++seen == 2) {
+      victim = i + chunk_header_bytes +
+               chunk_column_count(n_channels) * column_entry_bytes + 48;
+      break;
+    }
+  }
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x20);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  TraceFileReader reader(path);  // header walk: fine
+  const DatasetSummary summary = summarize_dataset(reader);  // no decode
+  EXPECT_EQ(summary.trace_count, rows);
+  EXPECT_EQ(summary.columns.size(), 2 + n_channels);
+  EXPECT_EQ(reader.chunk_rows(1), chunk_rows);  // per-chunk header access
+
+  EXPECT_NO_THROW(reader.chunk(0));          // undamaged chunk decodes
+  EXPECT_THROW(reader.chunk(1), StoreError);  // flipped chunk: loud CRC
+}
+
+TEST(DatasetSummary, SharedMappingReadersShareBytesAndSummarize) {
+  const std::string path = write_file("summary_shared.pstr", /*v2=*/true);
+  const auto mapping = SharedMapping::open(path);
+  ASSERT_NE(mapping, nullptr);
+
+  // N readers over one mapping: same bytes, independent cursors.
+  TraceFileReader a(mapping);
+  TraceFileReader b(mapping);
+  EXPECT_EQ(a.trace_count(), rows);
+  EXPECT_EQ(b.trace_count(), rows);
+  EXPECT_EQ(summarize_dataset(a).stored_bytes_total(),
+            summarize_dataset(b).stored_bytes_total());
+  EXPECT_GE(mapping.use_count(), 3);  // local + two readers
+
+  EXPECT_THROW(TraceFileReader(std::shared_ptr<const SharedMapping>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psc::store
