@@ -36,10 +36,19 @@
 // The bus stage serves that v2 artifact from an in-process psc::bus
 // daemon and measures aggregate campaign throughput for 1/2/4 concurrent
 // clients, each submitting a full-dataset CPA job over the shared
-// mapping. One served result is cross-checked bit-identical against
-// run_cpa_job invoked directly; the 4-client aggregate must reach
-// PSC_BUS_MIN_SCALING (default 2.0) times the single-client aggregate
-// (enforced only with >= 4 hardware threads).
+// mapping (jobs pinned to sequential in-job execution, so the number
+// isolates cross-job concurrency). One served result is cross-checked
+// bit-identical against run_cpa_job invoked directly; the 4-client
+// aggregate must reach PSC_BUS_MIN_SCALING (default 2.0) times the
+// single-client aggregate (enforced only with >= 4 hardware threads).
+// The daemon's shared decoded-chunk cache is sampled over the whole
+// stage: total decodes must not exceed the dataset's chunk count
+// (decode-once) and the hit rate must reach PSC_BUS_MIN_CACHE_HIT
+// (default 0.5). A separate job-parallel stage runs ONE large CPA job
+// with its shard units fanned out on the worker pool — budget 4 versus
+// the sequential baseline, bit-identical by construction and checked —
+// and requires PSC_BUS_JOB_MIN_SCALING (default 2.0) speedup, again
+// only with >= 4 hardware threads.
 //
 // The worker sweep runs the *combined* CPA+TVLA campaign (one
 // acquisition, every analysis) on the persistent worker pool, 1/2/4/8
@@ -71,6 +80,9 @@
 //   PSC_STORE_V2_MIN_TPS_RATIO=R minimum v2/v1 replay tps       (default 0.8)
 //   PSC_BENCH_PSTR_V2=PATH  compacted v2 store artifact path
 //   PSC_BUS_MIN_SCALING=R   minimum 4-client/1-client aggregate (default 2.0)
+//   PSC_BUS_MIN_CACHE_HIT=R minimum chunk-cache hit rate        (default 0.5)
+//   PSC_BUS_JOB_MIN_SCALING=R  minimum budget-4/sequential single-job
+//                              speedup                          (default 2.0)
 //   PSC_SEED=N              campaign seed
 //   PSC_BENCH_JSON=PATH     trajectory file path
 #include <unistd.h>
@@ -94,6 +106,7 @@
 #include "bus/daemon.h"
 #include "bus/jobs.h"
 #include "core/campaigns.h"
+#include "core/parallel.h"
 #include "power/noise.h"
 #include "store/file_trace_source.h"
 #include "store/shared_mapping.h"
@@ -481,28 +494,40 @@ int main() {
   // An in-process BusDaemon serves the compacted v2 artifact over a unix
   // socket; 1, 2 and 4 concurrent clients each submit one full-dataset
   // CPA campaign and the aggregate traces/sec is measured per client
-  // count. Jobs are single-threaded inside (shards merge sequentially for
-  // bit-identity), so scaling comes purely from the daemon running
-  // concurrent jobs on the worker pool over one shared mapping. The gate
-  // requires the 4-client aggregate to reach PSC_BUS_MIN_SCALING (default
-  // 2.0) times the single-client aggregate, enforced only with >= 4
-  // hardware threads; one served result is also cross-checked bit-for-bit
-  // against run_cpa_job invoked directly on the same file.
+  // count. shard_parallelism is pinned to 1 — each job runs its shards
+  // sequentially — so this number isolates cross-job concurrency on the
+  // shared mapping; in-job shard scaling is measured by the job-parallel
+  // stage below. The gate requires the 4-client aggregate to reach
+  // PSC_BUS_MIN_SCALING (default 2.0) times the single-client aggregate,
+  // enforced only with >= 4 hardware threads; one served result is also
+  // cross-checked bit-for-bit against run_cpa_job invoked directly on
+  // the same file. The daemon's decoded-chunk cache is sampled across
+  // the whole stage (8 jobs over one compressed dataset): decodes must
+  // not exceed the chunk count and the hit rate must reach
+  // PSC_BUS_MIN_CACHE_HIT.
   const double bus_min_scaling = util::env_double("PSC_BUS_MIN_SCALING", 2.0);
+  const double bus_min_cache_hit =
+      util::env_double("PSC_BUS_MIN_CACHE_HIT", 0.5);
   double bus_tps_1 = 0.0;
   double bus_tps_2 = 0.0;
   double bus_tps_4 = 0.0;
   bool bus_identical = true;
   bool bus_clients_ok = true;
+  std::size_t bus_chunks = 0;
+  bus::StatsMsg bus_stats;
   {
     bus::BusDaemonConfig bus_config;
     bus_config.socket_path =
         "/tmp/psc_bus_bench_" + std::to_string(::getpid()) + ".sock";
     bus_config.per_session_quota = 2;
     bus_config.pool_reserve = 4;
+    // Sequential in-job execution: the stage measures job-level
+    // concurrency, and a single client must not occupy the whole pool.
+    bus_config.shard_parallelism = 1;
     bus_config.datasets = {{"bench", pstr_v2_path}};
     bus::BusDaemon daemon(bus_config);
     daemon.start();
+    bus_chunks = store::TraceFileReader(pstr_v2_path).chunk_count();
 
     bus::CpaJobSpec spec;
     spec.channel = util::FourCc("PHPC").code();
@@ -571,17 +596,99 @@ int main() {
     bus_tps_1 = run_clients(1);
     bus_tps_2 = run_clients(2);
     bus_tps_4 = run_clients(4);
+    {
+      bus::BusClient stats_client(bus_config.socket_path);
+      bus_stats = stats_client.stats();
+    }
     daemon.stop();
   }
   const double bus_scaling = bus_tps_1 > 0.0 ? bus_tps_4 / bus_tps_1 : 0.0;
   const unsigned bus_hw_threads = std::thread::hardware_concurrency();
   const bool bus_gate_enforced = bus_hw_threads >= 4 && bus_tps_4 > 0.0;
-  const bool bus_ok = bus_identical && bus_clients_ok &&
+  // Cache verdict over the stage's 8 jobs (1 warm-up + 1 + 2 + 4): the
+  // shared cache must have decoded each compressed chunk at most once,
+  // with every other access a hit.
+  const double bus_cache_hit_rate =
+      bus_stats.cache_hits + bus_stats.cache_misses > 0
+          ? static_cast<double>(bus_stats.cache_hits) /
+                static_cast<double>(bus_stats.cache_hits +
+                                    bus_stats.cache_misses)
+          : 0.0;
+  const bool bus_decode_once = bus_stats.cache_misses <= bus_chunks;
+  const bool bus_cache_ok =
+      bus_decode_once && bus_cache_hit_rate >= bus_min_cache_hit;
+  const bool bus_ok = bus_identical && bus_clients_ok && bus_cache_ok &&
                       (!bus_gate_enforced || bus_scaling >= bus_min_scaling);
   std::cerr << "bus: 1 client " << bus_tps_1 << " traces/s, 2 clients "
             << bus_tps_2 << " traces/s, 4 clients " << bus_tps_4
             << " traces/s aggregate (scaling " << bus_scaling << ", "
-            << (bus_identical ? "bit-identical" : "MISMATCH") << ")\n";
+            << (bus_identical ? "bit-identical" : "MISMATCH") << "); cache "
+            << bus_stats.cache_hits << " hits / " << bus_stats.cache_misses
+            << " misses over " << bus_chunks << " chunks (hit rate "
+            << bus_cache_hit_rate << ")\n";
+
+  // ---- bus job-parallel: one large job's shard units on the pool ----
+  //
+  // The same full-dataset CPA spec, run in-process through run_cpa_job:
+  // once sequentially (the default exec — also the bit-identity
+  // reference) and once with a shard budget of 4, fanning the 8 shard
+  // units out on the worker pool with merges in shard order. Best of 2
+  // reps each, alternating. The budget-4 run must reach
+  // PSC_BUS_JOB_MIN_SCALING times sequential throughput (>= 4 hardware
+  // threads only) and match it bit-for-bit.
+  const double bus_job_min_scaling =
+      util::env_double("PSC_BUS_JOB_MIN_SCALING", 2.0);
+  double bus_job_tps_seq = 0.0;
+  double bus_job_tps_par = 0.0;
+  bool bus_job_identical = true;
+  {
+    core::WorkerPool::instance().reserve(4);
+    const auto mapping = store::SharedMapping::open(pstr_v2_path);
+    bus::CpaJobSpec spec;
+    spec.channel = util::FourCc("PHPC").code();
+    spec.known_key = victim_key;
+    spec.models = {power::PowerModel::rd0_hw};
+    spec.shards = 8;
+    bus::JobExecOptions par_exec;
+    par_exec.shard_budget = [] { return std::uint32_t{4}; };
+
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    for (int rep = 0; rep < 2; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      const bus::CpaJobResult seq = bus::run_cpa_job(mapping, spec);
+      bus_job_tps_seq =
+          std::max(bus_job_tps_seq, static_cast<double>(seq.traces) /
+                                        seconds_since(start));
+
+      start = std::chrono::steady_clock::now();
+      const bus::CpaJobResult par =
+          bus::run_cpa_job(mapping, spec, {}, par_exec);
+      bus_job_tps_par =
+          std::max(bus_job_tps_par, static_cast<double>(par.traces) /
+                                        seconds_since(start));
+
+      for (std::size_t b = 0; bus_job_identical && b < 16; ++b) {
+        for (std::size_t g = 0; g < 256; ++g) {
+          if (bits(seq.models[0].bytes[b].correlation[g]) !=
+              bits(par.models[0].bytes[b].correlation[g])) {
+            bus_job_identical = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  const double bus_job_scaling =
+      bus_job_tps_seq > 0.0 ? bus_job_tps_par / bus_job_tps_seq : 0.0;
+  const bool bus_job_gate_enforced =
+      bus_hw_threads >= 4 && bus_job_tps_par > 0.0;
+  const bool bus_job_ok =
+      bus_job_identical &&
+      (!bus_job_gate_enforced || bus_job_scaling >= bus_job_min_scaling);
+  std::cerr << "bus job-parallel: sequential " << bus_job_tps_seq
+            << " traces/s, budget-4 " << bus_job_tps_par
+            << " traces/s (speedup " << bus_job_scaling << ", "
+            << (bus_job_identical ? "bit-identical" : "MISMATCH") << ")\n";
 
   // ---- SIMD ingest kernels: each available backend vs forced scalar ----
   //
@@ -834,11 +941,23 @@ int main() {
       std::cerr << "served result differs from in-process run";
     } else if (!bus_clients_ok) {
       std::cerr << "client campaign errored";
+    } else if (!bus_decode_once) {
+      std::cerr << "chunk cache decoded " << bus_stats.cache_misses
+                << " times over " << bus_chunks << " chunks";
+    } else if (bus_cache_hit_rate < bus_min_cache_hit) {
+      std::cerr << "chunk cache hit rate " << bus_cache_hit_rate
+                << " below required " << bus_min_cache_hit;
     } else {
       std::cerr << "4-client aggregate scaling " << bus_scaling
                 << " below required " << bus_min_scaling;
     }
     std::cerr << "\n";
+  }
+  if (!bus_job_ok) {
+    std::cerr << "FAIL: bus job-parallel "
+              << (bus_job_identical ? "speedup " : "result mismatch ")
+              << "(speedup " << bus_job_scaling << ", required "
+              << bus_job_min_scaling << ")\n";
   }
   if (!simd_ok) {
     std::cerr << "FAIL: SIMD ingest "
@@ -957,6 +1076,24 @@ int main() {
       "\"min_scaling\":" + util::format_double(bus_min_scaling) + ","
       "\"gate\":\"" + (bus_gate_enforced ? "enforced" : "skipped") + "\","
       "\"bit_identical\":" + (bus_identical ? "true" : "false") + ","
+      "\"chunk_cache\":{"
+      "\"chunks\":" + std::to_string(bus_chunks) + ","
+      "\"hits\":" + std::to_string(bus_stats.cache_hits) + ","
+      "\"misses\":" + std::to_string(bus_stats.cache_misses) + ","
+      "\"evictions\":" + std::to_string(bus_stats.cache_evictions) + ","
+      "\"hit_rate\":" + util::format_double(bus_cache_hit_rate) + ","
+      "\"min_hit_rate\":" + util::format_double(bus_min_cache_hit) + ","
+      "\"decode_once\":" + (bus_decode_once ? "true" : "false") + ","
+      "\"ok\":" + (bus_cache_ok ? "true" : "false") + "},"
+      "\"job_parallel\":{"
+      "\"shards\":8,"
+      "\"seq_traces_per_sec\":" + util::format_double(bus_job_tps_seq) + ","
+      "\"budget4_traces_per_sec\":" + util::format_double(bus_job_tps_par) + ","
+      "\"speedup\":" + util::format_double(bus_job_scaling) + ","
+      "\"min_speedup\":" + util::format_double(bus_job_min_scaling) + ","
+      "\"gate\":\"" + (bus_job_gate_enforced ? "enforced" : "skipped") + "\","
+      "\"bit_identical\":" + (bus_job_identical ? "true" : "false") + ","
+      "\"ok\":" + (bus_job_ok ? "true" : "false") + "},"
       "\"ok\":" + (bus_ok ? "true" : "false") + "},"
       "\"results\":[" + rows + "]}";
   std::cout << json << "\n";
@@ -968,7 +1105,7 @@ int main() {
     std::cerr << "warning: could not write " << path << "\n";
   }
   return identical && ingest_ok && store_ok && store_v2_ok && bus_ok &&
-                 simd_ok && scaling_ok
+                 bus_job_ok && simd_ok && scaling_ok
              ? 0
              : 1;
 }

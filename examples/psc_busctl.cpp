@@ -2,7 +2,8 @@
 // both the server (`serve`) and every client verb.
 //
 //   psc_busctl serve    --socket S --dataset name=path [--dataset ...]
-//                       [--quota N] [--threads N]
+//                       [--quota N] [--threads N] [--job-parallel N]
+//                       [--cache-mb N]
 //   psc_busctl ping     --socket S
 //   psc_busctl datasets --socket S
 //   psc_busctl open     --socket S <name> <path.pstr>
@@ -21,6 +22,8 @@
 // compared bit-for-bit — any drift between daemon-served and local
 // analysis exits non-zero. `serve` installs SIGINT/SIGTERM handlers and
 // drains running jobs before exiting, so `kill -TERM` is a clean stop.
+// `datasets` also prints the daemon's STATS frame: decoded-chunk cache
+// counters plus the per-job shard-scheduler rows.
 #include <bit>
 #include <cstdlib>
 #include <iostream>
@@ -46,6 +49,7 @@ int usage() {
       << "usage:\n"
          "  psc_busctl serve    --socket S --dataset name=path [...]\n"
          "                      [--quota N] [--threads N]\n"
+         "                      [--job-parallel N] [--cache-mb N]\n"
          "  psc_busctl ping     --socket S\n"
          "  psc_busctl datasets --socket S\n"
          "  psc_busctl open     --socket S <name> <path.pstr>\n"
@@ -129,7 +133,11 @@ power::PowerModel parse_model(const std::string& name) {
 
 void print_progress(const bus::ProgressMsg& msg) {
   std::cout << "job " << msg.id << ": " << msg.consumed << "/" << msg.total
-            << " traces\n";
+            << " traces";
+  if (msg.running_shards > 0) {
+    std::cout << " (" << msg.running_shards << " shard units)";
+  }
+  std::cout << "\n";
 }
 
 void print_cpa_result(std::uint64_t id, const bus::CpaJobResult& result) {
@@ -236,6 +244,12 @@ int cmd_serve(const Args& args) {
   if (const auto threads = args.flag("threads")) {
     config.pool_reserve = parse_u64(*threads);
   }
+  if (const auto parallel = args.flag("job-parallel")) {
+    config.shard_parallelism = parse_u64(*parallel);
+  }
+  if (const auto cache_mb = args.flag("cache-mb")) {
+    config.chunk_cache_mb = parse_u64(*cache_mb);
+  }
   for (const std::string& spec : args.flag_all("dataset")) {
     const std::size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
@@ -256,6 +270,28 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+void print_daemon_stats(const bus::StatsMsg& stats) {
+  std::cout << "daemon: " << stats.jobs_active << " active / "
+            << stats.jobs_submitted << " submitted job(s), "
+            << stats.pool_threads << " pool thread(s)\n";
+  if (stats.cache_capacity_bytes > 0) {
+    std::cout << "chunk cache: " << stats.cache_hits << " hits, "
+              << stats.cache_misses << " misses, " << stats.cache_evictions
+              << " evictions, " << stats.cache_resident_bytes << "/"
+              << stats.cache_capacity_bytes << " bytes ("
+              << stats.cache_entries << " chunks)\n";
+  } else {
+    std::cout << "chunk cache: disabled\n";
+  }
+  for (const bus::StatsMsg::JobRow& job : stats.jobs) {
+    std::cout << "job " << job.id << ": " << bus::job_state_name(job.state)
+              << ", "
+              << job.running_shards << "/" << job.shards
+              << " shard units running (cap " << job.shard_cap << ", peak "
+              << job.peak_shards << ")\n";
+  }
+}
+
 int cmd_datasets(const Args& args) {
   bus::BusClient client(require_socket(args));
   const auto datasets = client.list_datasets();
@@ -264,6 +300,7 @@ int cmd_datasets(const Args& args) {
     std::cout << entry.name << ":\n";
     store::print_dataset_summary(std::cout, entry.summary, "  ");
   }
+  print_daemon_stats(client.stats());
   return 0;
 }
 

@@ -78,6 +78,12 @@ JobStatusMsg BusClient::status(std::uint64_t id) {
   return JobStatusMsg::decode(r);
 }
 
+StatsMsg BusClient::stats() {
+  request(MsgType::get_stats, PayloadWriter{}, MsgType::stats);
+  PayloadReader r(payload_);
+  return StatsMsg::decode(r);
+}
+
 JobStatusMsg BusClient::watch(std::uint64_t id, const WatchFn& on_progress) {
   PayloadWriter w;
   JobIdMsg{id}.encode(w);

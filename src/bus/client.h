@@ -54,6 +54,10 @@ class BusClient {
 
   JobStatusMsg status(std::uint64_t id);
 
+  // Daemon observability counters: chunk-cache hit/miss/eviction totals
+  // plus per-job shard-scheduler state (GET_STATS -> STATS).
+  StatsMsg stats();
+
   // Streams the job's progress (on_progress per PROGRESS frame, may be
   // empty) and returns the terminal status carried by JOB_DONE.
   using WatchFn = std::function<void(const ProgressMsg&)>;

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "core/parallel.h"
+#include "store/chunk_cache.h"
 
 namespace psc::bus {
 
@@ -55,6 +56,16 @@ BusDaemon::~BusDaemon() {
   if (stopper_thread_.joinable()) {
     stopper_thread_.join();
   }
+  // A submit that raced do_stop's drain can leave one last driver behind
+  // (its job only touches the table and mapping, both still alive); a
+  // joinable thread must not reach the vector's destructor.
+  {
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    for (JobDriver& driver : drivers_) {
+      driver.thread.join();
+    }
+    drivers_.clear();
+  }
   if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
     g_signal_fd.store(-1, std::memory_order_relaxed);
   }
@@ -67,6 +78,11 @@ void BusDaemon::start() {
     throw BusError("BusDaemon: already started");
   }
   try {
+    if (config_.chunk_cache_mb > 0) {
+      chunk_cache_ = std::make_shared<store::ChunkCache>(
+          config_.chunk_cache_mb * std::size_t{1024} * 1024);
+      registry_.set_chunk_cache(chunk_cache_);
+    }
     for (const auto& [name, path] : config_.datasets) {
       registry_.open(name, path);
     }
@@ -134,6 +150,16 @@ void BusDaemon::do_stop() {
   // their JOB_DONE while sockets are still healthy), then tear down.
   stopping_.store(true, std::memory_order_release);
   jobs_->wait_idle();
+
+  // Every job is terminal, so each driver is at most a few instructions
+  // from returning; join them all before the sockets go away.
+  {
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    for (JobDriver& driver : drivers_) {
+      driver.thread.join();
+    }
+    drivers_.clear();
+  }
 
   listener_->shutdown();
   // On Linux, shutdown() on a *listening* AF_UNIX socket does not
@@ -321,6 +347,27 @@ bool BusDaemon::dispatch(Socket& socket, std::uint64_t session, MsgType type,
       send_result(socket, msg.id);
       return true;
     }
+    case MsgType::get_stats: {
+      PayloadReader r(payload);
+      r.expect_end();
+      StatsMsg msg;
+      if (chunk_cache_ != nullptr) {
+        const store::ChunkCache::Stats cache = chunk_cache_->stats();
+        msg.cache_hits = cache.hits;
+        msg.cache_misses = cache.misses;
+        msg.cache_evictions = cache.evictions;
+        msg.cache_resident_bytes = cache.resident_bytes;
+        msg.cache_capacity_bytes = chunk_cache_->capacity_bytes();
+        msg.cache_entries = cache.entries;
+      }
+      jobs_->fill_stats(msg);
+      msg.pool_threads = static_cast<std::uint32_t>(
+          core::WorkerPool::instance().thread_count());
+      PayloadWriter w;
+      msg.encode(w);
+      send_frame(socket, MsgType::stats, w);
+      return true;
+    }
     case MsgType::shutdown: {
       PayloadReader r(payload);
       r.expect_end();
@@ -363,26 +410,45 @@ void BusDaemon::submit_job(Socket& socket, std::uint64_t session, JobKind kind,
   JobIdMsg{id}.encode(w);
   send_frame(socket, MsgType::job_accepted, w);
 
-  // The closure owns everything it touches (pool contract): the table
-  // keeps the job row alive, the mapping keeps the dataset bytes alive,
-  // both independent of this daemon's sockets and of the submitting
-  // client, which may disconnect long before the job finishes. The
-  // ticket is intentionally dropped — any idle pool thread runs the job.
+  // Each job gets a dedicated driver thread instead of one whole-job
+  // pool task: the driver posts the job's shard units to the pool under
+  // its fair in-flight cap and blocks merging them, so a blocked driver
+  // never occupies a pool slot, and units from every active job
+  // interleave in the pool's FIFO queue. The closure owns everything it
+  // touches: the table keeps the job row alive, the mapping keeps the
+  // dataset bytes alive, both independent of this daemon's sockets and
+  // of the submitting client, which may disconnect long before the job
+  // finishes.
   std::shared_ptr<JobTable> table = jobs_;
-  core::WorkerPool::instance().post([table, mapping, id, kind, cpa, tvla] {
+  std::shared_ptr<store::ChunkCache> cache = chunk_cache_;
+  const std::uint32_t parallelism = shard_parallelism();
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  auto driver = [table, mapping, cache, parallelism, done, id, kind, cpa,
+                 tvla] {
     table->mark_running(id);
     try {
+      JobExecOptions exec;
+      exec.chunk_cache = cache;
+      if (parallelism > 1) {
+        exec.shard_budget = [table, id, parallelism] {
+          return table->shard_budget(id, parallelism);
+        };
+      }
+      exec.on_shard_activity = [table, id](std::uint32_t shards,
+                                           std::uint32_t running) {
+        table->update_shard_activity(id, shards, running);
+      };
       const JobProgressFn progress = [&](std::uint64_t consumed,
                                          std::uint64_t total) {
         table->update_progress(id, consumed, total);
       };
       if (kind == JobKind::cpa) {
-        auto result =
-            std::make_unique<CpaJobResult>(run_cpa_job(mapping, cpa, progress));
+        auto result = std::make_unique<CpaJobResult>(
+            run_cpa_job(mapping, cpa, progress, exec));
         table->mark_done(id, std::move(result), nullptr);
       } else {
         auto result = std::make_unique<TvlaJobResult>(
-            run_tvla_job(mapping, tvla, progress));
+            run_tvla_job(mapping, tvla, progress, exec));
         table->mark_done(id, nullptr, std::move(result));
       }
     } catch (const std::exception& e) {
@@ -390,7 +456,31 @@ void BusDaemon::submit_job(Socket& socket, std::uint64_t session, JobKind kind,
     } catch (...) {
       table->mark_failed(id, "unknown job failure");
     }
-  });
+    done->store(true, std::memory_order_release);
+  };
+  {
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    reap_drivers_locked();
+    drivers_.push_back({std::thread(std::move(driver)), std::move(done)});
+  }
+}
+
+std::uint32_t BusDaemon::shard_parallelism() const noexcept {
+  const std::size_t p = config_.shard_parallelism == 0
+                            ? config_.pool_reserve
+                            : config_.shard_parallelism;
+  return static_cast<std::uint32_t>(p == 0 ? 1 : p);
+}
+
+void BusDaemon::reap_drivers_locked() {
+  for (auto it = drivers_.begin(); it != drivers_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = drivers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void BusDaemon::stream_watch(Socket& socket, std::uint64_t id) {
@@ -403,7 +493,8 @@ void BusDaemon::stream_watch(Socket& socket, std::uint64_t id) {
   constexpr std::chrono::milliseconds poll_interval{250};
   while (!is_terminal(status->state)) {
     PayloadWriter w;
-    ProgressMsg{id, status->consumed, status->total}.encode(w);
+    ProgressMsg{id, status->consumed, status->total, status->running_shards}
+        .encode(w);
     send_frame(socket, MsgType::progress, w);
     std::unique_ptr<JobStatusMsg> next =
         jobs_->wait_change(id, status->state, status->consumed, poll_interval);

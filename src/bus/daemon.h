@@ -2,12 +2,19 @@
 //
 // One accept-loop thread plus one thread per client connection speak the
 // framed protocol of bus/protocol.h over a Unix-domain socket. Submitted
-// campaigns become job-table entries executed on the process-wide
-// core::WorkerPool — each job is one posted pool task running
-// bus/jobs.h's run_*_job sequentially, so concurrent clients get true
-// parallelism across jobs while every job's result stays a pure function
-// of (dataset, spec). Datasets resolve through the DatasetRegistry: one
-// shared mmap per file, any number of jobs on top.
+// campaigns become job-table entries executed shard-parallel: each job
+// gets a dedicated driver thread (drivers mostly block, so they must not
+// occupy pool slots) that fans the job's shard units out on the
+// process-wide core::WorkerPool and merges them in shard order. All
+// jobs' units interleave in the pool's FIFO queue, and each driver
+// re-reads its fair in-flight cap (JobTable::shard_budget — the shard
+// parallelism budget split evenly over active jobs) before issuing a
+// unit, so one huge job shrinks its window as small jobs arrive instead
+// of starving them; every job's result stays a pure function of
+// (dataset, spec) regardless. Datasets resolve through the
+// DatasetRegistry: one shared mmap per file, any number of jobs on top,
+// with a shared store::ChunkCache so concurrent jobs decode each
+// compressed chunk once.
 //
 // Shutdown is graceful by construction: a stop request (stop(), the
 // SHUTDOWN message, or SIGINT/SIGTERM via install_signal_handlers) first
@@ -40,6 +47,11 @@
 #include "bus/dataset_registry.h"
 #include "bus/framing.h"
 #include "bus/job_table.h"
+#include "util/env.h"
+
+namespace psc::store {
+class ChunkCache;
+}
 
 namespace psc::bus {
 
@@ -47,9 +59,17 @@ struct BusDaemonConfig {
   std::string socket_path;
   // Max queued+running jobs per client connection.
   std::size_t per_session_quota = 4;
-  // Worker-pool threads reserved at start() so that many concurrent
-  // posted jobs actually run in parallel (core::WorkerPool::reserve).
+  // Worker-pool threads reserved at start() so that shard units from
+  // many concurrent jobs actually run in parallel
+  // (core::WorkerPool::reserve).
   std::size_t pool_reserve = 4;
+  // Total shard units allowed in flight across all jobs, split fairly
+  // over active jobs (see JobTable::shard_budget). 0 = pool_reserve.
+  // 1 pins every job to sequential shard execution.
+  std::size_t shard_parallelism = 0;
+  // Decoded-chunk cache budget in MiB, shared by all jobs; 0 disables
+  // the cache (every shard reader then decodes privately).
+  std::size_t chunk_cache_mb = util::env_size("PSC_BUS_CHUNK_CACHE_MB", 256);
   // Datasets registered before the socket opens: (name, path).
   std::vector<std::pair<std::string, std::string>> datasets;
 };
@@ -101,13 +121,28 @@ class BusDaemon {
   void request_stop();  // async: nudges the stopper thread
   void stopper_loop();
   void do_stop();
+  std::uint32_t shard_parallelism() const noexcept;
+  void reap_drivers_locked();
 
   BusDaemonConfig config_;
   DatasetRegistry registry_;
+  // Shared decoded-chunk cache (null when chunk_cache_mb == 0); handed
+  // to every job's exec options and to the registry for drop-on-close.
+  std::shared_ptr<store::ChunkCache> chunk_cache_;
   // shared_ptr: posted job closures capture the table so a job finishing
   // after teardown (never happens under the drain, but the pool contract
   // demands ownership) touches valid memory.
   std::shared_ptr<JobTable> jobs_;
+
+  // One driver thread per submitted job (see file comment). `done` lets
+  // submit_job reap finished drivers eagerly; do_stop joins the rest
+  // after the job-table drain.
+  struct JobDriver {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex drivers_mu_;
+  std::vector<JobDriver> drivers_;
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;

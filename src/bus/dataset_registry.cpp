@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "store/chunk_cache.h"
 #include "store/trace_file_reader.h"
 
 namespace psc::bus {
@@ -21,6 +22,12 @@ auto find_entry(Vec& datasets, const std::string& name) {
 }
 
 }  // namespace
+
+void DatasetRegistry::set_chunk_cache(
+    std::shared_ptr<store::ChunkCache> cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunk_cache_ = std::move(cache);
+}
 
 void DatasetRegistry::open(const std::string& name, const std::string& path) {
   if (name.empty()) {
@@ -77,6 +84,9 @@ bool DatasetRegistry::close(const std::string& name) {
   const auto it = find_entry(datasets_, name);
   if (it == datasets_.end()) {
     return false;
+  }
+  if (chunk_cache_ != nullptr && it->second.mapping != nullptr) {
+    chunk_cache_->drop_dataset(it->second.mapping->id());
   }
   datasets_.erase(it);
   return true;

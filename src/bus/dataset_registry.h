@@ -22,10 +22,20 @@
 #include "store/dataset_summary.h"
 #include "store/shared_mapping.h"
 
+namespace psc::store {
+class ChunkCache;  // store/chunk_cache.h
+}
+
 namespace psc::bus {
 
 class DatasetRegistry {
  public:
+  // Attaches the daemon's shared decoded-chunk cache: close() then drops
+  // the closed dataset's entries. Mapping ids are never reused, so this
+  // only frees the bytes earlier — stale aliasing is impossible either
+  // way.
+  void set_chunk_cache(std::shared_ptr<store::ChunkCache> cache);
+
   // Opens `path` and registers it under `name`. Throws
   // std::invalid_argument when the name is taken and StoreError when the
   // file does not validate; a failed open registers nothing.
@@ -60,6 +70,7 @@ class DatasetRegistry {
   };
 
   mutable std::mutex mu_;
+  std::shared_ptr<store::ChunkCache> chunk_cache_;
   std::vector<std::pair<std::string, Dataset>> datasets_;  // name-sorted
 };
 

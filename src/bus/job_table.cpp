@@ -1,5 +1,6 @@
 #include "bus/job_table.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace psc::bus {
@@ -12,6 +13,7 @@ JobStatusMsg status_of(const Job& job) {
   msg.state = job.state;
   msg.consumed = job.consumed;
   msg.total = job.total;
+  msg.running_shards = job.running_shards;
   msg.error = job.error;
   return msg;
 }
@@ -31,6 +33,8 @@ std::uint64_t JobTable::submit(std::uint64_t session, JobKind kind,
     return 0;
   }
   ++in_flight;
+  ++submitted_;
+  ++active_;
   auto job = std::make_shared<Job>();
   job->id = next_id_++;
   job->session = session;
@@ -72,10 +76,56 @@ void JobTable::update_progress(std::uint64_t id, std::uint64_t consumed,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = jobs_.find(id);
   if (it != jobs_.end()) {
-    it->second->consumed = consumed;
-    it->second->total = total;
+    Job& job = *it->second;
+    if (consumed > job.consumed) {
+      job.consumed = consumed;
+    }
+    job.total = total;
     change_cv_.notify_all();
   }
+}
+
+void JobTable::update_shard_activity(std::uint64_t id, std::uint32_t shards,
+                                     std::uint32_t running) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return;
+  }
+  Job& job = *it->second;
+  job.shards = shards;
+  job.running_shards = running;
+  job.peak_shards = std::max(job.peak_shards, running);
+}
+
+std::uint32_t JobTable::shard_budget(std::uint64_t id,
+                                     std::uint32_t parallelism) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t share = static_cast<std::uint32_t>(
+      parallelism / std::max<std::size_t>(1, active_));
+  const std::uint32_t cap = std::max<std::uint32_t>(1, share);
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) {
+    it->second->shard_cap = cap;
+  }
+  return cap;
+}
+
+void JobTable::fill_stats(StatsMsg& msg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  msg.jobs_submitted = submitted_;
+  msg.jobs_active = active_;
+  for (const auto& [id, job] : jobs_) {
+    if (terminal(job->state)) {
+      continue;
+    }
+    msg.jobs.push_back({job->id, job->state, job->shards, job->shard_cap,
+                        job->running_shards, job->peak_shards});
+  }
+  std::sort(msg.jobs.begin(), msg.jobs.end(),
+            [](const StatsMsg::JobRow& a, const StatsMsg::JobRow& b) {
+              return a.id < b.id;
+            });
 }
 
 void JobTable::mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
@@ -90,6 +140,8 @@ void JobTable::mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
   job.cpa_result = std::move(cpa);
   job.tvla_result = std::move(tvla);
   job.consumed = job.total;
+  job.running_shards = 0;
+  --active_;
   release_slot_locked(job.session);
   change_cv_.notify_all();
 }
@@ -103,6 +155,8 @@ void JobTable::mark_failed(std::uint64_t id, const std::string& error) {
   Job& job = *it->second;
   job.state = JobState::failed;
   job.error = error;
+  job.running_shards = 0;
+  --active_;
   release_slot_locked(job.session);
   change_cv_.notify_all();
 }

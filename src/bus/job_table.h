@@ -44,6 +44,13 @@ struct Job {
   JobState state = JobState::queued;
   std::uint64_t consumed = 0;
   std::uint64_t total = 0;
+  // Shard-execution telemetry (STATS frame): resolved shard count,
+  // units currently running, high-water running units, and the fair
+  // in-flight cap last granted to this job.
+  std::uint32_t shards = 0;
+  std::uint32_t running_shards = 0;
+  std::uint32_t peak_shards = 0;
+  std::uint32_t shard_cap = 0;
   std::string error;
   // Set on done, by kind.
   std::unique_ptr<CpaJobResult> cpa_result;
@@ -72,8 +79,28 @@ class JobTable {
   // terminal transition (done/failed) releases the owning session's
   // quota slot exactly once and wakes all waiters.
   void mark_running(std::uint64_t id);
+  // Monotonic: under shard-parallel execution progress reports arrive
+  // out of order from pool threads, so only a larger `consumed` value
+  // advances the watermark (watchers never see progress regress).
   void update_progress(std::uint64_t id, std::uint64_t consumed,
                        std::uint64_t total);
+  // Records shard-unit activity on the job row (STATS frame); called
+  // concurrently from unit threads as they start and finish.
+  void update_shard_activity(std::uint64_t id, std::uint32_t shards,
+                             std::uint32_t running);
+
+  // Fair in-flight shard budget for job `id`: `parallelism` total units
+  // split evenly across non-terminal jobs, never below 1. Re-read by the
+  // job before each shard unit is issued, so a running job's window
+  // shrinks as new jobs arrive and regrows as others drain — the piece
+  // that stops one huge job from starving small ones. The grant is
+  // remembered on the job row for STATS.
+  std::uint32_t shard_budget(std::uint64_t id, std::uint32_t parallelism);
+
+  // Fills the scheduler half of a STATS frame: lifetime submit count,
+  // active (non-terminal) count, and one row per non-terminal job in id
+  // order.
+  void fill_stats(StatsMsg& msg) const;
   void mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
                  std::unique_ptr<TvlaJobResult> tvla);
   void mark_failed(std::uint64_t id, const std::string& error);
@@ -103,6 +130,8 @@ class JobTable {
   mutable std::mutex mu_;
   mutable std::condition_variable change_cv_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::size_t active_ = 0;  // non-terminal jobs (fair-share denominator)
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::unordered_map<std::uint64_t, std::size_t> in_flight_;
 };

@@ -1,11 +1,14 @@
 #include "bus/jobs.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <stdexcept>
 
 #include "core/analysis_sink.h"
 #include "core/parallel.h"
 #include "core/trace_batch.h"
+#include "store/chunk_cache.h"
 #include "store/file_trace_source.h"
 #include "util/fourcc.h"
 
@@ -18,15 +21,98 @@ namespace {
 // engines the same batch shapes a live campaign would.
 constexpr std::size_t job_batch = 1024;
 
-std::uint32_t resolved_shards(std::uint32_t shards) {
-  return shards == 0 ? 1 : shards;
+std::unique_ptr<store::TraceFileReader> make_shard_reader(
+    const std::shared_ptr<const store::SharedMapping>& dataset,
+    const JobExecOptions& exec) {
+  auto reader = std::make_unique<store::TraceFileReader>(dataset);
+  if (exec.chunk_cache != nullptr) {
+    reader->set_chunk_cache(exec.chunk_cache);
+  }
+  return reader;
+}
+
+// Runs fn(s) for every shard in [0, shards) and on_merged(s) strictly in
+// ascending shard order on the calling thread — the deterministic merge
+// hook. Without a shard budget everything runs sequentially inline; with
+// one, units are posted to the worker pool with a sliding in-flight
+// window re-capped from exec.shard_budget() before each unit is issued,
+// and the caller finishes units in post order (so at most ~cap shard
+// engines are ever alive). If any unit threw, the exception of the
+// lowest-indexed failing shard is rethrown after every unit finished;
+// shards whose unit failed are never merged.
+void run_shard_units(std::uint32_t shards, const JobExecOptions& exec,
+                     const std::function<void(std::uint32_t)>& fn,
+                     const std::function<void(std::uint32_t)>& on_merged) {
+  if (exec.on_shard_activity) {
+    exec.on_shard_activity(shards, 0);
+  }
+  if (!exec.shard_budget || shards <= 1) {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      fn(s);
+      on_merged(s);
+    }
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(shards);
+  std::atomic<std::uint32_t> running{0};
+  const auto unit = [&](std::uint32_t s) {
+    const std::uint32_t started = running.fetch_add(1) + 1;
+    if (exec.on_shard_activity) {
+      exec.on_shard_activity(shards, started);
+    }
+    try {
+      fn(s);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+    const std::uint32_t left = running.fetch_sub(1) - 1;
+    if (exec.on_shard_activity) {
+      exec.on_shard_activity(shards, left);
+    }
+  };
+
+  core::WorkerPool::JobGroup group;
+  std::uint32_t merged = 0;
+  const auto drain_one = [&] {
+    group.finish_next();
+    if (errors[merged] == nullptr) {
+      on_merged(merged);
+    }
+    ++merged;
+  };
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t cap = std::max<std::uint32_t>(1, exec.shard_budget());
+    while (group.in_flight() >= cap) {
+      drain_one();
+    }
+    group.post([&unit, s] { unit(s); });
+  }
+  while (group.in_flight() > 0) {
+    drain_one();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
 }
 
 }  // namespace
 
+std::uint32_t resolved_job_shards(std::uint32_t spec_shards,
+                                  std::uint64_t total_traces) noexcept {
+  if (spec_shards != 0) {
+    return spec_shards;
+  }
+  const std::uint64_t by_size = total_traces / core::min_traces_per_shard;
+  return static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(by_size, 1, auto_shard_cap));
+}
+
 CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
-                         const CpaJobSpec& spec,
-                         const JobProgressFn& progress) {
+                         const CpaJobSpec& spec, const JobProgressFn& progress,
+                         const JobExecOptions& exec) {
   if (dataset == nullptr) {
     throw std::invalid_argument("run_cpa_job: null dataset");
   }
@@ -52,38 +138,44 @@ CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
   if (total == 0) {
     throw std::invalid_argument("run_cpa_job: dataset holds no traces");
   }
-  const std::uint32_t shards = resolved_shards(spec.shards);
+  const std::uint32_t shards = resolved_job_shards(spec.shards, total);
   if (shards > total) {
     throw std::invalid_argument("run_cpa_job: more shards than traces");
   }
 
-  // Shards run sequentially and merge in shard order: the result depends
-  // on (dataset, spec) only, never on scheduling. The daemon gets its
-  // concurrency from running many jobs at once, not from one job.
+  // One self-contained engine per shard, merged strictly in shard order:
+  // the result depends on (dataset, spec) only — which threads ran the
+  // units, and in what order they completed, never shows.
   core::CpaEngine engine(spec.models);
-  core::TraceBatch batch(channels.size());
-  std::uint64_t consumed = 0;
-  for (std::uint32_t s = 0; s < shards; ++s) {
+  std::vector<std::unique_ptr<core::CpaEngine>> parts(shards);
+  std::atomic<std::uint64_t> consumed{0};
+  const auto run_shard = [&](std::uint32_t s) {
     const std::size_t begin = core::shard_begin(total, shards, s);
     const std::size_t count = core::shard_size(total, shards, s);
-    core::CpaEngine shard_engine(spec.models);
-    store::FileTraceSource source(
-        std::make_unique<store::TraceFileReader>(dataset), begin, count);
+    auto part = std::make_unique<core::CpaEngine>(spec.models);
+    core::TraceBatch batch(channels.size());
+    store::FileTraceSource source(make_shard_reader(dataset, exec), begin,
+                                  count);
     std::size_t left = count;
     while (left > 0) {
       const std::size_t take = std::min(job_batch, left);
       batch.clear();
       batch.resize(take);
       source.collect_batch(batch);
-      shard_engine.add_batch(batch, column);
+      part->add_batch(batch, column);
       left -= take;
-      consumed += take;
+      const std::uint64_t now =
+          consumed.fetch_add(take, std::memory_order_relaxed) + take;
       if (progress) {
-        progress(consumed, total);
+        progress(now, total);
       }
     }
-    engine.merge(shard_engine);
-  }
+    parts[s] = std::move(part);
+  };
+  run_shard_units(shards, exec, run_shard, [&](std::uint32_t s) {
+    engine.merge(*parts[s]);
+    parts[s].reset();
+  });
 
   CpaJobResult result;
   result.traces = total;
@@ -97,7 +189,8 @@ CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
 
 TvlaJobResult run_tvla_job(std::shared_ptr<const store::SharedMapping> dataset,
                            const TvlaJobSpec& spec,
-                           const JobProgressFn& progress) {
+                           const JobProgressFn& progress,
+                           const JobExecOptions& exec) {
   if (dataset == nullptr) {
     throw std::invalid_argument("run_tvla_job: null dataset");
   }
@@ -114,45 +207,56 @@ TvlaJobResult run_tvla_job(std::shared_ptr<const store::SharedMapping> dataset,
     throw std::invalid_argument(
         "run_tvla_job: traces_per_set exceeds the dataset's set size");
   }
-  const std::uint32_t shards = resolved_shards(spec.shards);
+  const std::uint64_t total = 6 * per_set;
+  std::uint32_t shards = resolved_job_shards(spec.shards, total);
+  if (spec.shards == 0) {
+    // Auto-sizing must stay satisfiable: shards slice per-set rows.
+    shards = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(shards, per_set));
+  }
   if (shards > per_set) {
     throw std::invalid_argument("run_tvla_job: more shards than traces");
   }
-  const std::uint64_t total = 6 * per_set;
 
   // Positional labels (see jobs.h): set k = rows [k * block, k * block +
   // per_set), class k % 3, primed k >= 3 — TVLA protocol order. Shard s
   // takes its shard_size slice of every set; one sink per shard, merged
   // in shard order, mirrors the live campaign's structure.
   core::TvlaSink merged(channel_count);
-  core::TraceBatch batch(channel_count);
-  std::uint64_t consumed = 0;
-  for (std::uint32_t s = 0; s < shards; ++s) {
-    core::TvlaSink sink(channel_count);
+  std::vector<std::unique_ptr<core::TvlaSink>> parts(shards);
+  std::atomic<std::uint64_t> consumed{0};
+  const auto run_shard = [&](std::uint32_t s) {
+    auto sink = std::make_unique<core::TvlaSink>(channel_count);
+    core::TraceBatch batch(channel_count);
     for (std::size_t set = 0; set < 6; ++set) {
       const core::BatchLabel label = core::BatchLabel::tvla(
           core::all_plaintext_classes[set % 3], set >= 3);
       const std::size_t begin = set * block +
                                 core::shard_begin(per_set, shards, s);
       const std::size_t count = core::shard_size(per_set, shards, s);
-      store::FileTraceSource source(
-          std::make_unique<store::TraceFileReader>(dataset), begin, count);
+      store::FileTraceSource source(make_shard_reader(dataset, exec), begin,
+                                    count);
       std::size_t left = count;
       while (left > 0) {
         const std::size_t take = std::min(job_batch, left);
         batch.clear();
         batch.resize(take);
         source.collect_batch(batch);
-        sink.consume(batch, label);
+        sink->consume(batch, label);
         left -= take;
-        consumed += take;
+        const std::uint64_t now =
+            consumed.fetch_add(take, std::memory_order_relaxed) + take;
         if (progress) {
-          progress(consumed, total);
+          progress(now, total);
         }
       }
     }
-    merged.merge(sink);
-  }
+    parts[s] = std::move(sink);
+  };
+  run_shard_units(shards, exec, run_shard, [&](std::uint32_t s) {
+    merged.merge(*parts[s]);
+    parts[s].reset();
+  });
 
   TvlaJobResult result;
   result.traces_per_set = per_set;

@@ -1,15 +1,25 @@
 // Campaign jobs the bus daemon executes over shared mmap'd datasets.
 //
 // run_cpa_job / run_tvla_job are the single compute path for a campaign
-// over a recorded PSTR dataset: the daemon runs them on worker-pool
-// threads, and in-process verification (`psc_busctl submit --verify-local`,
-// the ctest bit-identity suite) calls the same functions directly. A job
-// result is a pure function of (dataset bytes, spec): shards execute
-// sequentially inside the job and merge in shard order, so the identical
-// spec yields bit-identical doubles wherever it runs — which is what
-// makes the daemon's results checkable against an independent local run.
-// Cross-job parallelism comes from the daemon scheduling many jobs on
-// the pool, not from threads inside one job.
+// over a recorded PSTR dataset: the daemon runs them under a driver
+// thread per job, and in-process verification (`psc_busctl submit
+// --verify-local`, the ctest bit-identity suite) calls the same
+// functions directly. A job result is a pure function of (dataset bytes,
+// spec): each shard accumulates self-contained engine state and the
+// partials merge strictly in shard order, so the identical spec yields
+// bit-identical doubles wherever — and on however many threads — it
+// runs. Shards determine the RESULT; JobExecOptions determine only the
+// EXECUTION (the split PR 1 established for campaigns, applied to served
+// jobs):
+//
+//   - Without a shard budget (the default, and the --verify-local path)
+//     shards run sequentially on the calling thread.
+//   - With one, up to budget() shard units run concurrently as posted
+//     worker-pool jobs; the caller drains them in shard order and merges
+//     incrementally, so at most ~budget shard engines are alive and the
+//     merge order never depends on completion order. The budget is
+//     re-read before each unit is issued, which is how the daemon's fair
+//     scheduler shrinks a running job's window when new jobs arrive.
 //
 // TVLA replay labeling: a PSTR file carries no (class, collection)
 // labels, so TVLA-over-file assumes the dataset was recorded in TVLA
@@ -32,19 +42,58 @@
 #include "power/hypothetical.h"
 #include "store/shared_mapping.h"
 
+namespace psc::store {
+class ChunkCache;  // store/chunk_cache.h
+}
+
 namespace psc::bus {
 
-// Progress hook: (traces consumed so far, traces total). Invoked from
-// the thread running the job after every ingested batch.
+// Progress hook: (traces consumed so far, traces total). `consumed` is
+// aggregated across shard units, so under a shard budget the hook may be
+// invoked concurrently from pool threads and values may arrive out of
+// order; the largest value seen is the true watermark.
 using JobProgressFn =
     std::function<void(std::uint64_t consumed, std::uint64_t total)>;
+
+// Auto-sizing cap for spec.shards == 0. The resolved shard count is
+// result-determining, so the policy must be a pure function of the trace
+// count — never of worker availability, or the daemon and an in-process
+// verification run could resolve different counts and mismatch. A job
+// therefore auto-sizes to core::min_traces_per_shard-sized shards capped
+// at this fixed constant.
+inline constexpr std::uint32_t auto_shard_cap = 16;
+
+// Shard count a spec value of `spec_shards` resolves to over
+// `total_traces` traces: an explicit count wins verbatim; 0 auto-sizes
+// as documented on auto_shard_cap. Identical wherever the job runs.
+std::uint32_t resolved_job_shards(std::uint32_t spec_shards,
+                                  std::uint64_t total_traces) noexcept;
+
+// Execution knobs — how a job runs, never what it computes.
+struct JobExecOptions {
+  // Max shard units to keep in flight on the worker pool, re-read before
+  // each unit is issued (values < 1 are treated as 1). Null: shards run
+  // sequentially on the calling thread, touching no pool state — the
+  // in-process verification path.
+  std::function<std::uint32_t()> shard_budget;
+  // Shared decoded-chunk cache for the shard readers (null = every
+  // reader decodes privately, the legacy behavior).
+  std::shared_ptr<store::ChunkCache> chunk_cache;
+  // Observer of shard-unit activity: (resolved shard count, units
+  // currently running). Called once with running = 0 when the shard
+  // count resolves, then from unit threads as they start and finish —
+  // concurrently under a shard budget.
+  std::function<void(std::uint32_t shards, std::uint32_t running)>
+      on_shard_activity;
+};
 
 struct CpaJobSpec {
   std::uint32_t channel = 0;  // FourCC code of the attacked column
   aes::Block known_key{};     // victim key, for ranking/GE
   std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
   std::uint64_t trace_count = 0;  // 0 = every recorded trace
-  std::uint32_t shards = 1;       // result-determining (0 = 1)
+  // Result-determining; 0 auto-sizes (see resolved_job_shards).
+  std::uint32_t shards = 0;
 };
 
 struct CpaJobResult {
@@ -55,7 +104,9 @@ struct CpaJobResult {
 
 struct TvlaJobSpec {
   std::uint64_t traces_per_set = 0;  // 0 = trace_count / 6
-  std::uint32_t shards = 1;          // result-determining (0 = 1)
+  // Result-determining; 0 auto-sizes (see resolved_job_shards), further
+  // clamped to traces_per_set.
+  std::uint32_t shards = 0;
 };
 
 struct TvlaJobResult {
@@ -71,13 +122,15 @@ struct TvlaJobResult {
 // shards beyond the data).
 CpaJobResult run_cpa_job(std::shared_ptr<const store::SharedMapping> dataset,
                          const CpaJobSpec& spec,
-                         const JobProgressFn& progress = {});
+                         const JobProgressFn& progress = {},
+                         const JobExecOptions& exec = {});
 
 // Runs TVLA over the dataset under the positional labeling rule above,
 // producing one matrix per channel. Throws std::invalid_argument when
 // the dataset holds fewer than 6 traces or the spec oversubscribes it.
 TvlaJobResult run_tvla_job(std::shared_ptr<const store::SharedMapping> dataset,
                            const TvlaJobSpec& spec,
-                           const JobProgressFn& progress = {});
+                           const JobProgressFn& progress = {},
+                           const JobExecOptions& exec = {});
 
 }  // namespace psc::bus

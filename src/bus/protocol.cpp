@@ -1,5 +1,6 @@
 #include "bus/protocol.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -358,6 +359,7 @@ void JobStatusMsg::encode(PayloadWriter& w) const {
   w.u8(static_cast<std::uint8_t>(state));
   w.u64(consumed);
   w.u64(total);
+  w.u32(running_shards);
   w.str(error);
 }
 
@@ -371,6 +373,7 @@ JobStatusMsg JobStatusMsg::decode(PayloadReader& r) {
   m.state = static_cast<JobState>(state);
   m.consumed = r.u64();
   m.total = r.u64();
+  m.running_shards = r.u32();
   m.error = r.str();
   r.expect_end();
   return m;
@@ -380,6 +383,7 @@ void ProgressMsg::encode(PayloadWriter& w) const {
   w.u64(id);
   w.u64(consumed);
   w.u64(total);
+  w.u32(running_shards);
 }
 
 ProgressMsg ProgressMsg::decode(PayloadReader& r) {
@@ -387,6 +391,59 @@ ProgressMsg ProgressMsg::decode(PayloadReader& r) {
   m.id = r.u64();
   m.consumed = r.u64();
   m.total = r.u64();
+  m.running_shards = r.u32();
+  r.expect_end();
+  return m;
+}
+
+void StatsMsg::encode(PayloadWriter& w) const {
+  w.u64(cache_hits);
+  w.u64(cache_misses);
+  w.u64(cache_evictions);
+  w.u64(cache_resident_bytes);
+  w.u64(cache_capacity_bytes);
+  w.u64(cache_entries);
+  w.u64(jobs_submitted);
+  w.u64(jobs_active);
+  w.u32(pool_threads);
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const JobRow& job : jobs) {
+    w.u64(job.id);
+    w.u8(static_cast<std::uint8_t>(job.state));
+    w.u32(job.shards);
+    w.u32(job.shard_cap);
+    w.u32(job.running_shards);
+    w.u32(job.peak_shards);
+  }
+}
+
+StatsMsg StatsMsg::decode(PayloadReader& r) {
+  StatsMsg m;
+  m.cache_hits = r.u64();
+  m.cache_misses = r.u64();
+  m.cache_evictions = r.u64();
+  m.cache_resident_bytes = r.u64();
+  m.cache_capacity_bytes = r.u64();
+  m.cache_entries = r.u64();
+  m.jobs_submitted = r.u64();
+  m.jobs_active = r.u64();
+  m.pool_threads = r.u32();
+  const std::uint32_t count = r.u32();
+  m.jobs.reserve(std::min<std::size_t>(count, r.remaining()));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    JobRow job;
+    job.id = r.u64();
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(JobState::failed)) {
+      malformed("unknown job state");
+    }
+    job.state = static_cast<JobState>(state);
+    job.shards = r.u32();
+    job.shard_cap = r.u32();
+    job.running_shards = r.u32();
+    job.peak_shards = r.u32();
+    m.jobs.push_back(job);
+  }
   r.expect_end();
   return m;
 }

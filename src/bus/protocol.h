@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "PSCB"
-//   4       2     protocol version (= 1)
+//   4       2     protocol version (= 2)
 //   6       2     message type (MsgType)
 //   8       4     payload length in bytes (<= max_payload_bytes)
 //   12      4     CRC32 of the payload bytes (util/crc32)
@@ -37,7 +37,11 @@
 namespace psc::bus {
 
 inline constexpr char frame_magic[4] = {'P', 'S', 'C', 'B'};
-inline constexpr std::uint16_t protocol_version = 1;
+// v2: GET_STATS/STATS frames; running_shards added to JobStatusMsg and
+// ProgressMsg. Both sides of the protocol live in this repo and are
+// versioned together, so there is no cross-version compatibility path —
+// a version mismatch is rejected at the frame layer.
+inline constexpr std::uint16_t protocol_version = 2;
 inline constexpr std::size_t frame_header_bytes = 16;
 // Largest payload either side accepts; a declared length beyond this is
 // rejected before any allocation (oversize-length robustness).
@@ -68,6 +72,7 @@ enum class MsgType : std::uint16_t {
   fetch_result = 7,
   shutdown = 8,
   ping = 9,
+  get_stats = 10,
   // Responses (daemon -> client).
   ok = 64,
   error = 65,
@@ -78,6 +83,7 @@ enum class MsgType : std::uint16_t {
   job_done = 70,
   cpa_result = 71,
   tvla_result = 72,
+  stats = 73,
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -209,6 +215,7 @@ struct JobStatusMsg {
   JobState state = JobState::queued;
   std::uint64_t consumed = 0;
   std::uint64_t total = 0;
+  std::uint32_t running_shards = 0;  // shard units in flight right now
   std::string error;  // non-empty iff state == failed
 
   void encode(PayloadWriter& w) const;
@@ -219,9 +226,39 @@ struct ProgressMsg {
   std::uint64_t id = 0;
   std::uint64_t consumed = 0;
   std::uint64_t total = 0;
+  std::uint32_t running_shards = 0;  // shard units in flight right now
 
   void encode(PayloadWriter& w) const;
   static ProgressMsg decode(PayloadReader& r);
+};
+
+// Daemon observability counters (GET_STATS -> STATS): the shared
+// decoded-chunk cache plus the shard scheduler's per-job view. Cache
+// fields are all zero when the cache is disabled (PSC_BUS_CHUNK_CACHE_MB
+// = 0).
+struct StatsMsg {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_resident_bytes = 0;
+  std::uint64_t cache_capacity_bytes = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t jobs_submitted = 0;  // lifetime
+  std::uint64_t jobs_active = 0;     // queued + running
+  std::uint32_t pool_threads = 0;
+
+  struct JobRow {
+    std::uint64_t id = 0;
+    JobState state = JobState::queued;
+    std::uint32_t shards = 0;         // resolved shard count
+    std::uint32_t shard_cap = 0;      // fair in-flight cap last granted
+    std::uint32_t running_shards = 0;
+    std::uint32_t peak_shards = 0;
+  };
+  std::vector<JobRow> jobs;  // non-terminal jobs, id-ascending
+
+  void encode(PayloadWriter& w) const;
+  static StatsMsg decode(PayloadReader& r);
 };
 
 struct CpaResultMsg {

@@ -134,6 +134,47 @@ class WorkerPool {
   // empty ticket.
   bool finish(AsyncTicket& ticket);
 
+  // Bounded fan-out of post()ed jobs, drained strictly in post order —
+  // the shape a shard-parallel bus job needs: keep a capped window of
+  // shard units in flight while merging finished units deterministically
+  // (unit s is always finished before unit s+1, whatever order the pool
+  // ran them in). finish_next() inherits finish()'s steal-back guarantee,
+  // so draining a group can never deadlock even with every pool thread
+  // busy. Not thread-safe: one owner thread posts and drains.
+  class JobGroup {
+   public:
+    explicit JobGroup(WorkerPool& pool = WorkerPool::instance())
+        : pool_(pool) {}
+    ~JobGroup() { finish_all(); }
+
+    JobGroup(const JobGroup&) = delete;
+    JobGroup& operator=(const JobGroup&) = delete;
+
+    void post(std::function<void()> fn) {
+      tickets_.push_back(pool_.post(std::move(fn)));
+    }
+    // Waits for (or steals back and runs) the oldest outstanding job;
+    // false when none are outstanding.
+    bool finish_next() {
+      if (tickets_.empty()) {
+        return false;
+      }
+      AsyncTicket ticket = std::move(tickets_.front());
+      tickets_.pop_front();
+      pool_.finish(ticket);
+      return true;
+    }
+    void finish_all() {
+      while (finish_next()) {
+      }
+    }
+    std::size_t in_flight() const noexcept { return tickets_.size(); }
+
+   private:
+    WorkerPool& pool_;
+    std::deque<AsyncTicket> tickets_;
+  };
+
   // Grows the pool to at least `threads` pool threads up front. post()
   // alone only guarantees one pool thread, so a server expecting N
   // concurrent posted jobs (the bus daemon's job executor) reserves its

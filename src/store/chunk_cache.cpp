@@ -1,0 +1,104 @@
+#include "store/chunk_cache.h"
+
+#include <utility>
+
+namespace psc::store {
+
+ChunkCache::Payload ChunkCache::get_or_decode(
+    std::uint64_t dataset, std::size_t chunk,
+    const std::function<void(std::vector<std::byte>&)>& decode) {
+  const Key key{dataset, chunk};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      break;  // nobody has it: this caller becomes the decoder
+    }
+    if (it->second.bytes != nullptr) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.bytes;
+    }
+    // Another caller is decoding this chunk right now. Waiting counts as
+    // a hit: the decode it saves is the whole point of sharing.
+    ready_cv_.wait(lock);
+  }
+
+  // Reserve the key with a placeholder so concurrent callers wait
+  // instead of decoding the same chunk in parallel, then decode outside
+  // the lock.
+  entries_.emplace(key, Entry{});
+  ++misses_;
+  lock.unlock();
+
+  auto bytes = std::make_shared<std::vector<std::byte>>();
+  try {
+    decode(*bytes);
+  } catch (...) {
+    lock.lock();
+    entries_.erase(key);
+    ready_cv_.notify_all();
+    throw;
+  }
+
+  Payload payload(std::move(bytes));
+  lock.lock();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // drop_dataset may have erased the placeholder mid-decode; only a
+    // still-reserved key publishes.
+    it->second.bytes = payload;
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    resident_ += payload->size();
+    evict_locked();
+  }
+  ready_cv_.notify_all();
+  return payload;
+}
+
+void ChunkCache::drop_dataset(std::uint64_t dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.dataset != dataset) {
+      ++it;
+      continue;
+    }
+    if (it->second.bytes != nullptr) {
+      resident_ -= it->second.bytes->size();
+      lru_.erase(it->second.lru);
+    }
+    // In-flight placeholders are erased too: the decoder notices at
+    // publish time and returns its private copy without caching it.
+    it = entries_.erase(it);
+  }
+  ready_cv_.notify_all();
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void ChunkCache::evict_locked() {
+  // Placeholders are not on the LRU list, so an in-flight decode can
+  // never be evicted. An entry larger than the whole budget evicts
+  // itself immediately — its caller still holds the pin, so the bytes
+  // survive exactly as long as they are used.
+  while (resident_ > capacity_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_ -= it->second.bytes->size();
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace psc::store

@@ -1,0 +1,112 @@
+// Shared decoded-chunk cache: a bounded, ref-counted LRU of decoded v2
+// chunk payloads, shared by every reader of the same SharedMapping.
+//
+// PSTR v2 stores channel columns compressed; each TraceFileReader
+// decodes a chunk privately, so N concurrent jobs over one dataset pay
+// the delta_bitpack decode (and its CRC check) N times. Routing
+// TraceFileReader::read_chunk_into through a ChunkCache keyed by
+// (mapping id, chunk index) makes the decode happen once: the first
+// reader to miss decodes while every concurrent reader of the same chunk
+// blocks until the bytes are published, then all of them share one
+// immutable payload. Identity-codec chunks never get here — the reader
+// keeps serving them zero-copy straight from the mapping.
+//
+// The cached unit is the whole decoded chunk payload (v1 layout:
+// plaintexts, ciphertexts, then every channel column); per-column views
+// are cheap slices of it, so caching finer than a chunk would only
+// fragment the buffer the decoder produces anyway.
+//
+// Ref-counting makes eviction safe under pressure: an entry pushed out
+// by the byte budget is dropped from the map, but callers holding its
+// shared_ptr keep the bytes alive until the last view dies. The budget
+// therefore bounds what the *cache* keeps resident, not what in-flight
+// readers have pinned.
+//
+// Thread-safe; one mutex, decode runs outside it. A throwing decode
+// publishes nothing — the placeholder is erased and every waiter retries
+// (and typically rethrows the same StoreError on the same corrupt
+// bytes), so corruption stays loud per caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace psc::store {
+
+class ChunkCache {
+ public:
+  // Immutable decoded payload; holding one pins the bytes across any
+  // eviction.
+  using Payload = std::shared_ptr<const std::vector<std::byte>>;
+
+  explicit ChunkCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  // The decoded payload of (dataset, chunk). On a miss the calling
+  // thread runs `decode` into a fresh buffer (outside the cache lock);
+  // concurrent callers of the same key wait for that decode instead of
+  // repeating it. Counted: a decode is a miss, anything served without
+  // decoding — including a wait on an in-flight decode — is a hit.
+  Payload get_or_decode(std::uint64_t dataset, std::size_t chunk,
+                        const std::function<void(std::vector<std::byte>&)>&
+                            decode);
+
+  // Drops every entry of `dataset` (the registry calls this on close).
+  // Mapping ids are never reused, so this only frees memory early; it is
+  // not needed for correctness.
+  void drop_dataset(std::uint64_t dataset);
+
+  struct Stats {
+    std::uint64_t hits = 0;        // served without a decode
+    std::uint64_t misses = 0;      // decodes performed
+    std::uint64_t evictions = 0;   // entries pushed out by the byte budget
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+
+ private:
+  struct Key {
+    std::uint64_t dataset = 0;
+    std::size_t chunk = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // Mapping ids are small sequential integers; spread them before
+      // mixing in the chunk index.
+      return static_cast<std::size_t>(k.dataset * 0x9e3779b97f4a7c15ull) ^
+             (k.chunk * 0xff51afd7ed558ccdull);
+    }
+  };
+  struct Entry {
+    Payload bytes;  // null while the first caller is still decoding
+    std::list<Key>::iterator lru;  // valid only once bytes is set
+  };
+
+  void evict_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // a decode published or failed
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  std::uint64_t resident_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace psc::store

@@ -1,5 +1,6 @@
 #include "store/shared_mapping.h"
 
+#include <atomic>
 #include <fstream>
 
 #include "store/pstr_format.h"
@@ -20,8 +21,10 @@ std::shared_ptr<const SharedMapping> SharedMapping::open(
     const std::string& path) {
   // shared_ptr with a custom-constructible target: the constructor is
   // private, so go through a local subclass-free allocation.
+  static std::atomic<std::uint64_t> next_id{1};
   std::shared_ptr<SharedMapping> mapping(new SharedMapping());
   mapping->path_ = path;
+  mapping->id_ = next_id.fetch_add(1, std::memory_order_relaxed);
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,11 +43,17 @@ class SharedMapping {
   // True when the bytes are an mmap of the file (zero-copy reads); false
   // for the heap-loaded fallback.
   bool mmap_backed() const noexcept { return mapped_; }
+  // Process-unique id, assigned at open() and never reused. Caches keyed
+  // by mapping cannot key on the pointer — a mapping closed and reopened
+  // can land at the same address — so this is the stable dataset key for
+  // anything that outlives an individual reader (store::ChunkCache).
+  std::uint64_t id() const noexcept { return id_; }
 
  private:
   SharedMapping() = default;
 
   std::string path_;
+  std::uint64_t id_ = 0;
   const std::byte* data_ = nullptr;
   std::size_t size_ = 0;
   bool mapped_ = false;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "store/chunk_cache.h"
 #include "util/codec.h"
 #include "util/crc32.h"
 #include "util/env.h"
@@ -562,10 +563,35 @@ void TraceFileReader::decode_v2_chunk(std::size_t i,
   }
 }
 
+void TraceFileReader::set_chunk_cache(std::shared_ptr<ChunkCache> cache) {
+  if (mapping_ == nullptr) {
+    throw std::logic_error(
+        "TraceFileReader::set_chunk_cache: reader does not borrow a "
+        "SharedMapping (no stable dataset id to key the cache by)");
+  }
+  chunk_cache_ = std::move(cache);
+  dataset_id_ = mapping_->id();
+  cache_hold_.reset();
+}
+
+std::shared_ptr<const std::vector<std::byte>> TraceFileReader::cached_chunk(
+    std::size_t i) {
+  // The decode callback runs on this reader (dir_ is already loaded for
+  // chunk i) and only for the one caller that misses; concurrent readers
+  // of the same chunk wait inside the cache and share the result.
+  return chunk_cache_->get_or_decode(
+      dataset_id_, i,
+      [this, i](std::vector<std::byte>& dest) { decode_v2_chunk(i, dest); });
+}
+
 ChunkView TraceFileReader::chunk_v2(std::size_t i) {
   const std::byte* payload = nullptr;
   if (parse_v2_directory(i, payload)) {
     return make_view(payload, index_[i]);
+  }
+  if (chunk_cache_ != nullptr) {
+    cache_hold_ = cached_chunk(i);
+    return make_view(cache_hold_->data(), index_[i]);
   }
   if (loaded_chunk_ != i) {
     decode_v2_chunk(i, decode_);
@@ -574,20 +600,26 @@ ChunkView TraceFileReader::chunk_v2(std::size_t i) {
   return make_view(decode_.data(), index_[i]);
 }
 
-ChunkView TraceFileReader::chunk_v2_into(std::size_t i,
-                                         std::vector<std::byte>& storage) {
+ChunkView TraceFileReader::chunk_v2_into(std::size_t i, ChunkBuffer& buf) {
   const std::byte* payload = nullptr;
   if (parse_v2_directory(i, payload)) {
+    buf.cached.reset();
     return make_view(payload, index_.at(i));
   }
-  decode_v2_chunk(i, storage);
-  return make_view(storage.data(), index_.at(i));
+  if (chunk_cache_ != nullptr) {
+    buf.cached = cached_chunk(i);
+    return make_view(buf.cached->data(), index_.at(i));
+  }
+  buf.cached.reset();
+  decode_v2_chunk(i, buf.bytes);
+  return make_view(buf.bytes.data(), index_.at(i));
 }
 
 ChunkView TraceFileReader::read_chunk_into(std::size_t i, ChunkBuffer& buf) {
   if (version_ >= format_version_v2) {
-    return chunk_v2_into(i, buf.bytes);
+    return chunk_v2_into(i, buf);
   }
+  buf.cached.reset();
   ChunkView view = chunk_v1_into(i, buf.bytes);
   return view;
 }

@@ -34,6 +34,8 @@
 
 namespace psc::store {
 
+class ChunkCache;  // store/chunk_cache.h
+
 enum class ReaderMode {
   automatic,  // mmap where the platform supports it, else stream; the
               // PSC_NO_MMAP env flag forces the stream fallback
@@ -127,11 +129,23 @@ class TraceFileReader {
   // chunk()/read_rows() call.
   ChunkView chunk(std::size_t i);
 
+  // Routes v2 chunk decodes through a shared decoded-chunk cache keyed
+  // by (mapping id, chunk index): N readers over one SharedMapping decode
+  // each compressed chunk once and share the immutable bytes. Identity
+  // all-column chunks keep their zero-copy mapped path and never touch
+  // the cache. Only SharedMapping-backed readers can attach a cache (the
+  // key needs a stable dataset id); throws std::logic_error otherwise.
+  void set_chunk_cache(std::shared_ptr<ChunkCache> cache);
+
   // Caller-owned decoded-chunk storage for read_chunk_into: lets the
   // prefetcher keep two chunks alive while the reader's internal
   // resident chunk advances.
   struct ChunkBuffer {
     std::vector<std::byte> bytes;
+    // Pin on the cache entry backing the last view served from a shared
+    // ChunkCache, so the view keeps its valid-until-buf-reused contract
+    // even if the cache evicts the entry meanwhile.
+    std::shared_ptr<const std::vector<std::byte>> cached;
   };
 
   // Like chunk(), but materializes into `buf` when the chunk cannot be
@@ -182,7 +196,10 @@ class TraceFileReader {
   const std::byte* chunk_base(const ChunkIndexEntry& entry, std::size_t i);
   ChunkView chunk_v1_into(std::size_t i, std::vector<std::byte>& storage);
   ChunkView chunk_v2(std::size_t i);
-  ChunkView chunk_v2_into(std::size_t i, std::vector<std::byte>& storage);
+  ChunkView chunk_v2_into(std::size_t i, ChunkBuffer& buf);
+  // Fetches chunk i's decoded payload through the attached cache; the
+  // chunk's directory (dir_) must already be loaded.
+  std::shared_ptr<const std::vector<std::byte>> cached_chunk(std::size_t i);
   // Loads + validates chunk i's header and column directory into dir_;
   // returns true when every column is stored identity. No payload bytes
   // are touched.
@@ -207,6 +224,12 @@ class TraceFileReader {
   std::ifstream in_;
   std::vector<std::byte> scratch_;
   std::size_t loaded_chunk_ = static_cast<std::size_t>(-1);
+
+  // Shared decoded-chunk cache (optional; SharedMapping-backed readers
+  // only). cache_hold_ pins the entry behind the last chunk() view.
+  std::shared_ptr<ChunkCache> chunk_cache_;
+  std::uint64_t dataset_id_ = 0;
+  std::shared_ptr<const std::vector<std::byte>> cache_hold_;
 
   // v2 path: decoded resident chunk (both modes), compressed staging and
   // the parsed directory of the chunk being opened.

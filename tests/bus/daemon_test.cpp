@@ -120,12 +120,16 @@ void expect_tvla_bit_identical(const TvlaJobResult& a, const TvlaJobResult& b) {
 
 class BusDaemonTest : public ::testing::Test {
  protected:
-  void serve(const std::string& tag, std::size_t quota = 4) {
+  void serve(const std::string& tag, std::size_t quota = 4,
+             std::size_t shard_parallelism = 0,
+             std::size_t chunk_cache_mb = 256) {
     dataset_path_ = write_dataset("bus_" + tag + ".pstr");
     BusDaemonConfig config;
     config.socket_path = socket_path(tag);
     config.per_session_quota = quota;
     config.pool_reserve = 4;
+    config.shard_parallelism = shard_parallelism;
+    config.chunk_cache_mb = chunk_cache_mb;
     config.datasets = {{"bench", dataset_path_}};
     daemon_ = std::make_unique<BusDaemon>(std::move(config));
     daemon_->start();
@@ -223,6 +227,134 @@ TEST_F(BusDaemonTest, ConcurrentClientsGetBitIdenticalResults) {
   expect_tvla_bit_identical(tvla_served, run_tvla_job(mapping, tvla));
   EXPECT_EQ(cpa_served.traces, rows);
   EXPECT_EQ(tvla_served.traces_per_set, rows / 6);
+}
+
+// The fair-scheduler acceptance test: one large multi-shard job plus
+// four small ones land concurrently; the scheduler interleaves their
+// shard units over the shared pool and every served result still equals
+// its in-process rerun bit-for-bit.
+TEST_F(BusDaemonTest, FairSchedulerInterleavesConcurrentJobsBitIdentically) {
+  serve("fair", /*quota=*/8);
+
+  CpaJobSpec large;
+  large.channel = util::FourCc("PHPC").code();
+  large.known_key = test_key();
+  large.models = {power::PowerModel::rd0_hw, power::PowerModel::rd10_hw};
+  large.shards = 8;
+
+  constexpr int n_small = 4;
+  CpaJobSpec small_cpa;
+  small_cpa.channel = util::FourCc("PMVC").code();
+  small_cpa.known_key = test_key();
+  small_cpa.shards = 2;
+  TvlaJobSpec small_tvla;
+  small_tvla.shards = 3;
+
+  CpaJobResult large_served;
+  std::vector<CpaJobResult> small_cpa_served(n_small);
+  std::vector<TvlaJobResult> small_tvla_served(n_small);
+
+  std::thread large_client([&] {
+    BusClient client(daemon_->socket_path());
+    const std::uint64_t id = client.submit_cpa("bench", large);
+    const JobStatusMsg status = client.watch(id);
+    ASSERT_EQ(status.state, JobState::done);
+    large_served = client.cpa_result(id);
+  });
+  std::vector<std::thread> small_clients;
+  for (int i = 0; i < n_small; ++i) {
+    small_clients.emplace_back([&, i] {
+      BusClient client(daemon_->socket_path());
+      const std::uint64_t cpa_id = client.submit_cpa("bench", small_cpa);
+      const std::uint64_t tvla_id = client.submit_tvla("bench", small_tvla);
+      ASSERT_EQ(client.watch(cpa_id).state, JobState::done);
+      ASSERT_EQ(client.watch(tvla_id).state, JobState::done);
+      small_cpa_served[i] = client.cpa_result(cpa_id);
+      small_tvla_served[i] = client.tvla_result(tvla_id);
+    });
+  }
+  large_client.join();
+  for (std::thread& t : small_clients) {
+    t.join();
+  }
+
+  const auto mapping = store::SharedMapping::open(dataset_path_);
+  expect_cpa_bit_identical(large_served, run_cpa_job(mapping, large));
+  const CpaJobResult small_cpa_local = run_cpa_job(mapping, small_cpa);
+  const TvlaJobResult small_tvla_local = run_tvla_job(mapping, small_tvla);
+  for (int i = 0; i < n_small; ++i) {
+    expect_cpa_bit_identical(small_cpa_served[i], small_cpa_local);
+    expect_tvla_bit_identical(small_tvla_served[i], small_tvla_local);
+  }
+}
+
+// STATS frame + decode-once: two identical jobs over the compressed
+// dataset must decode every chunk exactly once between them — the second
+// job is served entirely from the shared cache.
+TEST_F(BusDaemonTest, StatsReportDecodeOnceAcrossJobs) {
+  serve("stats");
+  BusClient client(daemon_->socket_path());
+
+  const StatsMsg before = client.stats();
+  EXPECT_EQ(before.jobs_submitted, 0u);
+  EXPECT_EQ(before.jobs_active, 0u);
+  EXPECT_GT(before.cache_capacity_bytes, 0u);
+  EXPECT_EQ(before.cache_misses, 0u);
+  EXPECT_GE(before.pool_threads, 1u);
+
+  CpaJobSpec cpa;
+  cpa.channel = util::FourCc("PHPC").code();
+  cpa.known_key = test_key();
+  cpa.shards = 2;
+  for (int round = 0; round < 2; ++round) {
+    const std::uint64_t id = client.submit_cpa("bench", cpa);
+    ASSERT_EQ(client.watch(id).state, JobState::done);
+  }
+
+  const StatsMsg after = client.stats();
+  EXPECT_EQ(after.jobs_submitted, 2u);
+  EXPECT_EQ(after.jobs_active, 0u);
+  EXPECT_TRUE(after.jobs.empty());  // only non-terminal jobs are listed
+  // Every chunk is delta_bitpack-coded, so each of the file's chunks is
+  // decoded exactly once; the second job hits on all of them.
+  constexpr std::uint64_t chunks = (rows + chunk_rows - 1) / chunk_rows;
+  EXPECT_EQ(after.cache_misses, chunks);
+  EXPECT_GE(after.cache_hits, chunks);
+  EXPECT_GT(after.cache_resident_bytes, 0u);
+  EXPECT_EQ(after.cache_entries, chunks);
+}
+
+TEST_F(BusDaemonTest, CacheDisabledServesIdenticalResults) {
+  serve("nocache", /*quota=*/4, /*shard_parallelism=*/0,
+        /*chunk_cache_mb=*/0);
+  BusClient client(daemon_->socket_path());
+  CpaJobSpec cpa;
+  cpa.channel = util::FourCc("PHPC").code();
+  cpa.known_key = test_key();
+  cpa.shards = 2;
+  const std::uint64_t id = client.submit_cpa("bench", cpa);
+  ASSERT_EQ(client.watch(id).state, JobState::done);
+  const CpaJobResult served = client.cpa_result(id);
+  const auto mapping = store::SharedMapping::open(dataset_path_);
+  expect_cpa_bit_identical(served, run_cpa_job(mapping, cpa));
+  // With no cache configured, the STATS frame reports it disabled.
+  const StatsMsg stats = client.stats();
+  EXPECT_EQ(stats.cache_capacity_bytes, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+}
+
+TEST_F(BusDaemonTest, SequentialShardParallelismPinsLegacyExecution) {
+  // shard_parallelism = 1 pins jobs to sequential shard execution (the
+  // bench baseline); results are of course still bit-identical.
+  serve("seqpin", /*quota=*/4, /*shard_parallelism=*/1);
+  BusClient client(daemon_->socket_path());
+  TvlaJobSpec tvla;
+  tvla.shards = 3;
+  const std::uint64_t id = client.submit_tvla("bench", tvla);
+  ASSERT_EQ(client.watch(id).state, JobState::done);
+  const TvlaJobResult served = client.tvla_result(id);
+  const auto mapping = store::SharedMapping::open(dataset_path_);
+  expect_tvla_bit_identical(served, run_tvla_job(mapping, tvla));
 }
 
 TEST_F(BusDaemonTest, QuotaZeroRejectsEverySubmit) {

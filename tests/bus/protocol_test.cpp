@@ -110,13 +110,72 @@ TEST(Messages, ErrorStatusProgressRoundTrip) {
   EXPECT_EQ(s2.total, 400u);
   EXPECT_EQ(s2.error, "boom");
 
-  const ProgressMsg p = reencode(ProgressMsg{7, 10, 20});
+  const ProgressMsg p = reencode(ProgressMsg{7, 10, 20, 3});
   EXPECT_EQ(p.id, 7u);
   EXPECT_EQ(p.consumed, 10u);
   EXPECT_EQ(p.total, 20u);
+  EXPECT_EQ(p.running_shards, 3u);
 
   const JobIdMsg id = reencode(JobIdMsg{99});
   EXPECT_EQ(id.id, 99u);
+}
+
+TEST(Messages, StatusCarriesRunningShards) {
+  JobStatusMsg status;
+  status.id = 8;
+  status.state = JobState::running;
+  status.consumed = 512;
+  status.total = 4096;
+  status.running_shards = 4;
+  const JobStatusMsg out = reencode(status);
+  EXPECT_EQ(out.running_shards, 4u);
+}
+
+TEST(Messages, StatsRoundTrip) {
+  StatsMsg msg;
+  msg.cache_hits = 1000;
+  msg.cache_misses = 42;
+  msg.cache_evictions = 7;
+  msg.cache_resident_bytes = 123456789;
+  msg.cache_capacity_bytes = 268435456;
+  msg.cache_entries = 32;
+  msg.jobs_submitted = 17;
+  msg.jobs_active = 2;
+  msg.pool_threads = 8;
+  msg.jobs = {{1, JobState::running, 16, 2, 2, 4},
+              {5, JobState::queued, 0, 0, 0, 0}};
+
+  const StatsMsg out = reencode(msg);
+  EXPECT_EQ(out.cache_hits, 1000u);
+  EXPECT_EQ(out.cache_misses, 42u);
+  EXPECT_EQ(out.cache_evictions, 7u);
+  EXPECT_EQ(out.cache_resident_bytes, 123456789u);
+  EXPECT_EQ(out.cache_capacity_bytes, 268435456u);
+  EXPECT_EQ(out.cache_entries, 32u);
+  EXPECT_EQ(out.jobs_submitted, 17u);
+  EXPECT_EQ(out.jobs_active, 2u);
+  EXPECT_EQ(out.pool_threads, 8u);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[0].id, 1u);
+  EXPECT_EQ(out.jobs[0].state, JobState::running);
+  EXPECT_EQ(out.jobs[0].shards, 16u);
+  EXPECT_EQ(out.jobs[0].shard_cap, 2u);
+  EXPECT_EQ(out.jobs[0].running_shards, 2u);
+  EXPECT_EQ(out.jobs[0].peak_shards, 4u);
+  EXPECT_EQ(out.jobs[1].id, 5u);
+  EXPECT_EQ(out.jobs[1].state, JobState::queued);
+
+  // A bad job state on the wire is rejected.
+  PayloadWriter w;
+  msg.encode(w);
+  std::vector<std::byte> bytes(w.bytes().begin(), w.bytes().end());
+  // The first row's state byte sits after 8 u64 counters + u32 + u32 +
+  // the row's u64 id.
+  const std::size_t state_at = 8 * 8 + 4 + 4 + 8;
+  ASSERT_LT(state_at, bytes.size());
+  bytes[state_at] = std::byte{99};
+  PayloadReader r(bytes);
+  EXPECT_THROW(StatsMsg::decode(r), ProtocolError);
 }
 
 TEST(Messages, SubmitCpaRoundTrip) {
