@@ -4,24 +4,29 @@
 //   psc_busctl serve    --socket S --dataset name=path [--dataset ...]
 //                       [--quota N] [--threads N] [--job-parallel N]
 //                       [--cache-mb N]
-//   psc_busctl ping     --socket S
-//   psc_busctl datasets --socket S
-//   psc_busctl open     --socket S <name> <path.pstr>
-//   psc_busctl submit   --socket S cpa  <dataset> --channel CCCC --key HEX32
-//                       [--model NAME]... [--traces N] [--shards N]
-//                       [--watch] [--verify-local]
-//   psc_busctl submit   --socket S tvla <dataset> [--per-set N] [--shards N]
-//                       [--watch] [--verify-local]
-//   psc_busctl watch    --socket S <job-id>
-//   psc_busctl result   --socket S cpa|tvla <job-id>
-//   psc_busctl shutdown --socket S
+//   psc_busctl ping      --socket S
+//   psc_busctl datasets  --socket S
+//   psc_busctl scenarios --socket S
+//   psc_busctl open      --socket S <name> <path.pstr>
+//   psc_busctl submit    --socket S cpa  <dataset> --channel CCCC --key HEX32
+//                        [--model NAME]... [--traces N] [--shards N]
+//                        [--watch] [--verify-local]
+//   psc_busctl submit    --socket S tvla <dataset> [--per-set N] [--shards N]
+//                        [--watch] [--verify-local]
+//   psc_busctl submit    --socket S scenario <name> [--param k=v]...
+//                        [--per-set N] [--seed N] [--shards N]
+//                        [--watch] [--verify-local]
+//   psc_busctl watch     --socket S <job-id>
+//   psc_busctl result    --socket S cpa|tvla|scenario <job-id>
+//   psc_busctl shutdown  --socket S
 //
 // `submit --verify-local` is the bit-identity check the CI smoke job
 // leans on: after the daemon finishes the job, the same spec is rerun
-// in-process (run_*_job over the same file) and every result double is
-// compared bit-for-bit — any drift between daemon-served and local
-// analysis exits non-zero. `serve` installs SIGINT/SIGTERM handlers and
-// drains running jobs before exiting, so `kill -TERM` is a clean stop.
+// in-process (run_*_job over the same file, or run_scenario_job for
+// live-acquisition scenario jobs) and every result double is compared
+// bit-for-bit — any drift between daemon-served and local analysis
+// exits non-zero. `serve` installs SIGINT/SIGTERM handlers and drains
+// running jobs before exiting, so `kill -TERM` is a clean stop.
 // `datasets` also prints the daemon's STATS frame: decoded-chunk cache
 // counters plus the per-job shard-scheduler rows.
 #include <bit>
@@ -35,6 +40,7 @@
 #include "bus/client.h"
 #include "bus/daemon.h"
 #include "bus/jobs.h"
+#include "bus/scenario_jobs.h"
 #include "core/report.h"
 #include "store/shared_mapping.h"
 #include "util/hex.h"
@@ -47,20 +53,24 @@ using namespace psc;
 int usage() {
   std::cerr
       << "usage:\n"
-         "  psc_busctl serve    --socket S --dataset name=path [...]\n"
-         "                      [--quota N] [--threads N]\n"
-         "                      [--job-parallel N] [--cache-mb N]\n"
-         "  psc_busctl ping     --socket S\n"
-         "  psc_busctl datasets --socket S\n"
-         "  psc_busctl open     --socket S <name> <path.pstr>\n"
-         "  psc_busctl submit   --socket S cpa  <dataset> --channel CCCC\n"
-         "                      --key HEX32 [--model NAME]... [--traces N]\n"
-         "                      [--shards N] [--watch] [--verify-local]\n"
-         "  psc_busctl submit   --socket S tvla <dataset> [--per-set N]\n"
-         "                      [--shards N] [--watch] [--verify-local]\n"
-         "  psc_busctl watch    --socket S <job-id>\n"
-         "  psc_busctl result   --socket S cpa|tvla <job-id>\n"
-         "  psc_busctl shutdown --socket S\n";
+         "  psc_busctl serve     --socket S --dataset name=path [...]\n"
+         "                       [--quota N] [--threads N]\n"
+         "                       [--job-parallel N] [--cache-mb N]\n"
+         "  psc_busctl ping      --socket S\n"
+         "  psc_busctl datasets  --socket S\n"
+         "  psc_busctl scenarios --socket S\n"
+         "  psc_busctl open      --socket S <name> <path.pstr>\n"
+         "  psc_busctl submit    --socket S cpa  <dataset> --channel CCCC\n"
+         "                       --key HEX32 [--model NAME]... [--traces N]\n"
+         "                       [--shards N] [--watch] [--verify-local]\n"
+         "  psc_busctl submit    --socket S tvla <dataset> [--per-set N]\n"
+         "                       [--shards N] [--watch] [--verify-local]\n"
+         "  psc_busctl submit    --socket S scenario <name> [--param k=v]...\n"
+         "                       [--per-set N] [--seed N] [--shards N]\n"
+         "                       [--watch] [--verify-local]\n"
+         "  psc_busctl watch     --socket S <job-id>\n"
+         "  psc_busctl result    --socket S cpa|tvla|scenario <job-id>\n"
+         "  psc_busctl shutdown  --socket S\n";
   return 2;
 }
 
@@ -166,6 +176,26 @@ void print_tvla_result(std::uint64_t id, const bus::TvlaJobResult& result) {
       .render(std::cout);
 }
 
+void print_scenario_result(std::uint64_t id,
+                           const bus::ScenarioJobResult& result) {
+  std::cout << "job " << id << ": scenario '" << result.scenario << "', "
+            << result.traces_per_set << " traces per set\n";
+  core::tvla_table("TVLA t-scores (daemon job " + std::to_string(id) + ")",
+                   result.tvla)
+      .render(std::cout);
+  for (const core::CpaKeyResult& key : result.cpa) {
+    std::cout << "CPA over " << key.key.str() << " (" << result.cpa_trace_count
+              << " traces):\n";
+    for (const core::ModelResult& model : key.final_results) {
+      std::cout << "  " << power::power_model_name(model.model) << ": GE "
+                << model.ge_bits << " bits, " << model.recovered_bytes
+                << "/16 recovered\n";
+    }
+  }
+  std::cout << "max cross-class |t| over leakage channels: "
+            << result.max_cross_class_t() << "\n";
+}
+
 // ---------- bit-identity comparison (submit --verify-local) ----------
 
 bool bits_equal(double a, double b) {
@@ -174,28 +204,34 @@ bool bits_equal(double a, double b) {
   return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
 }
 
+bool model_result_equal(const core::ModelResult& x,
+                        const core::ModelResult& y) {
+  if (x.model != y.model || x.true_ranks != y.true_ranks ||
+      x.scored_key != y.scored_key || !bits_equal(x.ge_bits, y.ge_bits) ||
+      !bits_equal(x.mean_rank, y.mean_rank) ||
+      x.best_round_key != y.best_round_key ||
+      x.implied_master_key != y.implied_master_key ||
+      x.recovered_bytes != y.recovered_bytes ||
+      x.near_recovered_bytes != y.near_recovered_bytes) {
+    return false;
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t g = 0; g < 256; ++g) {
+      if (!bits_equal(x.bytes[i].correlation[g], y.bytes[i].correlation[g])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool cpa_equal(const bus::CpaJobResult& a, const bus::CpaJobResult& b) {
   if (a.traces != b.traces || a.models.size() != b.models.size()) {
     return false;
   }
   for (std::size_t m = 0; m < a.models.size(); ++m) {
-    const core::ModelResult& x = a.models[m];
-    const core::ModelResult& y = b.models[m];
-    if (x.model != y.model || x.true_ranks != y.true_ranks ||
-        x.scored_key != y.scored_key || !bits_equal(x.ge_bits, y.ge_bits) ||
-        !bits_equal(x.mean_rank, y.mean_rank) ||
-        x.best_round_key != y.best_round_key ||
-        x.implied_master_key != y.implied_master_key ||
-        x.recovered_bytes != y.recovered_bytes ||
-        x.near_recovered_bytes != y.near_recovered_bytes) {
+    if (!model_result_equal(a.models[m], b.models[m])) {
       return false;
-    }
-    for (std::size_t i = 0; i < 16; ++i) {
-      for (std::size_t g = 0; g < 256; ++g) {
-        if (!bits_equal(x.bytes[i].correlation[g], y.bytes[i].correlation[g])) {
-          return false;
-        }
-      }
     }
   }
   return true;
@@ -214,6 +250,57 @@ bool tvla_equal(const bus::TvlaJobResult& a, const bus::TvlaJobResult& b) {
       for (std::size_t j = 0; j < 3; ++j) {
         if (!bits_equal(a.channels[c].matrix.t[i][j],
                         b.channels[c].matrix.t[i][j])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool scenario_equal(const bus::ScenarioJobResult& a,
+                    const bus::ScenarioJobResult& b) {
+  if (a.scenario != b.scenario || a.secret != b.secret ||
+      a.traces_per_set != b.traces_per_set ||
+      a.cpa_trace_count != b.cpa_trace_count || a.channels != b.channels ||
+      a.leakage_channels != b.leakage_channels ||
+      a.tvla.size() != b.tvla.size() || a.cpa.size() != b.cpa.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.tvla.size(); ++c) {
+    if (a.tvla[c].channel != b.tvla[c].channel) {
+      return false;
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (!bits_equal(a.tvla[c].matrix.t[i][j], b.tvla[c].matrix.t[i][j])) {
+          return false;
+        }
+      }
+    }
+  }
+  for (std::size_t k = 0; k < a.cpa.size(); ++k) {
+    const core::CpaKeyResult& x = a.cpa[k];
+    const core::CpaKeyResult& y = b.cpa[k];
+    if (x.key != y.key || x.final_results.size() != y.final_results.size() ||
+        x.curves.size() != y.curves.size()) {
+      return false;
+    }
+    for (std::size_t m = 0; m < x.final_results.size(); ++m) {
+      if (!model_result_equal(x.final_results[m], y.final_results[m])) {
+        return false;
+      }
+    }
+    for (std::size_t m = 0; m < x.curves.size(); ++m) {
+      if (x.curves[m].size() != y.curves[m].size()) {
+        return false;
+      }
+      for (std::size_t p = 0; p < x.curves[m].size(); ++p) {
+        const core::GeCurvePoint& u = x.curves[m][p];
+        const core::GeCurvePoint& v = y.curves[m][p];
+        if (u.traces != v.traces || !bits_equal(u.ge_bits, v.ge_bits) ||
+            !bits_equal(u.mean_rank, v.mean_rank) ||
+            u.recovered_bytes != v.recovered_bytes) {
           return false;
         }
       }
@@ -304,6 +391,29 @@ int cmd_datasets(const Args& args) {
   return 0;
 }
 
+int cmd_scenarios(const Args& args) {
+  bus::BusClient client(require_socket(args));
+  const auto scenarios = client.list_scenarios();
+  std::cout << scenarios.size() << " scenario(s)\n";
+  for (const auto& entry : scenarios) {
+    std::cout << entry.name << ": " << entry.description << "\n"
+              << "  victim:   " << entry.victim << "\n"
+              << "  channel:  " << entry.channel << "\n"
+              << "  analysis: " << (entry.cpa ? "TVLA + CPA/GE" : "TVLA")
+              << ", " << entry.default_traces_per_set
+              << " traces per set, channels";
+    for (const util::FourCc& channel : entry.channels) {
+      std::cout << " " << channel.str();
+    }
+    std::cout << "\n";
+    for (const auto& param : entry.params) {
+      std::cout << "  --param " << param.name << "=" << param.default_value
+                << "  " << param.description << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_submit(const Args& args) {
   if (args.positional.size() != 2) {
     return usage();
@@ -315,6 +425,7 @@ int cmd_submit(const Args& args) {
   std::uint64_t id = 0;
   bus::CpaJobSpec cpa;
   bus::TvlaJobSpec tvla;
+  bus::ScenarioJobSpec scenario;
   if (kind == "cpa") {
     const auto channel = args.flag("channel");
     const auto key = args.flag("key");
@@ -354,6 +465,26 @@ int cmd_submit(const Args& args) {
       tvla.shards = static_cast<std::uint32_t>(parse_u64(*shards));
     }
     id = client.submit_tvla(dataset, tvla);
+  } else if (kind == "scenario") {
+    scenario.scenario = dataset;  // second positional is the scenario name
+    for (const std::string& spec : args.flag_all("param")) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "--param wants key=value, got: " << spec << "\n";
+        return 2;
+      }
+      scenario.params.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    }
+    if (const auto per_set = args.flag("per-set")) {
+      scenario.traces_per_set = parse_u64(*per_set);
+    }
+    if (const auto seed = args.flag("seed")) {
+      scenario.seed = parse_u64(*seed);
+    }
+    if (const auto shards = args.flag("shards")) {
+      scenario.shards = static_cast<std::uint32_t>(parse_u64(*shards));
+    }
+    id = client.submit_scenario(scenario);
   } else {
     return usage();
   }
@@ -382,7 +513,7 @@ int cmd_submit(const Args& args) {
                 << "\n";
       return same ? 0 : 1;
     }
-  } else {
+  } else if (kind == "tvla") {
     const bus::TvlaJobResult remote = client.tvla_result(id);
     print_tvla_result(id, remote);
     if (args.verify_local) {
@@ -391,6 +522,18 @@ int cmd_submit(const Args& args) {
                                 dataset_path(client, dataset)),
                             tvla);
       const bool same = tvla_equal(remote, local);
+      std::cout << "verify-local: " << (same ? "bit-identical" : "MISMATCH")
+                << "\n";
+      return same ? 0 : 1;
+    }
+  } else {
+    const bus::ScenarioJobResult remote = client.scenario_result(id);
+    print_scenario_result(id, remote);
+    if (args.verify_local) {
+      // Scenario results are worker-invariant, so a single-worker rerun
+      // of the same spec must match the daemon's parallel run exactly.
+      const bus::ScenarioJobResult local = bus::run_scenario_job(scenario);
+      const bool same = scenario_equal(remote, local);
       std::cout << "verify-local: " << (same ? "bit-identical" : "MISMATCH")
                 << "\n";
       return same ? 0 : 1;
@@ -425,6 +568,8 @@ int cmd_result(const Args& args) {
     print_cpa_result(id, client.cpa_result(id));
   } else if (kind == "tvla") {
     print_tvla_result(id, client.tvla_result(id));
+  } else if (kind == "scenario") {
+    print_scenario_result(id, client.scenario_result(id));
   } else {
     return usage();
   }
@@ -453,6 +598,9 @@ int main(int argc, char** argv) {
     }
     if (verb == "datasets") {
       return cmd_datasets(args);
+    }
+    if (verb == "scenarios") {
+      return cmd_scenarios(args);
     }
     if (verb == "open") {
       if (args.positional.size() != 2) {

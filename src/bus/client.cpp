@@ -70,6 +70,20 @@ std::uint64_t BusClient::submit_tvla(const std::string& dataset,
   return JobIdMsg::decode(r).id;
 }
 
+std::vector<ScenarioListMsg::Entry> BusClient::list_scenarios() {
+  request(MsgType::list_scenarios, PayloadWriter{}, MsgType::scenario_list);
+  PayloadReader r(payload_);
+  return ScenarioListMsg::decode(r).scenarios;
+}
+
+std::uint64_t BusClient::submit_scenario(const ScenarioJobSpec& spec) {
+  PayloadWriter w;
+  SubmitScenarioMsg{spec}.encode(w);
+  request(MsgType::submit_scenario, w, MsgType::job_accepted);
+  PayloadReader r(payload_);
+  return JobIdMsg::decode(r).id;
+}
+
 JobStatusMsg BusClient::status(std::uint64_t id) {
   PayloadWriter w;
   JobIdMsg{id}.encode(w);
@@ -128,6 +142,14 @@ TvlaJobResult BusClient::tvla_result(std::uint64_t id) {
   request(MsgType::fetch_result, w, MsgType::tvla_result);
   PayloadReader r(payload_);
   return TvlaResultMsg::decode(r).result;
+}
+
+ScenarioJobResult BusClient::scenario_result(std::uint64_t id) {
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  request(MsgType::fetch_result, w, MsgType::scenario_result);
+  PayloadReader r(payload_);
+  return ScenarioResultMsg::decode(r).result;
 }
 
 void BusClient::shutdown_server() {

@@ -44,6 +44,9 @@ class BusClient {
 
   std::vector<DatasetListMsg::Entry> list_datasets();
 
+  // The daemon's scenario registry (LIST_SCENARIOS -> SCENARIO_LIST).
+  std::vector<ScenarioListMsg::Entry> list_scenarios();
+
   // Asks the daemon to register `path` under `name`.
   void open_dataset(const std::string& name, const std::string& path);
 
@@ -51,6 +54,10 @@ class BusClient {
   std::uint64_t submit_cpa(const std::string& dataset, const CpaJobSpec& spec);
   std::uint64_t submit_tvla(const std::string& dataset,
                             const TvlaJobSpec& spec);
+  // Submit a live-acquisition campaign by scenario name; an unknown name
+  // surfaces as BusRemoteError(unknown_scenario), malformed params as
+  // BusRemoteError(bad_request) — the connection stays usable either way.
+  std::uint64_t submit_scenario(const ScenarioJobSpec& spec);
 
   JobStatusMsg status(std::uint64_t id);
 
@@ -67,6 +74,7 @@ class BusClient {
   // failure message of a failed job.
   CpaJobResult cpa_result(std::uint64_t id);
   TvlaJobResult tvla_result(std::uint64_t id);
+  ScenarioJobResult scenario_result(std::uint64_t id);
 
   // Asks the daemon to stop gracefully (drain, then exit). Returns once
   // the daemon acknowledged; the drain itself may outlive this client.

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <unistd.h>
 
+#include "bus/scenario_jobs.h"
 #include "core/parallel.h"
+#include "scenario/registry.h"
 #include "store/chunk_cache.h"
 
 namespace psc::bus {
@@ -321,6 +323,28 @@ bool BusDaemon::dispatch(Socket& socket, std::uint64_t session, MsgType type,
                  CpaJobSpec{}, msg.spec);
       return true;
     }
+    case MsgType::list_scenarios: {
+      PayloadReader r(payload);
+      r.expect_end();
+      ScenarioListMsg msg;
+      for (const scenario::ScenarioInfo& info :
+           scenario::ScenarioRegistry::built_in().describe_all()) {
+        msg.scenarios.push_back({info.name, info.description, info.victim,
+                                 info.channel, info.params, info.channels,
+                                 info.analysis.cpa,
+                                 info.analysis.default_traces_per_set});
+      }
+      PayloadWriter w;
+      msg.encode(w);
+      send_frame(socket, MsgType::scenario_list, w);
+      return true;
+    }
+    case MsgType::submit_scenario: {
+      PayloadReader r(payload);
+      SubmitScenarioMsg msg = SubmitScenarioMsg::decode(r);
+      submit_scenario_job(socket, session, std::move(msg.spec));
+      return true;
+    }
     case MsgType::job_status: {
       PayloadReader r(payload);
       const JobIdMsg msg = JobIdMsg::decode(r);
@@ -465,6 +489,75 @@ void BusDaemon::submit_job(Socket& socket, std::uint64_t session, JobKind kind,
   }
 }
 
+void BusDaemon::submit_scenario_job(Socket& socket, std::uint64_t session,
+                                    ScenarioJobSpec spec) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    send_error(socket, ErrorCode::shutting_down, "daemon is draining");
+    return;
+  }
+  // Validate everything a typed error can catch before the job exists:
+  // an unknown name or malformed params costs one ERROR frame, never the
+  // connection (and never the daemon).
+  const std::shared_ptr<const scenario::Scenario> sc =
+      scenario::ScenarioRegistry::built_in().find(spec.scenario);
+  if (sc == nullptr) {
+    send_error(socket, ErrorCode::unknown_scenario,
+               "no such scenario: " + spec.scenario);
+    return;
+  }
+  try {
+    const scenario::ParamSet params = sc->parse_params(spec.params);
+    (void)sc->channels(params);  // surfaces out-of-range values
+  } catch (const std::exception& e) {
+    send_error(socket, ErrorCode::bad_request, e.what());
+    return;
+  }
+  const std::uint64_t id = jobs_->submit(session, JobKind::scenario,
+                                         /*dataset=*/"", CpaJobSpec{},
+                                         TvlaJobSpec{}, spec);
+  if (id == 0) {
+    send_error(socket, ErrorCode::quota_exceeded,
+               "session quota of " + std::to_string(config_.per_session_quota) +
+                   " in-flight jobs reached");
+    return;
+  }
+  PayloadWriter w;
+  JobIdMsg{id}.encode(w);
+  send_frame(socket, MsgType::job_accepted, w);
+
+  // Same driver-thread pattern as the dataset jobs; the scenario runner
+  // fans shards out through the core worker pool itself, so the driver
+  // only needs a worker count. The resolved shard count — and with it
+  // the result — is a pure function of the spec (see scenario_jobs.h),
+  // so the pool size here can never make a served job differ from a
+  // client's local verification run.
+  std::shared_ptr<JobTable> table = jobs_;
+  const std::uint32_t workers = shard_parallelism();
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  auto driver = [table, spec = std::move(spec), workers, done, id] {
+    table->mark_running(id);
+    try {
+      const JobProgressFn progress = [&](std::uint64_t consumed,
+                                         std::uint64_t total) {
+        table->update_progress(id, consumed, total);
+      };
+      auto result = std::make_unique<ScenarioJobResult>(
+          run_scenario_job(spec, progress, workers));
+      table->mark_done(id, nullptr, nullptr, std::move(result));
+    } catch (const std::exception& e) {
+      table->mark_failed(id, e.what());
+    } catch (...) {
+      table->mark_failed(id, "unknown job failure");
+    }
+    done->store(true, std::memory_order_release);
+  };
+  {
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    reap_drivers_locked();
+    drivers_.push_back({std::thread(std::move(driver)), std::move(done)});
+  }
+}
+
 std::uint32_t BusDaemon::shard_parallelism() const noexcept {
   const std::size_t p = config_.shard_parallelism == 0
                             ? config_.pool_reserve
@@ -535,10 +628,14 @@ void BusDaemon::send_result(Socket& socket, std::uint64_t id) {
     PayloadWriter w;
     CpaResultMsg{id, *job->cpa_result}.encode(w);
     send_frame(socket, MsgType::cpa_result, w);
-  } else {
+  } else if (job->kind == JobKind::tvla) {
     PayloadWriter w;
     TvlaResultMsg{id, *job->tvla_result}.encode(w);
     send_frame(socket, MsgType::tvla_result, w);
+  } else {
+    PayloadWriter w;
+    ScenarioResultMsg{id, *job->scenario_result}.encode(w);
+    send_frame(socket, MsgType::scenario_result, w);
   }
 }
 

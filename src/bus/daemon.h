@@ -116,6 +116,12 @@ class BusDaemon {
   void submit_job(Socket& socket, std::uint64_t session, JobKind kind,
                   std::string dataset, const CpaJobSpec& cpa,
                   const TvlaJobSpec& tvla);
+  // SUBMIT_SCENARIO: validates the name against the built-in registry
+  // (unknown_scenario) and the params against its specs (bad_request)
+  // before accepting — either failure is a typed ERROR frame on a
+  // connection that stays open.
+  void submit_scenario_job(Socket& socket, std::uint64_t session,
+                           ScenarioJobSpec spec);
   void stream_watch(Socket& socket, std::uint64_t id);
   void send_result(Socket& socket, std::uint64_t id);
   void request_stop();  // async: nudges the stopper thread

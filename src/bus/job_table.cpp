@@ -26,7 +26,8 @@ bool terminal(JobState state) {
 
 std::uint64_t JobTable::submit(std::uint64_t session, JobKind kind,
                                std::string dataset, const CpaJobSpec& cpa,
-                               const TvlaJobSpec& tvla) {
+                               const TvlaJobSpec& tvla,
+                               const ScenarioJobSpec& scenario) {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t& in_flight = in_flight_[session];
   if (in_flight >= quota_) {
@@ -42,6 +43,7 @@ std::uint64_t JobTable::submit(std::uint64_t session, JobKind kind,
   job->dataset = std::move(dataset);
   job->cpa_spec = cpa;
   job->tvla_spec = tvla;
+  job->scenario_spec = scenario;
   jobs_.emplace(job->id, job);
   change_cv_.notify_all();
   return job->id;
@@ -129,7 +131,8 @@ void JobTable::fill_stats(StatsMsg& msg) const {
 }
 
 void JobTable::mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
-                         std::unique_ptr<TvlaJobResult> tvla) {
+                         std::unique_ptr<TvlaJobResult> tvla,
+                         std::unique_ptr<ScenarioJobResult> scenario) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end() || terminal(it->second->state)) {
@@ -139,6 +142,7 @@ void JobTable::mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
   job.state = JobState::done;
   job.cpa_result = std::move(cpa);
   job.tvla_result = std::move(tvla);
+  job.scenario_result = std::move(scenario);
   job.consumed = job.total;
   job.running_shards = 0;
   --active_;

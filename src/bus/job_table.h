@@ -29,7 +29,7 @@
 
 namespace psc::bus {
 
-enum class JobKind : std::uint8_t { cpa, tvla };
+enum class JobKind : std::uint8_t { cpa, tvla, scenario };
 
 // One submitted campaign. Immutable identity fields are set at submit;
 // everything mutable is written under JobTable::mu_.
@@ -37,9 +37,10 @@ struct Job {
   std::uint64_t id = 0;
   std::uint64_t session = 0;
   JobKind kind = JobKind::cpa;
-  std::string dataset;
+  std::string dataset;  // empty for scenario jobs (live acquisition)
   CpaJobSpec cpa_spec;
   TvlaJobSpec tvla_spec;
+  ScenarioJobSpec scenario_spec;
 
   JobState state = JobState::queued;
   std::uint64_t consumed = 0;
@@ -55,6 +56,7 @@ struct Job {
   // Set on done, by kind.
   std::unique_ptr<CpaJobResult> cpa_result;
   std::unique_ptr<TvlaJobResult> tvla_result;
+  std::unique_ptr<ScenarioJobResult> scenario_result;
 };
 
 class JobTable {
@@ -64,9 +66,12 @@ class JobTable {
 
   // Registers a job for `session`, charging its quota. Returns the job
   // id, or 0 when the session already has `quota` jobs in flight.
+  // Scenario jobs carry no dataset; the other kinds leave `scenario`
+  // defaulted.
   std::uint64_t submit(std::uint64_t session, JobKind kind,
                        std::string dataset, const CpaJobSpec& cpa,
-                       const TvlaJobSpec& tvla);
+                       const TvlaJobSpec& tvla,
+                       const ScenarioJobSpec& scenario = {});
 
   // Point-in-time status copy; nullptr when the id is unknown.
   std::unique_ptr<JobStatusMsg> status(std::uint64_t id) const;
@@ -102,7 +107,8 @@ class JobTable {
   // order.
   void fill_stats(StatsMsg& msg) const;
   void mark_done(std::uint64_t id, std::unique_ptr<CpaJobResult> cpa,
-                 std::unique_ptr<TvlaJobResult> tvla);
+                 std::unique_ptr<TvlaJobResult> tvla,
+                 std::unique_ptr<ScenarioJobResult> scenario = nullptr);
   void mark_failed(std::uint64_t id, const std::string& error);
 
   // Blocks until the job's (state, consumed) differs from the caller's

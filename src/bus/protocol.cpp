@@ -69,6 +69,69 @@ core::ModelResult decode_model_result(PayloadReader& r) {
   return m;
 }
 
+void encode_ge_curve(PayloadWriter& w,
+                     const std::vector<core::GeCurvePoint>& curve) {
+  w.u32(static_cast<std::uint32_t>(curve.size()));
+  for (const core::GeCurvePoint& point : curve) {
+    w.u64(point.traces);
+    w.f64(point.ge_bits);
+    w.f64(point.mean_rank);
+    w.u32(static_cast<std::uint32_t>(point.recovered_bytes));
+  }
+}
+
+std::vector<core::GeCurvePoint> decode_ge_curve(PayloadReader& r) {
+  std::vector<core::GeCurvePoint> curve;
+  const std::uint32_t points = r.u32();
+  for (std::uint32_t p = 0; p < points; ++p) {
+    core::GeCurvePoint point;
+    point.traces = static_cast<std::size_t>(r.u64());
+    point.ge_bits = r.f64();
+    point.mean_rank = r.f64();
+    point.recovered_bytes = static_cast<int>(r.u32());
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+void encode_tvla_channel(PayloadWriter& w,
+                         const core::TvlaChannelResult& channel) {
+  w.str(channel.channel);
+  for (const auto& row : channel.matrix.t) {
+    for (const double t : row) {
+      w.f64(t);
+    }
+  }
+}
+
+core::TvlaChannelResult decode_tvla_channel(PayloadReader& r) {
+  core::TvlaChannelResult channel;
+  channel.channel = r.str();
+  for (auto& row : channel.matrix.t) {
+    for (double& t : row) {
+      t = r.f64();
+    }
+  }
+  return channel;
+}
+
+void encode_fourcc_list(PayloadWriter& w,
+                        const std::vector<util::FourCc>& keys) {
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const util::FourCc key : keys) {
+    w.u32(key.code());
+  }
+}
+
+std::vector<util::FourCc> decode_fourcc_list(PayloadReader& r) {
+  std::vector<util::FourCc> keys;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    keys.push_back(util::FourCc(r.u32()));
+  }
+  return keys;
+}
+
 void encode_summary(PayloadWriter& w, const store::DatasetSummary& s) {
   w.str(s.path);
   w.u16(s.format_version);
@@ -140,6 +203,8 @@ const char* error_code_name(ErrorCode code) noexcept {
       return "shutting_down";
     case ErrorCode::internal:
       return "internal";
+    case ErrorCode::unknown_scenario:
+      return "unknown_scenario";
   }
   return "unknown";
 }
@@ -345,6 +410,83 @@ SubmitTvlaMsg SubmitTvlaMsg::decode(PayloadReader& r) {
   return m;
 }
 
+void SubmitScenarioMsg::encode(PayloadWriter& w) const {
+  w.str(spec.scenario);
+  w.u32(static_cast<std::uint32_t>(spec.params.size()));
+  for (const auto& [key, value] : spec.params) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u64(spec.traces_per_set);
+  w.u64(spec.seed);
+  w.u32(spec.shards);
+}
+
+SubmitScenarioMsg SubmitScenarioMsg::decode(PayloadReader& r) {
+  SubmitScenarioMsg m;
+  m.spec.scenario = r.str();
+  const std::uint32_t params = r.u32();
+  for (std::uint32_t i = 0; i < params; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    m.spec.params.emplace_back(std::move(key), std::move(value));
+  }
+  m.spec.traces_per_set = r.u64();
+  m.spec.seed = r.u64();
+  m.spec.shards = r.u32();
+  r.expect_end();
+  return m;
+}
+
+void ScenarioListMsg::encode(PayloadWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(scenarios.size()));
+  for (const Entry& entry : scenarios) {
+    w.str(entry.name);
+    w.str(entry.description);
+    w.str(entry.victim);
+    w.str(entry.channel);
+    w.u32(static_cast<std::uint32_t>(entry.params.size()));
+    for (const scenario::ParamSpec& param : entry.params) {
+      w.str(param.name);
+      w.str(param.default_value);
+      w.str(param.description);
+    }
+    encode_fourcc_list(w, entry.channels);
+    w.u8(entry.cpa ? 1 : 0);
+    w.u64(entry.default_traces_per_set);
+  }
+}
+
+ScenarioListMsg ScenarioListMsg::decode(PayloadReader& r) {
+  ScenarioListMsg m;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    entry.name = r.str();
+    entry.description = r.str();
+    entry.victim = r.str();
+    entry.channel = r.str();
+    const std::uint32_t params = r.u32();
+    for (std::uint32_t p = 0; p < params; ++p) {
+      scenario::ParamSpec param;
+      param.name = r.str();
+      param.default_value = r.str();
+      param.description = r.str();
+      entry.params.push_back(std::move(param));
+    }
+    entry.channels = decode_fourcc_list(r);
+    const std::uint8_t cpa = r.u8();
+    if (cpa > 1) {
+      malformed("bad cpa flag");
+    }
+    entry.cpa = cpa != 0;
+    entry.default_traces_per_set = r.u64();
+    m.scenarios.push_back(std::move(entry));
+  }
+  r.expect_end();
+  return m;
+}
+
 void JobIdMsg::encode(PayloadWriter& w) const { w.u64(id); }
 
 JobIdMsg JobIdMsg::decode(PayloadReader& r) {
@@ -500,6 +642,69 @@ TvlaResultMsg TvlaResultMsg::decode(PayloadReader& r) {
       }
     }
     m.result.channels.push_back(std::move(channel));
+  }
+  r.expect_end();
+  return m;
+}
+
+void ScenarioResultMsg::encode(PayloadWriter& w) const {
+  w.u64(id);
+  w.str(result.scenario);
+  w.block(result.secret.data(), result.secret.size());
+  w.u64(result.traces_per_set);
+  w.u64(result.cpa_trace_count);
+  encode_fourcc_list(w, result.channels);
+  encode_fourcc_list(w, result.leakage_channels);
+  w.u32(static_cast<std::uint32_t>(result.tvla.size()));
+  for (const core::TvlaChannelResult& channel : result.tvla) {
+    encode_tvla_channel(w, channel);
+  }
+  w.u32(static_cast<std::uint32_t>(result.cpa.size()));
+  for (const core::CpaKeyResult& key : result.cpa) {
+    w.u32(key.key.code());
+    w.u32(static_cast<std::uint32_t>(key.final_results.size()));
+    for (const core::ModelResult& model : key.final_results) {
+      encode_model_result(w, model);
+    }
+    w.u32(static_cast<std::uint32_t>(key.curves.size()));
+    for (const std::vector<core::GeCurvePoint>& curve : key.curves) {
+      encode_ge_curve(w, curve);
+    }
+  }
+}
+
+ScenarioResultMsg ScenarioResultMsg::decode(PayloadReader& r) {
+  ScenarioResultMsg m;
+  m.id = r.u64();
+  m.result.scenario = r.str();
+  m.result.secret = decode_key_block(r);
+  m.result.traces_per_set = static_cast<std::size_t>(r.u64());
+  m.result.cpa_trace_count = static_cast<std::size_t>(r.u64());
+  m.result.channels = decode_fourcc_list(r);
+  m.result.leakage_channels = decode_fourcc_list(r);
+  const std::uint32_t tvla = r.u32();
+  for (std::uint32_t c = 0; c < tvla; ++c) {
+    m.result.tvla.push_back(decode_tvla_channel(r));
+  }
+  const std::uint32_t cpa = r.u32();
+  for (std::uint32_t k = 0; k < cpa; ++k) {
+    core::CpaKeyResult key;
+    key.key = util::FourCc(r.u32());
+    const std::uint32_t models = r.u32();
+    if (models > power::all_power_models.size()) {
+      malformed("bad model count");
+    }
+    for (std::uint32_t i = 0; i < models; ++i) {
+      key.final_results.push_back(decode_model_result(r));
+    }
+    const std::uint32_t curves = r.u32();
+    if (curves > power::all_power_models.size()) {
+      malformed("bad curve count");
+    }
+    for (std::uint32_t i = 0; i < curves; ++i) {
+      key.curves.push_back(decode_ge_curve(r));
+    }
+    m.result.cpa.push_back(std::move(key));
   }
   r.expect_end();
   return m;

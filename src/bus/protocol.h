@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "PSCB"
-//   4       2     protocol version (= 2)
+//   4       2     protocol version (= 3)
 //   6       2     message type (MsgType)
 //   8       4     payload length in bytes (<= max_payload_bytes)
 //   12      4     CRC32 of the payload bytes (util/crc32)
@@ -32,16 +32,21 @@
 #include <vector>
 
 #include "bus/jobs.h"
+#include "bus/scenario_jobs.h"
 #include "store/dataset_summary.h"
 
 namespace psc::bus {
 
 inline constexpr char frame_magic[4] = {'P', 'S', 'C', 'B'};
 // v2: GET_STATS/STATS frames; running_shards added to JobStatusMsg and
-// ProgressMsg. Both sides of the protocol live in this repo and are
-// versioned together, so there is no cross-version compatibility path —
-// a version mismatch is rejected at the frame layer.
-inline constexpr std::uint16_t protocol_version = 2;
+// ProgressMsg.
+// v3: scenario-registry service — LIST_SCENARIOS/SCENARIO_LIST,
+// SUBMIT_SCENARIO (a live-acquisition campaign addressed by registry
+// name), the SCENARIO_RESULT frame and ErrorCode::unknown_scenario.
+// Both sides of the protocol live in this repo and are versioned
+// together, so there is no cross-version compatibility path — a version
+// mismatch is rejected at the frame layer.
+inline constexpr std::uint16_t protocol_version = 3;
 inline constexpr std::size_t frame_header_bytes = 16;
 // Largest payload either side accepts; a declared length beyond this is
 // rejected before any allocation (oversize-length robustness).
@@ -73,6 +78,8 @@ enum class MsgType : std::uint16_t {
   shutdown = 8,
   ping = 9,
   get_stats = 10,
+  list_scenarios = 11,
+  submit_scenario = 12,
   // Responses (daemon -> client).
   ok = 64,
   error = 65,
@@ -84,6 +91,8 @@ enum class MsgType : std::uint16_t {
   cpa_result = 71,
   tvla_result = 72,
   stats = 73,
+  scenario_list = 74,
+  scenario_result = 75,
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -93,6 +102,7 @@ enum class ErrorCode : std::uint16_t {
   quota_exceeded = 4,  // per-session in-flight job quota hit
   shutting_down = 5,   // daemon draining; no new jobs
   internal = 6,        // job failed server-side (message carries why)
+  unknown_scenario = 7,  // SUBMIT_SCENARIO named nothing in the registry
 };
 
 const char* error_code_name(ErrorCode code) noexcept;
@@ -261,6 +271,37 @@ struct StatsMsg {
   static StatsMsg decode(PayloadReader& r);
 };
 
+// SUBMIT_SCENARIO: a live-acquisition campaign addressed by registry
+// name. Params travel as the key=value strings the registry validates,
+// so one frame shape serves every scenario, present and future.
+struct SubmitScenarioMsg {
+  ScenarioJobSpec spec;
+
+  void encode(PayloadWriter& w) const;
+  static SubmitScenarioMsg decode(PayloadReader& r);
+};
+
+// LIST_SCENARIOS -> SCENARIO_LIST: the registry's describe_all(), flat
+// enough for a CLI table — name, one-line victim/channel summaries,
+// parameter specs with defaults, channel columns and the default
+// analysis binding.
+struct ScenarioListMsg {
+  struct Entry {
+    std::string name;
+    std::string description;
+    std::string victim;
+    std::string channel;
+    std::vector<scenario::ParamSpec> params;
+    std::vector<util::FourCc> channels;  // with default params
+    bool cpa = false;                    // CPA/GE sinks attach by default
+    std::uint64_t default_traces_per_set = 0;
+  };
+  std::vector<Entry> scenarios;
+
+  void encode(PayloadWriter& w) const;
+  static ScenarioListMsg decode(PayloadReader& r);
+};
+
 struct CpaResultMsg {
   std::uint64_t id = 0;
   CpaJobResult result;
@@ -275,6 +316,18 @@ struct TvlaResultMsg {
 
   void encode(PayloadWriter& w) const;
   static TvlaResultMsg decode(PayloadReader& r);
+};
+
+// The complete scenario runner result: secret, TVLA matrix per channel,
+// and — when the scenario binds CPA — the full rankings and GE curves.
+// Everything a local rerun produces crosses the wire bit-exactly, which
+// is what `submit scenario --verify-local` compares.
+struct ScenarioResultMsg {
+  std::uint64_t id = 0;
+  ScenarioJobResult result;
+
+  void encode(PayloadWriter& w) const;
+  static ScenarioResultMsg decode(PayloadReader& r);
 };
 
 }  // namespace psc::bus

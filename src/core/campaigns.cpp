@@ -135,72 +135,31 @@ const TvlaChannelResult* TvlaCampaignResult::find(
 }
 
 TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& config) {
-  util::Xoshiro256 rng(config.seed);
-  aes::Block victim_key;
-  rng.fill_bytes(victim_key);
-
   const LiveSourceConfig source_config{
       .profile = config.profile,
       .victim = config.victim,
       .mitigation = config.mitigation,
       .include_pcpu = config.include_pcpu,
   };
-  const std::vector<util::FourCc> channels =
-      LiveTraceSource::channel_names(source_config);
 
-  // Auto shard sizing (shards == 0) counts the whole six-set budget, so
-  // small assessments run on fewer shards than workers rather than paying
-  // per-shard overhead for trivial jobs.
-  ShardPlan plan{.workers = config.workers, .shards = config.shards};
-  plan.shards = plan.resolved_shards_for(6 * config.traces_per_set);
-  ParallelRunner runner(plan);
-  const std::size_t shards = runner.shards();
-  TraceBatchPool pool(channels.size(), acquisition_batch);
-  ProgressMeter meter(config.progress, 6 * config.traces_per_set);
+  SinkCampaignConfig generic;
+  generic.channels = LiveTraceSource::channel_names(source_config);
+  generic.make_source = [&source_config](const aes::Block& secret,
+                                         std::uint64_t seed) {
+    return std::make_unique<LiveTraceSource>(source_config, secret, seed);
+  };
+  generic.traces_per_set = config.traces_per_set;
+  generic.seed = config.seed;
+  generic.workers = config.workers;
+  generic.shards = config.shards;
+  generic.progress = config.progress;
 
-  const auto partials = runner.map([&](std::size_t s) {
-    // A single-shard run continues the campaign stream so the sharded
-    // pipeline reproduces the sequential implementation bit-for-bit;
-    // multi-shard runs give each shard its own split stream.
-    util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
-    LiveTraceSource source(source_config, victim_key, shard_rng());
-    const std::size_t per_set = shard_size(config.traces_per_set, shards, s);
-
-    TvlaSink sink(channels.size());
-    auto batch = pool.acquire();
-    for (const bool primed : {false, true}) {
-      for (const PlaintextClass cls : all_plaintext_classes) {
-        std::size_t produced = 0;
-        while (produced < per_set) {
-          const std::size_t chunk =
-              std::min(acquisition_batch, per_set - produced);
-          batch->clear();
-          batch->resize(chunk);
-          for (auto& pt : batch->plaintexts()) {
-            pt = class_plaintext(cls, shard_rng);
-          }
-          source.collect_batch(*batch);
-          sink.consume(*batch, BatchLabel::tvla(cls, primed));
-          meter.add(chunk);
-          produced += chunk;
-        }
-      }
-    }
-    return sink;
-  });
-
-  TvlaSink merged(channels.size());
-  for (const auto& partial : partials) {
-    merged.merge(partial);
-  }
+  SinkCampaignResult sink_result = run_sink_campaign(generic);
 
   TvlaCampaignResult result;
-  result.victim_key = victim_key;
+  result.victim_key = sink_result.secret;
   result.traces_per_set = config.traces_per_set;
-  for (std::size_t c = 0; c < channels.size(); ++c) {
-    result.channels.push_back(
-        {channels[c].str(), merged.accumulator(c).matrix()});
-  }
+  result.channels = std::move(sink_result.tvla);
   return result;
 }
 
@@ -314,10 +273,6 @@ const CpaKeyResult* CombinedCampaignResult::find_cpa(
 
 CombinedCampaignResult run_combined_campaign(
     const CombinedCampaignConfig& config) {
-  util::Xoshiro256 rng(config.seed);
-  aes::Block victim_key;
-  rng.fill_bytes(victim_key);
-
   const LiveSourceConfig source_config{
       .profile = config.profile,
       .victim = config.victim,
@@ -329,22 +284,80 @@ CombinedCampaignResult run_combined_campaign(
 
   const std::vector<smc::FourCc> attack_keys =
       resolve_attack_keys(channels, config.keys, "run_combined_campaign");
-  const std::vector<std::size_t> key_columns =
-      key_column_indices(channels, attack_keys);
+
+  SinkCampaignConfig generic;
+  generic.channels = channels;
+  generic.make_source = [&source_config](const aes::Block& secret,
+                                         std::uint64_t seed) {
+    return std::make_unique<LiveTraceSource>(source_config, secret, seed);
+  };
+  generic.traces_per_set = config.traces_per_set;
+  generic.cpa_columns = key_column_indices(channels, attack_keys);
+  generic.models = config.models;
+  generic.checkpoints = config.checkpoints;
+  generic.seed = config.seed;
+  generic.workers = config.workers;
+  generic.shards = config.shards;
+  generic.progress = config.progress;
+
+  SinkCampaignResult sink_result = run_sink_campaign(generic);
 
   CombinedCampaignResult result;
-  result.victim_key = victim_key;
-  result.round_keys = aes::Aes128::expand_key(victim_key);
+  result.victim_key = sink_result.secret;
+  result.round_keys = sink_result.round_keys;
+  result.traces_per_set = sink_result.traces_per_set;
+  result.cpa_trace_count = sink_result.cpa_trace_count;
+  result.tvla = std::move(sink_result.tvla);
+  result.cpa = std::move(sink_result.cpa);
+  return result;
+}
+
+const TvlaChannelResult* SinkCampaignResult::find_tvla(
+    const std::string& channel) const noexcept {
+  for (const auto& c : tvla) {
+    if (c.channel == channel) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+SinkCampaignResult run_sink_campaign(const SinkCampaignConfig& config) {
+  if (config.channels.empty()) {
+    throw std::invalid_argument("run_sink_campaign: no channels");
+  }
+  if (!config.make_source) {
+    throw std::invalid_argument("run_sink_campaign: no source factory");
+  }
+  for (const std::size_t column : config.cpa_columns) {
+    if (column >= config.channels.size()) {
+      throw std::invalid_argument(
+          "run_sink_campaign: cpa column out of range");
+    }
+  }
+
+  util::Xoshiro256 rng(config.seed);
+  aes::Block secret;
+  rng.fill_bytes(secret);
+
+  const std::vector<util::FourCc>& channels = config.channels;
+
+  SinkCampaignResult result;
+  result.secret = secret;
+  result.round_keys = aes::Aes128::expand_key(secret);
   result.traces_per_set = config.traces_per_set;
   result.cpa_trace_count = 2 * config.traces_per_set;
-  result.cpa.resize(attack_keys.size());
-  for (std::size_t k = 0; k < attack_keys.size(); ++k) {
-    result.cpa[k].key = attack_keys[k];
+  result.cpa.resize(config.cpa_columns.size());
+  for (std::size_t k = 0; k < config.cpa_columns.size(); ++k) {
+    result.cpa[k].key = channels[config.cpa_columns[k]];
   }
 
   const std::vector<std::size_t> checkpoints =
       normalize_checkpoints(config.checkpoints, result.cpa_trace_count);
 
+  // Auto shard sizing (shards == 0) counts the whole six-set budget, so
+  // small assessments run on fewer shards than workers rather than paying
+  // per-shard overhead for trivial jobs.
   ShardPlan plan{.workers = config.workers, .shards = config.shards};
   plan.shards = plan.resolved_shards_for(6 * config.traces_per_set);
   ParallelRunner runner(plan);
@@ -358,8 +371,16 @@ CombinedCampaignResult run_combined_campaign(
   };
 
   auto shard_results = runner.map([&](std::size_t s) {
+    // A single-shard run continues the campaign stream so the sharded
+    // pipeline reproduces the sequential implementation bit-for-bit;
+    // multi-shard runs give each shard its own split stream.
     util::Xoshiro256 shard_rng = shards == 1 ? rng : rng.split(s);
-    LiveTraceSource source(source_config, victim_key, shard_rng());
+    const std::unique_ptr<TraceSource> source =
+        config.make_source(secret, shard_rng());
+    if (!source || source->keys() != channels) {
+      throw std::invalid_argument(
+          "run_sink_campaign: source channels disagree with config");
+    }
     const std::size_t per_set = shard_size(config.traces_per_set, shards, s);
 
     // The shard's CPA stream is its share of the two random collections,
@@ -375,14 +396,19 @@ CombinedCampaignResult run_combined_campaign(
     }
 
     ShardResult out{.tvla = TvlaSink(channels.size()), .cpa = {}};
-    out.cpa.reserve(attack_keys.size());
+    out.cpa.reserve(config.cpa_columns.size());
     MultiSink multi;
     multi.add(&out.tvla);
-    for (std::size_t k = 0; k < attack_keys.size(); ++k) {
-      out.cpa.emplace_back(config.models, key_columns[k], targets);
+    for (const std::size_t column : config.cpa_columns) {
+      out.cpa.emplace_back(config.models, column, targets);
     }
     for (auto& sink : out.cpa) {
       multi.add(&sink);
+    }
+    if (config.extra_sink) {
+      if (AnalysisSink* extra = config.extra_sink(s)) {
+        multi.add(extra);
+      }
     }
 
     auto batch = pool.acquire();
@@ -397,7 +423,7 @@ CombinedCampaignResult run_combined_campaign(
           for (auto& pt : batch->plaintexts()) {
             pt = class_plaintext(cls, shard_rng);
           }
-          source.collect_batch(*batch);
+          source->collect_batch(*batch);
           multi.consume(*batch, BatchLabel::tvla(cls, primed));
           meter.add(chunk);
           produced += chunk;
@@ -416,13 +442,15 @@ CombinedCampaignResult run_combined_campaign(
         {channels[c].str(), merged_tvla.accumulator(c).matrix()});
   }
 
-  std::vector<std::vector<GeCheckpointSink>> cpa_sinks;
-  cpa_sinks.reserve(shard_results.size());
-  for (auto& shard : shard_results) {
-    cpa_sinks.push_back(std::move(shard.cpa));
+  if (!config.cpa_columns.empty()) {
+    std::vector<std::vector<GeCheckpointSink>> cpa_sinks;
+    cpa_sinks.reserve(shard_results.size());
+    for (auto& shard : shard_results) {
+      cpa_sinks.push_back(std::move(shard.cpa));
+    }
+    reduce_cpa_sinks(cpa_sinks, checkpoints, config.models, result.round_keys,
+                     result.cpa);
   }
-  reduce_cpa_sinks(cpa_sinks, checkpoints, config.models, result.round_keys,
-                   result.cpa);
   return result;
 }
 

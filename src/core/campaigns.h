@@ -170,6 +170,59 @@ struct CombinedCampaignResult {
 CombinedCampaignResult run_combined_campaign(
     const CombinedCampaignConfig& config);
 
+// ---------- source-generic sink campaign ----------
+//
+// The combined campaign's acquisition protocol over an arbitrary trace
+// source: six labeled (class, collection) sets fan out to a TvlaSink on
+// every channel plus optional per-channel CPA/GE sinks. The source is
+// built per shard from `make_source(secret, seed)` — exactly how the AES
+// campaigns construct their LiveTraceSource — so any TraceSource-shaped
+// victim/channel pair (the scenario registry's currency) inherits the
+// sharded pipeline, the sink layer and the purity guarantee: results are
+// a function of (seed, shards) only. run_tvla_campaign and
+// run_combined_campaign are thin wrappers over this runner, which is what
+// makes scenario-registry runs of the AES scenarios bit-identical to the
+// legacy entry points.
+
+using SinkSourceFactory = std::function<std::unique_ptr<TraceSource>(
+    const aes::Block& secret, std::uint64_t seed)>;
+
+struct SinkCampaignConfig {
+  // Channel columns the source reports, in column order.
+  std::vector<util::FourCc> channels;
+  SinkSourceFactory make_source;
+  // Traces per (class, collection); the random stream seen by CPA sinks
+  // is 2x this.
+  std::size_t traces_per_set = 5000;
+  // Channel columns to attack with CPA/GE; empty = TVLA only. The secret
+  // is interpreted as an AES-128 key for ranking (the CpaEngine's model).
+  std::vector<std::size_t> cpa_columns;
+  std::vector<power::PowerModel> models = {power::PowerModel::rd0_hw};
+  // CPA trace counts at which to snapshot GE (over 2 * traces_per_set).
+  std::vector<std::size_t> checkpoints;
+  std::uint64_t seed = 1;
+  std::size_t workers = 1;
+  std::size_t shards = 0;
+  CampaignProgressFn progress{};  // see CampaignProgressFn above
+  // Optional extra per-shard sink (e.g. a store::RecordingSink teeing the
+  // acquisition to disk); non-owning, appended to the shard's MultiSink.
+  // Adding or removing it never changes the campaign's RNG stream.
+  std::function<AnalysisSink*(std::size_t shard)> extra_sink{};
+};
+
+struct SinkCampaignResult {
+  aes::Block secret{};
+  std::array<aes::Block, aes::num_rounds + 1> round_keys{};
+  std::size_t traces_per_set = 0;
+  std::size_t cpa_trace_count = 0;  // 2 * traces_per_set
+  std::vector<TvlaChannelResult> tvla;  // one per channel, column order
+  std::vector<CpaKeyResult> cpa;        // one per cpa_columns entry
+
+  const TvlaChannelResult* find_tvla(const std::string& channel) const noexcept;
+};
+
+SinkCampaignResult run_sink_campaign(const SinkCampaignConfig& config);
+
 // Log-spaced checkpoint schedule from `first` to `last` (inclusive).
 std::vector<std::size_t> log_spaced_checkpoints(std::size_t first,
                                                 std::size_t last,

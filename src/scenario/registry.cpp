@@ -1,0 +1,73 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+namespace psc::scenario {
+
+void ScenarioRegistry::add(std::shared_ptr<const Scenario> scenario) {
+  if (!scenario) {
+    throw std::invalid_argument("ScenarioRegistry: null scenario");
+  }
+  const std::string name = scenario->name();
+  if (name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry: empty scenario name");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : scenarios_) {
+    if (existing->name() == name) {
+      throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                  name + "'");
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+std::shared_ptr<const Scenario> ScenarioRegistry::find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& scenario : scenarios_) {
+    if (scenario->name() == name) {
+      return scenario;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) {
+    names.push_back(scenario->name());
+  }
+  return names;
+}
+
+std::vector<ScenarioInfo> ScenarioRegistry::describe_all() const {
+  std::vector<std::shared_ptr<const Scenario>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot = scenarios_;
+  }
+  std::vector<ScenarioInfo> infos;
+  infos.reserve(snapshot.size());
+  for (const auto& scenario : snapshot) {
+    infos.push_back(describe(*scenario));
+  }
+  return infos;
+}
+
+const ScenarioRegistry& ScenarioRegistry::built_in() {
+  static const ScenarioRegistry* const registry = [] {
+    auto* r = new ScenarioRegistry();
+    r->add(make_aes_power_scenario(/*kernel_module=*/false));
+    r->add(make_aes_power_scenario(/*kernel_module=*/true));
+    r->add(make_cache_timing_scenario());
+    r->add(make_dvfs_frequency_scenario());
+    r->add(make_sqmul_timing_scenario());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace psc::scenario

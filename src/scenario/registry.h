@@ -1,0 +1,53 @@
+// Named scenario registration and lookup.
+//
+// A registry maps stable names to Scenario descriptors. The process-wide
+// built_in() registry carries the five shipped scenarios; tests and
+// embedders can build their own and add to it. Lookup handles are
+// shared_ptr<const Scenario> — descriptors are immutable and stateless,
+// so concurrent list()/find()/describe()/make_source() across threads is
+// safe (the TSan suite exercises exactly that).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace psc::scenario {
+
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+
+  // Registers a scenario under its name(); throws std::invalid_argument
+  // on an empty name or a duplicate registration.
+  void add(std::shared_ptr<const Scenario> scenario);
+
+  // nullptr when unknown.
+  std::shared_ptr<const Scenario> find(const std::string& name) const;
+
+  // Registered names, in registration order.
+  std::vector<std::string> list() const;
+
+  // describe() for every registered scenario, in registration order.
+  std::vector<ScenarioInfo> describe_all() const;
+
+  // The shipped scenarios: aes-power-user, aes-power-kernel,
+  // cache-timing, dvfs-frequency, sqmul-timing.
+  static const ScenarioRegistry& built_in();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const Scenario>> scenarios_;
+};
+
+// Built-in scenario factories (one translation unit each; registered by
+// ScenarioRegistry::built_in, exposed for direct instantiation in tests).
+std::unique_ptr<Scenario> make_aes_power_scenario(bool kernel_module);
+std::unique_ptr<Scenario> make_cache_timing_scenario();
+std::unique_ptr<Scenario> make_dvfs_frequency_scenario();
+std::unique_ptr<Scenario> make_sqmul_timing_scenario();
+
+}  // namespace psc::scenario

@@ -1,0 +1,195 @@
+// Square-and-multiply timing scenario — the registry's extension-point
+// proof: victim, probe and descriptor in one self-contained file.
+//
+// The victim is a textbook left-to-right square-and-multiply modular
+// exponentiation (the classic RSA/DH timing target): the secret block is
+// the 128-bit exponent, the input block folds into the base. Two timing
+// dependences make it leak:
+//
+//   * key-dependent:  a multiply runs only for set exponent bits, so the
+//     total time scales with the exponent's Hamming weight;
+//   * input-dependent: each square/multiply costs extra per set bit in
+//     its operands (a value-dependent multiplier, as in pre-constant-time
+//     bignum code), so fixed-vs-random TVLA input classes separate.
+//
+// The attacker times whole exponentiations through the coarse timer.
+// `leak=0` switches the victim to a constant-time ladder — fixed
+// square+multiply schedule, operand-independent cost — which must erase
+// every cross-class |t| (asserted in tests and the scenario bench).
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/probe.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "util/rng.h"
+
+namespace psc::scenario {
+
+namespace {
+
+// Largest 64-bit prime; the fixed public modulus.
+constexpr std::uint64_t sqmul_modulus = 0xffffffffffffffc5ULL;
+
+std::uint64_t load_le64(const aes::Block& block, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(block[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % sqmul_modulus);
+}
+
+struct SqmulProbeConfig {
+  double sq_ns = 90.0;       // base cost of one square
+  double mul_ns = 110.0;     // base cost of one multiply
+  double bit_ns = 1.8;       // extra cost per set operand bit
+  double noise_ns = 200.0;   // end-to-end timing jitter (sigma)
+  double timer_granularity_ns = 41.67;  // 24 MHz coarse counter tick
+  bool leak = true;          // false = constant-time ladder
+};
+
+class SqmulTimingProbe final : public ChannelProbe {
+ public:
+  SqmulTimingProbe(const SqmulProbeConfig& config, const aes::Block& secret,
+                   std::uint64_t seed)
+      : config_(config),
+        exponent_(secret),
+        rng_(seed),
+        keys_({util::FourCc("TIME")}) {}
+
+  const std::vector<util::FourCc>& keys() const noexcept override {
+    return keys_;
+  }
+
+  void sample(const aes::Block& input, aes::Block& output,
+              std::span<double> values) override {
+    // Fold the input block into the base; the multiplicative mix keeps
+    // the all-ones TVLA class distinct from all-zeros after folding.
+    const std::uint64_t base =
+        load_le64(input, 0) ^
+        (load_le64(input, 8) * 0x9e3779b97f4a7c15ULL);
+
+    double time_ns = 0.0;
+    std::uint64_t x = 1;
+    std::uint64_t dummy = 1;
+    for (std::size_t bit = 0; bit < 128; ++bit) {
+      const std::size_t byte = 15 - bit / 8;  // MSB first
+      const bool set = (exponent_[byte] >> (7 - bit % 8)) & 1;
+
+      time_ns += cost_ns(config_.sq_ns, x, x);
+      x = mulmod(x, x);
+      if (config_.leak) {
+        if (set) {
+          time_ns += cost_ns(config_.mul_ns, x, base % sqmul_modulus);
+          x = mulmod(x, base % sqmul_modulus);
+        }
+      } else {
+        // Constant-time ladder: the multiply always runs, into a dummy
+        // when the bit is clear, at operand-independent cost.
+        time_ns += config_.mul_ns;
+        if (set) {
+          x = mulmod(x, base % sqmul_modulus);
+        } else {
+          dummy = mulmod(dummy, base % sqmul_modulus);
+        }
+      }
+    }
+
+    // Echo the result so the trace carries the victim's output.
+    aes::Block out{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      out[i] = static_cast<std::uint8_t>(x >> (8 * i));
+      out[8 + i] = static_cast<std::uint8_t>(dummy >> (8 * i));
+    }
+    output = out;
+
+    const double raw =
+        std::max(0.0, time_ns + rng_.gaussian(0.0, config_.noise_ns));
+    const double phase = rng_.uniform01() * config_.timer_granularity_ns;
+    values[0] = std::floor((raw + phase) / config_.timer_granularity_ns) *
+                config_.timer_granularity_ns;
+  }
+
+  double window_s() const noexcept override { return 1e-4; }
+
+ private:
+  double cost_ns(double base_ns, std::uint64_t a, std::uint64_t b) const {
+    if (!config_.leak) {
+      return base_ns;
+    }
+    const int bits = std::popcount(a) + std::popcount(b);
+    return base_ns + config_.bit_ns * bits;
+  }
+
+  SqmulProbeConfig config_;
+  aes::Block exponent_;
+  util::Xoshiro256 rng_;
+  std::vector<util::FourCc> keys_;
+};
+
+class SqmulTimingScenario final : public Scenario {
+ public:
+  std::string name() const override { return "sqmul-timing"; }
+  std::string description() const override {
+    return "square-and-multiply bignum exponentiation with key- and "
+           "operand-dependent timing";
+  }
+  std::string victim() const override {
+    return "128-bit square-and-multiply modular exponentiation (secret "
+           "exponent)";
+  }
+  std::string channel() const override {
+    return "whole-exponentiation latency via the coarse (24 MHz) timer";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"noise_ns", "200", "end-to-end timing jitter sigma (ns)"},
+        {"bit_ns", "1.8", "extra cost per set operand bit (ns)"},
+        {"leak", "1", "0 = constant-time ladder (channel disabled)"},
+    };
+  }
+
+  std::vector<util::FourCc> channels(const ParamSet& params) const override {
+    (void)params;
+    return {util::FourCc("TIME")};
+  }
+
+  AnalysisSpec analysis(const ParamSet& params) const override {
+    AnalysisSpec spec;
+    spec.default_traces_per_set = 1500;
+    spec.cpa = false;  // one latency sample carries no S-box model
+    spec.leakage_channels = channels(params);
+    return spec;
+  }
+
+  std::unique_ptr<core::TraceSource> make_source(
+      const ParamSet& params, const aes::Block& secret,
+      std::uint64_t seed) const override {
+    SqmulProbeConfig config;
+    config.noise_ns = params.get_double("noise_ns");
+    config.bit_ns = params.get_double("bit_ns");
+    config.leak = params.get_flag("leak");
+    return std::make_unique<ProbeTraceSource>(
+        std::make_unique<SqmulTimingProbe>(config, secret, seed));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_sqmul_timing_scenario() {
+  return std::make_unique<SqmulTimingScenario>();
+}
+
+}  // namespace psc::scenario

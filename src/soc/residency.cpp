@@ -1,0 +1,44 @@
+#include "soc/residency.h"
+
+#include <algorithm>
+
+namespace psc::soc {
+
+FrequencyResidency::FrequencyResidency(const DvfsLadder& ladder)
+    : ladder_(&ladder), seconds_(ladder.state_count(), 0.0) {}
+
+void FrequencyResidency::reset() noexcept {
+  std::fill(seconds_.begin(), seconds_.end(), 0.0);
+  total_s_ = 0.0;
+}
+
+void FrequencyResidency::add(std::size_t state, double dt_s) noexcept {
+  state = std::min(state, ladder_->max_state());
+  seconds_[state] += dt_s;
+  total_s_ += dt_s;
+}
+
+double FrequencyResidency::mean_frequency_hz() const noexcept {
+  if (total_s_ <= 0.0) {
+    return 0.0;
+  }
+  double weighted = 0.0;
+  for (std::size_t s = 0; s < seconds_.size(); ++s) {
+    weighted += seconds_[s] * ladder_->frequency_hz(s);
+  }
+  return weighted / total_s_;
+}
+
+double FrequencyResidency::fraction_below(std::size_t state) const noexcept {
+  if (total_s_ <= 0.0) {
+    return 0.0;
+  }
+  double below = 0.0;
+  const std::size_t bound = std::min(state, seconds_.size());
+  for (std::size_t s = 0; s < bound; ++s) {
+    below += seconds_[s];
+  }
+  return below / total_s_;
+}
+
+}  // namespace psc::soc

@@ -1,0 +1,41 @@
+// Frequency-residency accounting: how long a cluster spent at each DVFS
+// state. This is the §4 attacker's observable — macOS exposes per-state
+// residency through IOReport/powermetrics, and the throttling governor
+// turns workload intensity into residency shifts, so a tracker over the
+// simulated governor is the DVFS side channel's sampling primitive.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "soc/dvfs.h"
+
+namespace psc::soc {
+
+class FrequencyResidency {
+ public:
+  explicit FrequencyResidency(const DvfsLadder& ladder);
+
+  void reset() noexcept;
+
+  // Accounts `dt_s` seconds spent at `state` (clamped to the ladder).
+  void add(std::size_t state, double dt_s) noexcept;
+
+  double total_s() const noexcept { return total_s_; }
+
+  // Time-weighted mean frequency over everything accounted; 0 when empty.
+  double mean_frequency_hz() const noexcept;
+
+  // Fraction of accounted time spent strictly below `state`; 0 when empty.
+  double fraction_below(std::size_t state) const noexcept;
+
+  // Seconds per state, aligned with the ladder.
+  const std::vector<double>& seconds() const noexcept { return seconds_; }
+
+ private:
+  const DvfsLadder* ladder_;
+  std::vector<double> seconds_;
+  double total_s_ = 0.0;
+};
+
+}  // namespace psc::soc

@@ -1,0 +1,84 @@
+#include "victim/probe_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psc::victim {
+
+ProbeArrayVictim::ProbeArrayVictim(const ProbeArrayConfig& config,
+                                   const aes::Block& secret,
+                                   std::uint64_t seed)
+    : config_(config), secret_(secret), rng_(seed) {
+  if (config_.lines == 0 || config_.lines > 64) {
+    throw std::invalid_argument("ProbeArrayVictim: lines must be 1..64");
+  }
+  if (config_.timer_granularity_ns <= 0.0 || config_.iterations <= 0) {
+    throw std::invalid_argument(
+        "ProbeArrayVictim: timer granularity and iterations must be "
+        "positive");
+  }
+  if (config_.slc_pressure < 0.0 || config_.slc_pressure > 1.0) {
+    throw std::invalid_argument(
+        "ProbeArrayVictim: slc_pressure must be in [0, 1]");
+  }
+}
+
+std::uint64_t ProbeArrayVictim::touched_lines(
+    const aes::Block& input) const noexcept {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t selector =
+        config_.secret_dependent
+            ? static_cast<std::uint8_t>(secret_[i] ^ input[i])
+            : static_cast<std::uint8_t>(i);
+    mask |= std::uint64_t{1} << (selector % config_.lines);
+  }
+  return mask;
+}
+
+double ProbeArrayVictim::probe_line(bool cached) {
+  const double base = cached ? config_.hit_ns : config_.miss_ns;
+  double sum = 0.0;
+  for (int it = 0; it < config_.iterations; ++it) {
+    double measured = 0.0;
+    // Coarse-timer read with the retry-on-zero idiom: the access is
+    // re-timed until a tick boundary lands inside it (or retries run
+    // out); every retry re-samples both latency jitter and timer phase.
+    for (int attempt = 0; attempt <= config_.retries_if_zero; ++attempt) {
+      const double latency =
+          std::max(0.0, base + rng_.gaussian(0.0, config_.noise_ns));
+      const double phase =
+          rng_.uniform01() * config_.timer_granularity_ns;
+      const double ticks =
+          std::floor((latency + phase) / config_.timer_granularity_ns);
+      if (ticks > 0.0) {
+        measured = ticks * config_.timer_granularity_ns;
+        break;
+      }
+    }
+    sum += measured;
+  }
+  return sum / config_.iterations;
+}
+
+void ProbeArrayVictim::observe(const aes::Block& input,
+                               std::span<double> out) {
+  if (out.size() != config_.lines) {
+    throw std::invalid_argument(
+        "ProbeArrayVictim: output span must hold one entry per line");
+  }
+  const std::uint64_t touched = touched_lines(input);
+  for (std::size_t l = 0; l < config_.lines; ++l) {
+    bool cached = (touched >> l) & 1;
+    // Competing SLC occupancy may have evicted the line again before the
+    // attacker's reload (EXAM's occupancy noise).
+    if (cached && config_.slc_pressure > 0.0 &&
+        rng_.uniform01() < config_.slc_pressure) {
+      cached = false;
+    }
+    out[l] = probe_line(cached);
+  }
+}
+
+}  // namespace psc::victim

@@ -1,0 +1,87 @@
+// Acceptance gates for the new scenarios: cache-timing, dvfs-frequency
+// and sqmul-timing must show statistically detectable leakage (cross-class
+// TVLA |t| > 4.5) with default parameters, and that leakage must vanish
+// when the secret/input-dependent behavior is disabled (`leak=0`). Scores
+// also have to stay honest within a class: no same-class false positives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/tvla.h"
+#include "scenario/runner.h"
+#include "util/stats.h"
+
+namespace psc::scenario {
+namespace {
+
+constexpr std::size_t kPerSet = 800;
+constexpr std::uint64_t kSeed = 42;
+
+ScenarioRunResult run(const std::string& name,
+                      std::vector<std::pair<std::string, std::string>> params) {
+  return run_scenario(name, params,
+                      {.traces_per_set = kPerSet, .seed = kSeed,
+                       .workers = 2, .shards = 2});
+}
+
+void expect_no_same_class_positives(const ScenarioRunResult& result) {
+  for (const auto& channel : result.tvla) {
+    for (const core::PlaintextClass cls : core::all_plaintext_classes) {
+      const double t = std::fabs(channel.matrix.score(cls, cls));
+      EXPECT_LT(t, util::tvla_threshold)
+          << result.scenario << "/" << channel.channel << " same-class";
+    }
+  }
+}
+
+TEST(ScenarioLeakage, CacheTimingLeaksWithDefaults) {
+  const ScenarioRunResult result = run("cache-timing", {});
+  EXPECT_GT(result.max_cross_class_t(), util::tvla_threshold);
+  expect_no_same_class_positives(result);
+}
+
+TEST(ScenarioLeakage, CacheTimingLeakDisappearsWhenInputIndependent) {
+  const ScenarioRunResult result = run("cache-timing", {{"leak", "0"}});
+  EXPECT_LT(result.max_cross_class_t(), util::tvla_threshold);
+}
+
+TEST(ScenarioLeakage, CacheTimingFullSlcOccupancyErasesTheChannel) {
+  // EXAM's occupancy observation, pushed to the limit: competing SLC
+  // pressure evicting every probe line leaves nothing to reload-time.
+  const ScenarioRunResult result =
+      run("cache-timing", {{"slc_pressure", "1"}});
+  EXPECT_LT(result.max_cross_class_t(), util::tvla_threshold);
+}
+
+TEST(ScenarioLeakage, CacheTimingSurvivesModerateSlcPressure) {
+  const ScenarioRunResult result =
+      run("cache-timing", {{"slc_pressure", "0.25"}});
+  EXPECT_GT(result.max_cross_class_t(), util::tvla_threshold);
+}
+
+TEST(ScenarioLeakage, DvfsFrequencyLeaksWithDefaults) {
+  const ScenarioRunResult result = run("dvfs-frequency", {});
+  EXPECT_GT(result.max_cross_class_t(), util::tvla_threshold);
+  expect_no_same_class_positives(result);
+}
+
+TEST(ScenarioLeakage, DvfsFrequencyLeakDisappearsAtFixedIntensity) {
+  const ScenarioRunResult result = run("dvfs-frequency", {{"leak", "0"}});
+  EXPECT_LT(result.max_cross_class_t(), util::tvla_threshold);
+}
+
+TEST(ScenarioLeakage, SqmulTimingLeaksWithDefaults) {
+  const ScenarioRunResult result = run("sqmul-timing", {});
+  EXPECT_GT(result.max_cross_class_t(), util::tvla_threshold);
+  expect_no_same_class_positives(result);
+}
+
+TEST(ScenarioLeakage, SqmulTimingConstantTimeLadderIsSilent) {
+  const ScenarioRunResult result = run("sqmul-timing", {{"leak", "0"}});
+  EXPECT_LT(result.max_cross_class_t(), util::tvla_threshold);
+}
+
+}  // namespace
+}  // namespace psc::scenario
